@@ -1,0 +1,106 @@
+"""Shared infrastructure for the paper-table benchmarks.
+
+Each of Tables 1-4 compares the number of lookup tables and the runtime
+of MIS II and Chortle over the 12 MCNC-89 circuits at one value of K.
+Networks and mapping results are cached per-process so the per-circuit
+pytest-benchmark timings and the printed summary table share one run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.baseline.mis_mapper import MisMapper
+from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.extensions.binpack import BinPackMapper
+from repro.extensions.flowmap import FlowMapper
+from repro.verify import verify_equivalence
+
+_NETWORKS: Dict[str, object] = {}
+_RESULTS: Dict[Tuple[str, int, str], "MapResult"] = {}
+
+MAPPERS = {
+    "chortle": lambda k: ChortleMapper(k=k),
+    "mis": lambda k: MisMapper(k=k),
+    "flowmap": lambda k: FlowMapper(k=k),
+    "binpack": lambda k: BinPackMapper(k=k),
+}
+
+
+@dataclass(frozen=True)
+class MapResult:
+    circuit_name: str
+    k: int
+    mapper: str
+    cost: int
+    num_luts: int
+    depth: int
+    seconds: float
+
+
+def get_network(name: str):
+    if name not in _NETWORKS:
+        _NETWORKS[name] = mcnc_circuit(name)
+    return _NETWORKS[name]
+
+
+def run_mapper(name: str, k: int, mapper: str, verify: bool = False) -> MapResult:
+    """Map circuit `name` at the given K, caching the result."""
+    key = (name, k, mapper)
+    if key in _RESULTS:
+        return _RESULTS[key]
+    net = get_network(name)
+    instance = MAPPERS[mapper](k)
+    start = time.perf_counter()
+    circuit: LUTCircuit = instance.map(net)
+    seconds = time.perf_counter() - start
+    if verify:
+        verify_equivalence(net, circuit, vectors=256)
+    result = MapResult(
+        circuit_name=name,
+        k=k,
+        mapper=mapper,
+        cost=circuit.cost,
+        num_luts=circuit.num_luts,
+        depth=circuit.depth(),
+        seconds=seconds,
+    )
+    _RESULTS[key] = result
+    return result
+
+
+def print_table(k: int, circuits=TABLE_CIRCUITS) -> Tuple[float, float]:
+    """Print a Table 1-4 style comparison; returns (avg % gain, speed ratio)."""
+    header = (
+        "%-8s %9s %9s %7s %9s %9s" % ("Circuit", "MIS", "Chortle", "%", "t MIS", "t Chtl")
+    )
+    print()
+    print("Table (K=%d): lookup tables and mapping time, MIS II vs Chortle" % k)
+    print(header)
+    print("-" * len(header))
+    total_gain = 0.0
+    total_mis_time = 0.0
+    total_chortle_time = 0.0
+    for name in circuits:
+        mis = run_mapper(name, k, "mis")
+        chortle = run_mapper(name, k, "chortle")
+        gain = 100.0 * (mis.cost - chortle.cost) / mis.cost if mis.cost else 0.0
+        total_gain += gain
+        total_mis_time += mis.seconds
+        total_chortle_time += chortle.seconds
+        print(
+            "%-8s %9d %9d %6.1f%% %8.2fs %8.2fs"
+            % (name, mis.cost, chortle.cost, gain, mis.seconds, chortle.seconds)
+        )
+    avg_gain = total_gain / len(circuits)
+    ratio = total_mis_time / total_chortle_time if total_chortle_time else 0.0
+    print("-" * len(header))
+    print(
+        "average Chortle gain: %.1f%%   MIS/Chortle time ratio: %.2fx"
+        % (avg_gain, ratio)
+    )
+    return avg_gain, ratio

@@ -1,0 +1,69 @@
+"""Ablation: the area/depth trade-off curve (Chortle-d direction).
+
+Sweeps the depth slack of :class:`DepthBoundedMapper` from 0 (minimum
+forest-respecting depth) upward and reports the lookup-table cost at
+each point, bracketed by FlowMap (depth-optimal, area-expensive) and
+Chortle (area-optimal, depth-oblivious).
+"""
+
+import pytest
+
+from benchmarks.common import get_network, run_mapper
+from repro.extensions.pareto import DepthBoundedMapper
+from repro.verify import verify_equivalence
+
+SAMPLE = ("count", "frg1", "apex7")
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_depth_bounded_bench(benchmark, name):
+    net = get_network(name)
+    mapper = DepthBoundedMapper(k=4, slack=0)
+    circuit = benchmark.pedantic(lambda: mapper.map(net), rounds=1, iterations=1)
+    assert circuit.cost > 0
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_depth_bound_respected(name):
+    net = get_network(name)
+    mapper = DepthBoundedMapper(k=4, slack=0)
+    circuit = mapper.map(net)
+    verify_equivalence(net, circuit, vectors=256)
+    assert circuit.depth() <= mapper.optimal_depth(net)
+
+
+def test_tradeoff_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Area/depth trade-off (K=4): slack sweep of DepthBoundedMapper")
+    header = "%-8s %10s %14s %14s %14s %12s" % (
+        "Circuit", "FlowMap", "slack=0", "slack=2", "slack=inf", "Chortle",
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SAMPLE:
+        net = get_network(name)
+        fm = run_mapper(name, 4, "flowmap")
+        ch = run_mapper(name, 4, "chortle")
+        cells = []
+        for slack in (0, 2, 10_000):
+            circuit = DepthBoundedMapper(k=4, slack=slack).map(net)
+            cells.append("%d/%d" % (circuit.cost, circuit.depth()))
+        print(
+            "%-8s %10s %14s %14s %14s %12s"
+            % (
+                name,
+                "%d/%d" % (fm.cost, fm.depth),
+                cells[0],
+                cells[1],
+                cells[2],
+                "%d/%d" % (ch.cost, ch.depth),
+            )
+        )
+    print("cells are LUTs/depth; slack=inf recovers Chortle's area.")
+    # Sanity on the trade-off direction for one circuit.
+    net = get_network(SAMPLE[0])
+    tight = DepthBoundedMapper(k=4, slack=0).map(net)
+    loose = DepthBoundedMapper(k=4, slack=10_000).map(net)
+    assert tight.depth() <= loose.depth()
+    assert tight.cost >= loose.cost

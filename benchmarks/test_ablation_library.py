@@ -1,0 +1,84 @@
+"""Ablation for Section 4.1: library coverage.
+
+The paper argues the MIS baseline's K>=4 losses come from library
+incompleteness (a complete K=4 library would need thousands of cells).
+This benchmark maps the suite sample with progressively poorer libraries
+and shows cost rising as coverage drops — and Chortle, which needs no
+library at all, sitting at or below the richest library's results.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import get_network, run_mapper
+from repro.baseline.library import Library, kernel_library
+from repro.baseline.mis_mapper import MisMapper
+from repro.truth.truthtable import TruthTable
+
+SAMPLE = ("count", "frg1", "apex7")
+
+
+def tiny_library(k: int) -> Library:
+    """AND2/OR2 only: the poorest usable library."""
+    lib = Library("tiny", k)
+    a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+    lib.add(a & b)
+    lib.add(a | b)
+    return lib
+
+
+def gates_library(k: int) -> Library:
+    """Simple gates up to k inputs, but no multi-level kernel shapes."""
+    lib = Library("gates", k)
+    for n in range(2, k + 1):
+        and_n = TruthTable.const(True, n)
+        or_n = TruthTable.const(False, n)
+        for j in range(n):
+            and_n = and_n & TruthTable.var(j, n)
+            or_n = or_n | TruthTable.var(j, n)
+        lib.add(and_n)
+        lib.add(or_n)
+    return lib
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_coverage_ordering(name):
+    """More coverage can only help: tiny >= gates >= kernel >= Chortle."""
+    k = 4
+    net = get_network(name)
+    cost_tiny = MisMapper(k=k, library=tiny_library(k)).map(net).cost
+    cost_gates = MisMapper(k=k, library=gates_library(k)).map(net).cost
+    cost_kernel = run_mapper(name, k, "mis").cost
+    cost_chortle = run_mapper(name, k, "chortle").cost
+    assert cost_tiny >= cost_gates >= cost_kernel
+    assert cost_kernel >= cost_chortle - max(2, cost_chortle // 20)
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_kernel_library_bench(benchmark, name):
+    net = get_network(name)
+    mapper = MisMapper(k=4)
+    circuit = benchmark.pedantic(lambda: mapper.map(net), rounds=1, iterations=1)
+    assert circuit.cost > 0
+
+
+def test_library_coverage_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Library-coverage ablation at K=4 (lookup tables):")
+    header = "%-8s %8s %8s %8s %10s" % (
+        "Circuit", "AND2/OR2", "gates", "kernels", "Chortle",
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SAMPLE:
+        net = get_network(name)
+        cost_tiny = MisMapper(k=4, library=tiny_library(4)).map(net).cost
+        cost_gates = MisMapper(k=4, library=gates_library(4)).map(net).cost
+        cost_kernel = run_mapper(name, 4, "mis").cost
+        cost_chortle = run_mapper(name, 4, "chortle").cost
+        print(
+            "%-8s %8d %8d %8d %10d"
+            % (name, cost_tiny, cost_gates, cost_kernel, cost_chortle)
+        )

@@ -1,0 +1,74 @@
+"""Ablation: the composed flows vs their individual ingredients.
+
+``map_area`` (sweep → strash → refactor → Chortle → LUT merge) and
+``map_delay`` (same front end → depth-bounded mapping → merge) stack the
+repository's passes; this benchmark quantifies what each composition
+buys over plain Chortle and plain FlowMap.
+"""
+
+import pytest
+
+from benchmarks.common import get_network, run_mapper
+from repro.pipeline import map_area, map_delay
+from repro.verify import verify_equivalence
+
+SAMPLE = ("count", "frg1", "apex7")
+_CACHE = {}
+
+
+def composed(name, kind):
+    key = (name, kind)
+    if key not in _CACHE:
+        net = get_network(name)
+        circuit = map_area(net, k=4) if kind == "area" else map_delay(net, k=4)
+        verify_equivalence(net, circuit, vectors=256)
+        _CACHE[key] = circuit
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_area_flow_never_worse(name):
+    assert composed(name, "area").cost <= run_mapper(name, 4, "chortle").cost
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_delay_flow_dominates_flowmap(name):
+    fm = run_mapper(name, 4, "flowmap")
+    fast = composed(name, "delay")
+    assert fast.cost <= fm.cost
+    assert fast.depth() <= fm.depth + 2
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_area_flow_bench(benchmark, name):
+    net = get_network(name)
+    circuit = benchmark.pedantic(
+        lambda: map_area(net, k=4), rounds=1, iterations=1
+    )
+    assert circuit.cost > 0
+
+
+def test_pipeline_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Composed flows, K=4 (LUTs/depth):")
+    header = "%-8s %12s %12s %12s %12s" % (
+        "Circuit", "Chortle", "map_area", "FlowMap", "map_delay",
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SAMPLE:
+        ch = run_mapper(name, 4, "chortle")
+        fm = run_mapper(name, 4, "flowmap")
+        area = composed(name, "area")
+        delay = composed(name, "delay")
+        print(
+            "%-8s %12s %12s %12s %12s"
+            % (
+                name,
+                "%d/%d" % (ch.cost, ch.depth),
+                "%d/%d" % (area.cost, area.depth()),
+                "%d/%d" % (fm.cost, fm.depth),
+                "%d/%d" % (delay.cost, delay.depth()),
+            )
+        )

@@ -1,0 +1,73 @@
+"""Ablation for Section 3.1.4: node splitting at fanin > 10.
+
+The paper claims that splitting a wide node into two roughly equal
+halves (a) makes the decomposition search tractable and (b) costs no
+lookup tables in practice, because wide nodes have many minimum-cost
+decompositions.  This benchmark measures both halves of the claim on
+circuits rich in wide-fanin nodes.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, random_network
+from repro.core.chortle import ChortleMapper
+from repro.verify import verify_equivalence
+
+# Fanin distribution with a heavy wide tail (up to 13 inputs per node).
+WIDE_WEIGHTS = ((2, 0.25), (3, 0.2), (4, 0.15), (6, 0.12), (8, 0.1),
+                (10, 0.08), (11, 0.05), (12, 0.03), (13, 0.02))
+
+
+@pytest.fixture(scope="module")
+def wide_network():
+    cfg = GeneratorConfig(
+        num_inputs=24,
+        num_outputs=8,
+        num_gates=120,
+        seed=0x51,
+        fanin_weights=WIDE_WEIGHTS,
+    )
+    return random_network(cfg)
+
+
+@pytest.mark.parametrize("k", [4, 5])
+def test_split_quality_matches_unsplit(wide_network, k):
+    """Splitting at the paper's threshold (10) loses no lookup tables
+    compared to exhaustively decomposing up to fanin 13."""
+    split = ChortleMapper(k=k, split_threshold=10).map(wide_network)
+    unsplit = ChortleMapper(k=k, split_threshold=13).map(wide_network)
+    verify_equivalence(wide_network, split, vectors=256)
+    assert split.cost <= unsplit.cost + max(1, unsplit.cost // 50)
+
+
+def test_split_speed(wide_network, benchmark):
+    result = benchmark.pedantic(
+        lambda: ChortleMapper(k=5, split_threshold=10).map(wide_network),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cost > 0
+
+
+def test_split_speedup_summary(wide_network, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Node-splitting ablation (Section 3.1.4), K=5:")
+    rows = []
+    for threshold in (13, 12, 11, 10, 8, 6):
+        start = time.perf_counter()
+        circuit = ChortleMapper(k=5, split_threshold=threshold).map(wide_network)
+        seconds = time.perf_counter() - start
+        rows.append((threshold, circuit.cost, seconds))
+        print(
+            "  split threshold %2d: %4d LUTs in %6.2fs"
+            % (threshold, circuit.cost, seconds)
+        )
+    # The paper's claim: lower thresholds are much faster at (almost)
+    # unchanged area.
+    full_cost, full_time = rows[0][1], rows[0][2]
+    paper_cost, paper_time = rows[3][1], rows[3][2]
+    assert paper_time <= full_time
+    assert paper_cost <= full_cost * 1.02 + 1

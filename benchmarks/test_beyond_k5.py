@@ -1,0 +1,65 @@
+"""The paper's thesis, demonstrated past its own table range.
+
+Chortle's whole argument is that a K-input lookup table implements any
+function of K inputs, so no library is needed — and therefore nothing
+special happens as K grows.  The library-based flow, by contrast, needs
+2^2^K functions: already unenumerable at K=4 (the paper's Section 1),
+and our NP-closure matching becomes intractable past K=5.  This
+benchmark maps the suite sample at K = 2..8 with the library-free
+mappers and shows the baseline hitting its wall.
+"""
+
+import pytest
+
+from benchmarks.common import get_network
+from repro.baseline.mis_mapper import MisMapper
+from repro.core.chortle import ChortleMapper
+from repro.errors import LibraryError
+from repro.verify import verify_equivalence
+
+SAMPLE = ("count", "frg1")
+WIDE_KS = (2, 3, 4, 5, 6, 7, 8)
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+@pytest.mark.parametrize("k", [6, 8])
+def test_chortle_maps_any_k(name, k):
+    net = get_network(name)
+    circuit = ChortleMapper(k=k).map(net)
+    verify_equivalence(net, circuit, vectors=256)
+    circuit.validate(k)
+
+
+def test_library_flow_hits_its_wall():
+    """A complete K=4 library is refused (2^16 functions), and the kernel
+    library is capped where NP matching becomes intractable."""
+    from repro.baseline.library import complete_library
+
+    with pytest.raises(LibraryError):
+        complete_library(4)
+    with pytest.raises(LibraryError):
+        MisMapper(k=6)
+
+
+@pytest.mark.parametrize("name", SAMPLE)
+def test_wide_k_bench(benchmark, name):
+    net = get_network(name)
+    mapper = ChortleMapper(k=8)
+    circuit = benchmark.pedantic(lambda: mapper.map(net), rounds=1, iterations=1)
+    assert circuit.cost > 0
+
+
+def test_wide_k_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Library-free scaling: Chortle LUT counts for K = 2..8")
+    header = "%-8s " % "Circuit" + " ".join("K=%d" % k for k in WIDE_KS)
+    print(header)
+    print("-" * len(header))
+    for name in SAMPLE:
+        net = get_network(name)
+        costs = [ChortleMapper(k=k).map(net).cost for k in WIDE_KS]
+        print("%-8s " % name + " ".join("%3d" % c for c in costs))
+        # Monotone: more LUT inputs never cost area.
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+    print("(the library-based baseline cannot be built past K=5 at all)")

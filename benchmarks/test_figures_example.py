@@ -1,0 +1,65 @@
+"""Figures 1-3 of the paper: the worked example, regenerated.
+
+* Figure 1 — the example boolean network (hand-coded in
+  :func:`repro.bench.circuits.figure1_network`);
+* Figure 2 — its implementation in three 3-input lookup tables;
+* Figure 3 — the forest of maximal fanout-free trees created by cutting
+  the multi-fanout edge.
+"""
+
+import pytest
+
+from repro.bench.circuits import figure1_network
+from repro.core.chortle import ChortleMapper
+from repro.core.forest import build_forest
+from repro.verify import verify_equivalence
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_network()
+
+
+def test_figure1_network_shape(fig1):
+    """Figure 1: 5 inputs, AND/OR nodes with polarity-labelled edges."""
+    assert fig1.num_inputs == 5
+    assert fig1.num_gates == 4
+    assert any(s.inv for g in fig1.gates() for s in g.fanins)
+
+
+def test_figure3_forest_creation(fig1):
+    """Figure 3: the multi-fanout node becomes a pseudo-input, giving a
+    forest of two maximal fanout-free trees."""
+    forest = build_forest(fig1)
+    assert forest.num_trees == 2
+    by_root = {t.root: t for t in forest.trees}
+    assert set(by_root) == {"g2", "g4"}
+    assert "g2" in by_root["g4"].leaves  # the redirected edge of Fig. 3
+
+
+def test_figure2_three_lut_mapping(fig1, benchmark):
+    """Figure 2: the network maps into three 3-input lookup tables."""
+    circuit = benchmark.pedantic(
+        lambda: ChortleMapper(k=3).map(fig1), rounds=3, iterations=1
+    )
+    assert circuit.cost == 3
+    assert all(lut.utilization <= 3 for lut in circuit.luts())
+    verify_equivalence(fig1, circuit)
+
+
+def test_example_mapping_summary(fig1, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Paper worked example (Figures 1-3):")
+    forest = build_forest(fig1)
+    print(
+        "  forest: %d trees, roots %s"
+        % (forest.num_trees, [t.root for t in forest.trees])
+    )
+    for k in (2, 3, 4, 5):
+        circuit = ChortleMapper(k=k).map(fig1)
+        verify_equivalence(fig1, circuit)
+        print(
+            "  K=%d: %d lookup tables (depth %d)"
+            % (k, circuit.cost, circuit.depth())
+        )

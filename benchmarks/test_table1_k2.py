@@ -1,0 +1,45 @@
+"""Table 1 of the paper: MIS II vs Chortle at K=2.
+
+Reproduces the per-circuit lookup-table counts and runtimes over the
+12-circuit MCNC-89 stand-in suite.  The paper's headline for this table
+is checked by the summary test; per-circuit timings are captured by
+pytest-benchmark.
+"""
+
+import pytest
+
+from benchmarks.common import TABLE_CIRCUITS, print_table, run_mapper
+
+K = 2
+
+
+@pytest.mark.parametrize("name", TABLE_CIRCUITS)
+def test_chortle(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: run_mapper(name, K, "chortle"), rounds=1, iterations=1
+    )
+    assert result.cost > 0
+
+
+@pytest.mark.parametrize("name", TABLE_CIRCUITS)
+def test_mis(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: run_mapper(name, K, "mis"), rounds=1, iterations=1
+    )
+    assert result.cost > 0
+
+
+def test_summary_shape(benchmark):
+    """The paper's Table 1 shape at K=2."""
+    avg_gain, time_ratio = benchmark.pedantic(
+        lambda: print_table(K), rounds=1, iterations=1
+    )
+    for name in TABLE_CIRCUITS:
+        mis = run_mapper(name, K, "mis")
+        chortle = run_mapper(name, K, "chortle")
+        # Chortle is optimal per tree; MIS can only win via reconvergent
+        # fanout it happens to merge (the paper saw the same at K=2).
+        assert chortle.cost <= mis.cost + max(3, mis.cost // 20)
+    # K=2: "the results are almost identical" (complete library, forced
+    # binary decomposition).
+    assert abs(avg_gain) < 2.0

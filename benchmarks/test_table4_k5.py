@@ -1,0 +1,49 @@
+"""Table 4 of the paper: MIS II vs Chortle at K=5.
+
+Reproduces the per-circuit lookup-table counts and runtimes over the
+12-circuit MCNC-89 stand-in suite.  The paper's headline for this table
+is checked by the summary test; per-circuit timings are captured by
+pytest-benchmark.
+"""
+
+import pytest
+
+from benchmarks.common import TABLE_CIRCUITS, print_table, run_mapper
+
+K = 5
+
+
+@pytest.mark.parametrize("name", TABLE_CIRCUITS)
+def test_chortle(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: run_mapper(name, K, "chortle"), rounds=1, iterations=1
+    )
+    assert result.cost > 0
+
+
+@pytest.mark.parametrize("name", TABLE_CIRCUITS)
+def test_mis(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: run_mapper(name, K, "mis"), rounds=1, iterations=1
+    )
+    assert result.cost > 0
+
+
+def test_summary_shape(benchmark):
+    """The paper's Table 4 shape at K=5."""
+    avg_gain, time_ratio = benchmark.pedantic(
+        lambda: print_table(K), rounds=1, iterations=1
+    )
+    for name in TABLE_CIRCUITS:
+        mis = run_mapper(name, K, "mis")
+        chortle = run_mapper(name, K, "chortle")
+        # Chortle is optimal per tree; MIS can only win via reconvergent
+        # fanout it happens to merge (the paper saw the same at K=2).
+        assert chortle.cost <= mis.cost + max(3, mis.cost // 20)
+    # K=5: the paper's largest gap (~14%): lowest library coverage.
+    assert avg_gain > 3.0
+    # "The execution speed of Chortle ranges from a factor of 1 to 10
+    # times faster than MIS II."  At K=5 the baseline's 5-input Boolean
+    # matching is at its most expensive, so Chortle should not lose;
+    # allow for wall-clock noise in shared benchmark sessions.
+    assert time_ratio > 0.8

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Compare all four mappers on one circuit: area, depth, and runtime.
+
+The scenario the paper's introduction motivates: you have an optimized
+boolean network and an FPGA with K-input lookup tables — which mapping
+algorithm should you use, and what does each trade away?
+
+Run:  python examples/compare_mappers.py [circuit] [-k 4]
+      (circuit is an MCNC profile name, default "count")
+"""
+
+import argparse
+import time
+
+from repro.baseline import MisMapper
+from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit
+from repro.core import ChortleMapper
+from repro.extensions import BinPackMapper, DepthBoundedMapper, FlowMapper
+from repro.network import network_stats
+from repro.verify import verify_equivalence
+
+MAPPERS = [
+    ("chortle", "exhaustive decomposition DP (the paper)",
+     lambda k: ChortleMapper(k=k)),
+    ("mis", "library-based tree covering (the baseline)",
+     lambda k: MisMapper(k=k)),
+    ("binpack", "FFD bin packing (Chortle-crf lineage)",
+     lambda k: BinPackMapper(k=k)),
+    ("flowmap", "depth-optimal max-flow labelling",
+     lambda k: FlowMapper(k=k)),
+    ("depthbnd", "min area at min forest depth (Chortle-d)",
+     lambda k: DepthBoundedMapper(k=k, slack=0)),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "circuit", nargs="?", default="count", choices=sorted(MCNC_PROFILES)
+    )
+    parser.add_argument("-k", type=int, default=4)
+    args = parser.parse_args()
+
+    net = mcnc_circuit(args.circuit)
+    print(network_stats(net))
+    print()
+    header = "%-8s %8s %8s %8s %9s   %s" % (
+        "mapper", "LUTs", "all", "depth", "time", "notes",
+    )
+    print(header)
+    print("-" * (len(header) + 16))
+    for name, notes, factory in MAPPERS:
+        mapper = factory(args.k)
+        start = time.perf_counter()
+        circuit = mapper.map(net)
+        elapsed = time.perf_counter() - start
+        verify_equivalence(net, circuit, vectors=512)
+        print(
+            "%-8s %8d %8d %8d %8.2fs   %s"
+            % (name, circuit.cost, circuit.num_luts, circuit.depth(), elapsed, notes)
+        )
+    print()
+    print(
+        "LUTs = multi-input tables (the paper's area metric); "
+        "'all' includes interface inverters/buffers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Run a suite sweep and export machine-readable results (JSON + CSV).
+
+The regression-tracking scenario: nightly CI maps the benchmark suite
+with every mapper and diffs the numbers against the last release.
+
+Run:  python examples/export_results.py [-o results] [--quick]
+"""
+
+import argparse
+import pathlib
+
+from repro.bench.runner import run_suite
+
+QUICK = ("count", "frg1", "apex7")
+FULL = ("9symml", "alu2", "apex7", "count", "frg1", "k2")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="results", help="output stem")
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    circuits = QUICK if args.quick else FULL
+    result = run_suite(
+        circuits,
+        mappers=("chortle", "mis", "binpack", "depthbounded"),
+        ks=(3, 4),
+        verify=True,
+    )
+
+    json_path = pathlib.Path(args.output + ".json")
+    csv_path = pathlib.Path(args.output + ".csv")
+    json_path.write_text(result.to_json())
+    csv_path.write_text(result.to_csv())
+    print("wrote %s and %s (%d reports)" % (json_path, csv_path, len(result.reports)))
+
+    for k in (3, 4):
+        gains = result.comparison(k, baseline="mis", challenger="chortle")
+        avg = sum(gains.values()) / len(gains)
+        print(
+            "K=%d: Chortle vs MIS average gain %.1f%% over %d circuits"
+            % (k, avg, len(gains))
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Tables 1-4 on the MCNC-89 stand-in suite.
+
+Maps every benchmark with both Chortle and the MIS II-style baseline for
+K = 2..5 and prints the comparison tables (LUT counts, % difference,
+runtimes).  This is the script version of ``pytest benchmarks/``; use
+``--quick`` to map only the small circuits.
+
+Run:  python examples/map_mcnc_suite.py [--quick] [-k 4]
+"""
+
+import argparse
+import time
+
+from repro.baseline import MisMapper
+from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
+from repro.core import ChortleMapper
+from repro.verify import verify_equivalence
+
+QUICK = ("9symml", "alu2", "apex7", "count", "frg1")
+
+
+def run_table(k: int, circuits) -> None:
+    header = "%-8s %9s %9s %7s %9s %9s" % (
+        "Circuit", "MIS", "Chortle", "%", "t MIS", "t Chtl",
+    )
+    print()
+    print("Table (K=%d)" % k)
+    print(header)
+    print("-" * len(header))
+    gains = []
+    for name in circuits:
+        net = mcnc_circuit(name)
+        start = time.perf_counter()
+        mis = MisMapper(k=k).map(net)
+        t_mis = time.perf_counter() - start
+        start = time.perf_counter()
+        chortle = ChortleMapper(k=k).map(net)
+        t_chortle = time.perf_counter() - start
+        verify_equivalence(net, chortle, vectors=256)
+        verify_equivalence(net, mis, vectors=256)
+        gain = 100.0 * (mis.cost - chortle.cost) / mis.cost
+        gains.append(gain)
+        print(
+            "%-8s %9d %9d %6.1f%% %8.2fs %8.2fs"
+            % (name, mis.cost, chortle.cost, gain, t_mis, t_chortle)
+        )
+    print("-" * len(header))
+    print("average Chortle gain: %.1f%%" % (sum(gains) / len(gains)))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small circuits only")
+    parser.add_argument(
+        "-k", type=int, default=None, help="run a single K instead of 2..5"
+    )
+    args = parser.parse_args()
+    circuits = QUICK if args.quick else TABLE_CIRCUITS
+    ks = [args.k] if args.k else [2, 3, 4, 5]
+    for k in ks:
+        run_table(k, circuits)
+
+
+if __name__ == "__main__":
+    main()

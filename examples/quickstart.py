@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: build a small network, map it, inspect and verify the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChortleMapper, NetworkBuilder, verify_equivalence, write_lut_circuit
+
+
+def main() -> None:
+    # Build the boolean network from the paper's Figure 1:
+    # z = (a & b) | ~c | (c & d & e),  y = (a & b) | ~c
+    b = NetworkBuilder("fig1")
+    a, bb, c, d, e = b.inputs("a", "b", "c", "d", "e")
+    g1 = b.and_(a, bb, name="g1")
+    g2 = b.or_(g1, ~c, name="g2")
+    g3 = b.and_(c, d, e, name="g3")
+    g4 = b.or_(g2, g3, name="g4")
+    b.output("z", g4)
+    b.output("y", g2)
+    net = b.network()
+
+    # Map into 3-input lookup tables (the paper's Figure 2 example).
+    mapper = ChortleMapper(k=3)
+    circuit = mapper.map(net)
+
+    print("Mapped %r into %d 3-input lookup tables:" % (net.name, circuit.cost))
+    for lut in circuit.luts():
+        print(
+            "  %s = f(%s)   truth table %s"
+            % (lut.name, ", ".join(lut.inputs), lut.tt.to_binary_string())
+        )
+
+    # Prove the mapping is functionally equivalent (exhaustive here).
+    vectors = verify_equivalence(net, circuit)
+    print("verified on %d input vectors" % vectors)
+
+    # Emit the mapped circuit as BLIF.
+    print()
+    print(write_lut_circuit(circuit))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments whose setuptools lacks PEP 517 editable support."""
+
+from setuptools import setup
+
+setup()

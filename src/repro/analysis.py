@@ -1,0 +1,120 @@
+"""Post-mapping analysis: critical paths, slack, and wiring statistics.
+
+Complements :mod:`repro.report` with the questions a designer asks after
+mapping: *which* path limits the clock, how much slack everything else
+has, and what the net fanout distribution looks like (a proxy for
+routing demand on the paper's programmable routing network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.lut import LUTCircuit
+
+
+@dataclass(frozen=True)
+class TimingAnalysis:
+    """Unit-delay timing of a LUT circuit."""
+
+    depth: int
+    critical_path: Tuple[str, ...]  # input, LUT..., output-driving LUT
+    critical_port: str
+    arrival: Dict[str, int] = field(default_factory=dict)
+    slack: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_critical_luts(self) -> int:
+        return sum(1 for _ in self.critical_path) - 1
+
+
+def analyze_timing(circuit: LUTCircuit) -> TimingAnalysis:
+    """Arrival/required/slack under the unit-delay (LUT level) model."""
+    arrival: Dict[str, int] = {name: 0 for name in circuit.inputs}
+    worst_fanin: Dict[str, str] = {}
+    order = circuit.topological_order()
+    for name in order:
+        lut = circuit.lut(name)
+        best_src = None
+        best = -1
+        for src in lut.inputs:
+            t = arrival.get(src, 0)
+            if t > best:
+                best = t
+                best_src = src
+        arrival[name] = best + 1 if lut.inputs else 0
+        if best_src is not None:
+            worst_fanin[name] = best_src
+
+    outputs = circuit.outputs
+    if not outputs:
+        return TimingAnalysis(0, (), "", arrival, {})
+    critical_port, critical_sig = max(
+        outputs.items(), key=lambda item: arrival.get(item[1], 0)
+    )
+    depth = arrival.get(critical_sig, 0)
+
+    # Required times / slack, propagated backwards from every port.
+    required: Dict[str, int] = {}
+    for sig in outputs.values():
+        required[sig] = min(required.get(sig, depth), depth)
+    for name in reversed(order):
+        lut = circuit.lut(name)
+        req = required.get(name, depth)
+        for src in lut.inputs:
+            candidate = req - 1
+            if candidate < required.get(src, depth):
+                required[src] = candidate
+    slack = {
+        name: required.get(name, depth) - arrival.get(name, 0)
+        for name in list(arrival)
+    }
+
+    path: List[str] = []
+    cursor = critical_sig
+    while cursor is not None:
+        path.append(cursor)
+        cursor = worst_fanin.get(cursor)
+    path.reverse()
+    return TimingAnalysis(
+        depth=depth,
+        critical_path=tuple(path),
+        critical_port=critical_port,
+        arrival=arrival,
+        slack=slack,
+    )
+
+
+@dataclass(frozen=True)
+class WiringAnalysis:
+    """Net statistics of a mapped circuit (routing-demand proxy)."""
+
+    num_nets: int
+    total_pins: int
+    max_fanout: int
+    fanout_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def average_fanout(self) -> float:
+        return self.total_pins / self.num_nets if self.num_nets else 0.0
+
+
+def analyze_wiring(circuit: LUTCircuit) -> WiringAnalysis:
+    """Fanout distribution over all nets (inputs and LUT outputs)."""
+    fanout: Dict[str, int] = {name: 0 for name in circuit.inputs}
+    for lut in circuit.luts():
+        fanout.setdefault(lut.name, 0)
+        for src in lut.inputs:
+            fanout[src] = fanout.get(src, 0) + 1
+    for sig in circuit.outputs.values():
+        fanout[sig] = fanout.get(sig, 0) + 1
+    histogram: Dict[int, int] = {}
+    for count in fanout.values():
+        histogram[count] = histogram.get(count, 0) + 1
+    return WiringAnalysis(
+        num_nets=len(fanout),
+        total_pins=sum(fanout.values()),
+        max_fanout=max(fanout.values()) if fanout else 0,
+        fanout_histogram=histogram,
+    )

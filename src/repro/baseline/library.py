@@ -1,0 +1,233 @@
+"""Technology libraries for the MIS baseline (Section 4.1 of the paper).
+
+A library is a set of boolean functions a lookup table is *allowed* to
+realize under the library-based flow.  Matching is NP-equivalence (input
+permutations and inversions are free, since inverters merge into the
+tables and are not counted), with an optional complement fallback
+mirroring the paper's decision to give MIS credit for merged output
+inverters.
+
+* K=2, K=3: complete libraries — every function of at most K variables.
+  The paper counts these as 10 and 78 permutation-unique functions; the
+  same enumeration is reproduced in :mod:`repro.truth.enumerate` and
+  asserted in the tests.
+* K=4, K=5: incomplete libraries built from all level-0 kernels with K or
+  fewer literals over distinct variables, their duals, plus the common
+  circuit elements the paper lists (ANDs/ORs, XORs) and a MUX/AOI-style
+  element for the "level-n kernels that cannot be synthesized by level-0
+  kernels".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import LibraryError
+from repro.truth.canonical import np_canonical
+from repro.truth.truthtable import TruthTable
+
+
+@dataclass
+class Library:
+    """A set of matchable functions keyed by NP-canonical form.
+
+    ``complete=True`` marks a library containing *every* function of at
+    most ``k`` variables; matching then degenerates to a support-size
+    check, and no cells need to be stored (the whole point of Chortle is
+    that for K >= 4 such a library cannot be enumerated cell by cell).
+    """
+
+    name: str
+    k: int
+    free_inverters: bool = True
+    complete: bool = False
+    _canon: Dict[int, Set[int]] = field(default_factory=dict)
+    _expanded: Dict[int, Set[int]] = field(default_factory=dict, repr=False)
+    _match_cache: Dict[Tuple[int, int], bool] = field(default_factory=dict, repr=False)
+
+    def add(self, tt: TruthTable) -> None:
+        reduced = tt.shrink_to_support()
+        if reduced.nvars > self.k:
+            raise LibraryError(
+                "cell with %d-variable support exceeds K=%d"
+                % (reduced.nvars, self.k)
+            )
+        canon = np_canonical(reduced)
+        self._canon.setdefault(reduced.nvars, set()).add(canon.bits)
+        self._expanded.clear()
+        self._match_cache.clear()
+
+    def _expand(self) -> None:
+        """Precompute the NP closure of every cell for O(1) matching."""
+        from repro.truth.canonical import _apply_index_table, _neg_inputs, _perm_tables
+
+        for nvars, bucket in self._canon.items():
+            closure: Set[int] = set()
+            tables = _perm_tables(nvars)
+            for bits in bucket:
+                seeds = [bits]
+                if self.free_inverters:
+                    seeds.append(bits ^ ((1 << (1 << nvars)) - 1))
+                for seed in seeds:
+                    for mask in range(1 << nvars):
+                        negged = _neg_inputs(seed, mask, nvars)
+                        for table in tables:
+                            closure.add(_apply_index_table(negged, table))
+            self._expanded[nvars] = closure
+
+    def matches(self, tt: TruthTable) -> bool:
+        """Can a LUT with this function be drawn from the library?"""
+        key = (tt.nvars, tt.bits)
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            return cached
+        reduced = tt.shrink_to_support()
+        if reduced.nvars > self.k:
+            result = False
+        elif self.complete:
+            result = True
+        else:
+            if not self._expanded and self._canon:
+                self._expand()
+            result = reduced.bits in self._expanded.get(reduced.nvars, set())
+        self._match_cache[key] = result
+        return result
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(bucket) for bucket in self._canon.values())
+
+    def cells_by_support(self) -> Dict[int, int]:
+        return {n: len(bucket) for n, bucket in sorted(self._canon.items())}
+
+    def __repr__(self) -> str:
+        return "Library(%r, k=%d, cells=%d%s)" % (
+            self.name,
+            self.k,
+            self.num_cells,
+            ", complete" if self.complete else "",
+        )
+
+
+def complete_library(k: int) -> Library:
+    """Every function of at most ``k`` variables (practical for k <= 3).
+
+    This is the paper's complete library: 10 permutation-unique functions
+    for K=2, 78 for K=3 (excluding constants).
+    """
+    if k > 3:
+        raise LibraryError(
+            "a complete K=%d library has too many cells to represent "
+            "(the library size problem motivating Chortle); use "
+            "kernel_library(%d)" % (k, k)
+        )
+    lib = Library("complete-k%d" % k, k, complete=True)
+    for n in range(1, k + 1):
+        for bits in range(1 << (1 << n)):
+            tt = TruthTable(n, bits)
+            if tt.is_constant() or tt.support_size() != n:
+                continue
+            lib.add(tt)
+    return lib
+
+
+def _cube_partitions(total: int) -> Iterable[Tuple[int, ...]]:
+    """Integer partitions of ``total`` into at least two parts (cube sizes)."""
+    def rec(remaining: int, maximum: int) -> Iterable[Tuple[int, ...]]:
+        if remaining == 0:
+            yield ()
+            return
+        for first in range(min(remaining, maximum), 0, -1):
+            for rest in rec(remaining - first, first):
+                yield (first,) + rest
+
+    for partition in rec(total, total - 1):
+        if len(partition) >= 2:
+            yield partition
+
+
+def _sop_of_shape(shape: Tuple[int, ...]) -> TruthTable:
+    """OR of disjoint-variable AND cubes with the given sizes."""
+    nvars = sum(shape)
+    result = TruthTable.const(False, nvars)
+    index = 0
+    for size in shape:
+        cube = TruthTable.const(True, nvars)
+        for _ in range(size):
+            cube = cube & TruthTable.var(index, nvars)
+            index += 1
+        result = result | cube
+    return result
+
+
+def _pos_of_shape(shape: Tuple[int, ...]) -> TruthTable:
+    """The dual: AND of disjoint-variable OR clauses."""
+    nvars = sum(shape)
+    result = TruthTable.const(True, nvars)
+    index = 0
+    for size in shape:
+        clause = TruthTable.const(False, nvars)
+        for _ in range(size):
+            clause = clause | TruthTable.var(index, nvars)
+            index += 1
+        result = result & clause
+    return result
+
+
+def _xor_function(nvars: int) -> TruthTable:
+    result = TruthTable.var(0, nvars)
+    for j in range(1, nvars):
+        result = result ^ TruthTable.var(j, nvars)
+    return result
+
+
+def _mux_function() -> TruthTable:
+    s = TruthTable.var(0, 3)
+    a = TruthTable.var(1, 3)
+    b = TruthTable.var(2, 3)
+    return (s & a) | (~s & b)
+
+
+def kernel_library(k: int) -> Library:
+    """The Section 4.1 library for K >= 4 (also constructible for smaller K).
+
+    Contents: all level-0 kernels with ``k`` or fewer literals over
+    distinct variables, their duals, pure AND gates of 2..k literals
+    (ORs arrive as the duals of the single-literal-cube shapes), XORs of
+    2..min(k,3) inputs, and a 2-to-1 MUX.
+    """
+    if k < 2:
+        raise LibraryError("K must be at least 2, got %d" % k)
+    if k > 5:
+        raise LibraryError(
+            "kernel libraries are provided for K <= 5 (the paper's range); "
+            "NP-closure matching over %d-input cells is impractical" % k
+        )
+    lib = Library("kernel-k%d" % k, k)
+    for total in range(2, k + 1):
+        # Pure AND/OR gates of `total` literals (common circuit elements).
+        and_cube = TruthTable.const(True, total)
+        for j in range(total):
+            and_cube = and_cube & TruthTable.var(j, total)
+        lib.add(and_cube)
+        or_clause = TruthTable.const(False, total)
+        for j in range(total):
+            or_clause = or_clause | TruthTable.var(j, total)
+        lib.add(or_clause)
+        for shape in _cube_partitions(total):
+            lib.add(_sop_of_shape(shape))
+            lib.add(_pos_of_shape(shape))
+    for n in range(2, min(k, 3) + 1):
+        lib.add(_xor_function(n))
+    if k >= 3:
+        lib.add(_mux_function())
+    return lib
+
+
+def library_for(k: int) -> Library:
+    """The library the paper's experiments use at a given K."""
+    if k <= 3:
+        return complete_library(k)
+    return kernel_library(k)

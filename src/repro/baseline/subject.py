@@ -1,0 +1,57 @@
+"""Subject-graph construction: decomposition into two-input gates.
+
+MIS maps over a network pre-decomposed into two-input gates
+(``tech_decomp -a 2 -o 2``).  Each wide gate becomes a balanced binary
+tree of two-input gates of the same operation; the original node name is
+kept at the tree's root so outputs and cross-tree references survive.
+The fixed balanced shape is exactly the *structural bias* the paper
+exploits: MIS cannot revisit this decomposition during matching, while
+Chortle searches all decompositions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.network import BooleanNetwork, Signal
+
+
+def _decompose_gate(
+    net: BooleanNetwork, name: str, op: str, fanins: List[Signal]
+) -> None:
+    counter = [0]
+
+    def build(sigs: List[Signal]) -> Signal:
+        if len(sigs) == 1:
+            return sigs[0]
+        half = len(sigs) // 2
+        left = build(sigs[:half])
+        right = build(sigs[half:])
+        counter[0] += 1
+        sub = net.fresh_name("%s_b%d" % (name, counter[0]))
+        return net.add_gate(sub, op, [left, right])
+
+    if len(fanins) <= 2:
+        net.add_gate(name, op, fanins)
+        return
+    half = len(fanins) // 2
+    left = build(fanins[:half])
+    right = build(fanins[half:])
+    net.add_gate(name, op, [left, right])
+
+
+def decompose_to_binary(network: BooleanNetwork) -> BooleanNetwork:
+    """Return a copy of the network with every gate fanin at most two."""
+    out = BooleanNetwork(network.name)
+    for name in network.topological_order():
+        node = network.node(name)
+        if node.op == "input":
+            out.add_input(name)
+        elif node.is_gate:
+            _decompose_gate(out, name, node.op, list(node.fanins))
+        else:
+            out.add_const(name, node.op == "const1")
+    for port, sig in network.outputs.items():
+        out.set_output(port, sig)
+    out.validate()
+    return out

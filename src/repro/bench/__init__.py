@@ -1,0 +1,53 @@
+"""Workloads: the paper's example network and MCNC-89 stand-in circuits.
+
+The MCNC-89 logic-synthesis benchmarks the paper maps are not
+redistributable here, so :mod:`repro.bench.mcnc` generates deterministic
+synthetic circuits matching each benchmark's published interface (primary
+input/output counts) and the structural texture of MIS-optimized
+networks (fanin distribution, multi-level trees, fanout structure).  The
+comparison the paper reports is *relative* — Chortle vs MIS on the same
+input — so the substitution preserves the measured effect; see DESIGN.md.
+"""
+
+from repro.bench.arith import (
+    carry_lookahead_adder,
+    popcount,
+    shift_add_multiplier,
+)
+from repro.bench.circuits import (
+    alu_slice,
+    barrel_shifter,
+    comparator,
+    decoder,
+    figure1_network,
+    full_adder,
+    majority,
+    mux_tree,
+    parity_tree,
+    ripple_adder,
+    wide_and,
+)
+from repro.bench.generator import GeneratorConfig, random_network
+from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit, mcnc_suite
+
+__all__ = [
+    "figure1_network",
+    "full_adder",
+    "ripple_adder",
+    "parity_tree",
+    "majority",
+    "mux_tree",
+    "wide_and",
+    "decoder",
+    "comparator",
+    "barrel_shifter",
+    "alu_slice",
+    "carry_lookahead_adder",
+    "shift_add_multiplier",
+    "popcount",
+    "GeneratorConfig",
+    "random_network",
+    "MCNC_PROFILES",
+    "mcnc_circuit",
+    "mcnc_suite",
+]

@@ -1,0 +1,138 @@
+"""Arithmetic circuit generators: structured (non-random) workloads.
+
+Real arithmetic is the classic stress test for LUT mappers — XOR-rich,
+reconvergent, and deeply structured, i.e. everything the synthetic
+generator's fanout-free texture is not.  These builders complement the
+MCNC stand-ins with fully *deterministic by construction* netlists whose
+functions are verified bit-for-bit in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.builder import NetworkBuilder
+from repro.network.network import BooleanNetwork, Signal
+
+
+def carry_lookahead_adder(width: int = 8, group: int = 4) -> BooleanNetwork:
+    """A group-carry-lookahead adder (generate/propagate trees)."""
+    b = NetworkBuilder("cla%d" % width)
+    a_bits = [b.input("a%d" % i) for i in range(width)]
+    b_bits = [b.input("b%d" % i) for i in range(width)]
+    cin = b.input("cin")
+
+    g = [b.and_(a_bits[i], b_bits[i], name="g%d" % i) for i in range(width)]
+    p = [b.xor_(a_bits[i], b_bits[i], name="p%d" % i) for i in range(width)]
+
+    carries: List[Signal] = [cin]
+    for i in range(width):
+        # c[i+1] = g[i] + p[i]&g[i-1] + ... + p[i..0]&cin (lookahead form)
+        terms: List[Signal] = [g[i]]
+        for j in range(i - 1, -1, -1):
+            lits = [p[x] for x in range(j + 1, i + 1)] + [g[j]]
+            terms.append(b.and_(*lits, name="t%d_%d" % (i, j)))
+        terms.append(
+            b.and_(*(p[x] for x in range(i + 1)), carries[0], name="t%d_c" % i)
+        )
+        carries.append(b.or_(*terms, name="c%d" % (i + 1)))
+
+    for i in range(width):
+        b.output("sum%d" % i, b.xor_(p[i], carries[i], name="s%d" % i))
+    b.output("cout", carries[width])
+    return b.network()
+
+
+def _ripple_add(b: NetworkBuilder, xs: List, ys: List, tag: str):
+    """Helper: ripple-add two equal-length signal vectors; returns sum+cout."""
+    out: List[Signal] = []
+    carry: Signal = None
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        if x is None and y is None:
+            out.append(None)
+            continue
+        if x is None or y is None:
+            lone = x if y is None else y
+            if carry is None:
+                out.append(lone)
+            else:
+                out.append(b.xor_(lone, carry, name="%s_s%d" % (tag, i)))
+                carry = b.and_(lone, carry, name="%s_c%d" % (tag, i))
+            continue
+        axy = b.xor_(x, y, name="%s_x%d" % (tag, i))
+        if carry is None:
+            out.append(axy)
+            carry = b.and_(x, y, name="%s_c%d" % (tag, i))
+        else:
+            out.append(b.xor_(axy, carry, name="%s_s%d" % (tag, i)))
+            carry = b.or_(
+                b.and_(x, y, name="%s_g%d" % (tag, i)),
+                b.and_(axy, carry, name="%s_p%d" % (tag, i)),
+                name="%s_c%d" % (tag, i),
+            )
+    return out, carry
+
+
+def shift_add_multiplier(width: int = 4) -> BooleanNetwork:
+    """A shift-and-add multiplier: width rows of gated ripple adders."""
+    b = NetworkBuilder("mult%d" % width)
+    a_bits = [b.input("a%d" % i) for i in range(width)]
+    b_bits = [b.input("b%d" % i) for i in range(width)]
+
+    total_bits = 2 * width
+    acc: List[Signal] = [None] * total_bits
+    for j in range(width):
+        row: List[Signal] = [None] * total_bits
+        for i in range(width):
+            row[i + j] = b.and_(a_bits[i], b_bits[j], name="pp%d_%d" % (i, j))
+        if all(s is None for s in acc):
+            acc = row
+            continue
+        summed, carry = _ripple_add(b, acc, row, tag="r%d" % j)
+        if carry is not None:
+            # Propagate the carry into the next free position.
+            top = j + width
+            if top < total_bits:
+                if summed[top] is None:
+                    summed[top] = carry
+                else:  # pragma: no cover - construction keeps this free
+                    raise AssertionError("carry collision")
+        acc = summed
+    for i in range(total_bits):
+        if acc[i] is not None:
+            b.output("p%d" % i, acc[i])
+    return b.network()
+
+
+def popcount(width: int = 8) -> BooleanNetwork:
+    """Population count via a tree of small adders."""
+    import math
+
+    b = NetworkBuilder("popcount%d" % width)
+    bits = [[b.input("x%d" % i)] for i in range(width)]
+
+    counter = [0]
+
+    def add_vectors(xs: List, ys: List) -> List:
+        counter[0] += 1
+        out, carry = _ripple_add(
+            b,
+            xs + [None] * max(0, len(ys) - len(xs)),
+            ys + [None] * max(0, len(xs) - len(ys)),
+            tag="v%d" % counter[0],
+        )
+        if carry is not None:
+            out = out + [carry]
+        return [s for s in out]
+
+    while len(bits) > 1:
+        nxt = []
+        for i in range(0, len(bits) - 1, 2):
+            nxt.append(add_vectors(bits[i], bits[i + 1]))
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    for i, sig in enumerate(bits[0]):
+        if sig is not None:
+            b.output("n%d" % i, sig)
+    return b.network()

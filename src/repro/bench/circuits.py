@@ -1,0 +1,213 @@
+"""Hand-written example circuits, including the paper's Figure 1 network."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.builder import NetworkBuilder
+from repro.network.network import BooleanNetwork, Signal
+
+
+def figure1_network() -> BooleanNetwork:
+    """The boolean network of the paper's Figure 1.
+
+    Five inputs ``a..e``; an AND feeding an OR (with an inverted ``c``
+    edge), a three-input AND, and an OR collecting both; two outputs so
+    the internal node exhibits fanout, as in Figure 3's forest example.
+    """
+    b = NetworkBuilder("fig1")
+    a, bb, c, d, e = b.inputs("a", "b", "c", "d", "e")
+    g1 = b.and_(a, bb, name="g1")
+    g2 = b.or_(g1, ~c, name="g2")
+    g3 = b.and_(c, d, e, name="g3")
+    g4 = b.or_(g2, g3, name="g4")
+    b.output("z", g4)
+    b.output("y", g2)
+    return b.network()
+
+
+def full_adder(prefix: str = "fa", builder: NetworkBuilder = None) -> BooleanNetwork:
+    """A one-bit full adder (sum and carry) over inputs a, b, cin."""
+    own = builder is None
+    b = builder or NetworkBuilder("full_adder")
+    a, bb, cin = b.inputs(prefix + "_a", prefix + "_b", prefix + "_cin")
+    axb = b.xor_(a, bb, name=prefix + "_axb")
+    s = b.xor_(axb, cin, name=prefix + "_sum")
+    carry = b.or_(
+        b.and_(a, bb, name=prefix + "_ab"),
+        b.and_(axb, cin, name=prefix + "_pc"),
+        name=prefix + "_cout",
+    )
+    b.output(prefix + "_s", s)
+    b.output(prefix + "_co", carry)
+    return b.network() if own else None
+
+
+def ripple_adder(width: int = 8) -> BooleanNetwork:
+    """A ripple-carry adder: the classic deep-tree mapping workload."""
+    b = NetworkBuilder("ripple%d" % width)
+    carry: Signal = None
+    for i in range(width):
+        a = b.input("a%d" % i)
+        bb = b.input("b%d" % i)
+        axb = b.xor_(a, bb, name="p%d" % i)
+        if carry is None:
+            s = axb
+            carry = b.and_(a, bb, name="c%d" % i)
+        else:
+            s = b.xor_(axb, carry, name="s%d" % i)
+            carry = b.or_(
+                b.and_(a, bb, name="g%d" % i),
+                b.and_(axb, carry, name="t%d" % i),
+                name="c%d" % i,
+            )
+        b.output("sum%d" % i, s)
+    b.output("cout", carry)
+    return b.network()
+
+
+def parity_tree(width: int = 8) -> BooleanNetwork:
+    """XOR parity over ``width`` inputs, built as a balanced tree."""
+    b = NetworkBuilder("parity%d" % width)
+    level: List[Signal] = [b.input("x%d" % i) for i in range(width)]
+    stage = 0
+    while len(level) > 1:
+        nxt: List[Signal] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(b.xor_(level[i], level[i + 1], name="p%d_%d" % (stage, i)))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        stage += 1
+    b.output("parity", level[0])
+    return b.network()
+
+
+def majority(width: int = 5) -> BooleanNetwork:
+    """Majority-of-width function as an OR of all majority-sized ANDs."""
+    import itertools
+
+    b = NetworkBuilder("maj%d" % width)
+    xs = [b.input("x%d" % i) for i in range(width)]
+    need = width // 2 + 1
+    terms = []
+    for idx, combo in enumerate(itertools.combinations(range(width), need)):
+        terms.append(b.and_(*[xs[i] for i in combo], name="t%d" % idx))
+    b.output("maj", b.or_(*terms, name="m"))
+    return b.network()
+
+
+def mux_tree(select_bits: int = 3) -> BooleanNetwork:
+    """A 2**n-to-1 multiplexer tree: reconvergent select fanout."""
+    b = NetworkBuilder("mux%d" % select_bits)
+    sels = [b.input("s%d" % i) for i in range(select_bits)]
+    level: List[Signal] = [
+        b.input("d%d" % i) for i in range(1 << select_bits)
+    ]
+    for stage, sel in enumerate(sels):
+        nxt: List[Signal] = []
+        for i in range(0, len(level), 2):
+            lo = b.and_(~sel, level[i], name="m%d_%d_l" % (stage, i))
+            hi = b.and_(sel, level[i + 1], name="m%d_%d_h" % (stage, i))
+            nxt.append(b.or_(lo, hi, name="m%d_%d" % (stage, i)))
+        level = nxt
+    b.output("y", level[0])
+    return b.network()
+
+
+def wide_and(width: int = 16) -> BooleanNetwork:
+    """A single wide AND gate: exercises decomposition and node splitting."""
+    b = NetworkBuilder("wide_and%d" % width)
+    xs = [b.input("x%d" % i) for i in range(width)]
+    b.output("y", b.and_(*xs, name="w"))
+    return b.network()
+
+
+def decoder(select_bits: int = 3) -> BooleanNetwork:
+    """An n-to-2^n one-hot decoder: very high select fanout."""
+    b = NetworkBuilder("dec%d" % select_bits)
+    sels = [b.input("s%d" % i) for i in range(select_bits)]
+    for code in range(1 << select_bits):
+        literals = [
+            sels[i] if (code >> i) & 1 else ~sels[i]
+            for i in range(select_bits)
+        ]
+        b.output("o%d" % code, b.and_(*literals, name="d%d" % code))
+    return b.network()
+
+
+def comparator(width: int = 4) -> BooleanNetwork:
+    """An equality + greater-than comparator over two width-bit words."""
+    b = NetworkBuilder("cmp%d" % width)
+    a_bits = [b.input("a%d" % i) for i in range(width)]
+    b_bits = [b.input("b%d" % i) for i in range(width)]
+    eq_bits: List[Signal] = []
+    for i in range(width):
+        eq_bits.append(~b.xor_(a_bits[i], b_bits[i], name="x%d" % i))
+    b.output("eq", b.and_(*eq_bits, name="eq_all"))
+    # gt: first (from the top) position where a=1, b=0 with equality above.
+    terms: List[Signal] = []
+    for i in reversed(range(width)):
+        lits = [a_bits[i], ~b_bits[i]]
+        lits.extend(eq_bits[j] for j in range(i + 1, width))
+        terms.append(b.and_(*lits, name="g%d" % i))
+    b.output("gt", b.or_(*terms, name="gt_any"))
+    return b.network()
+
+
+def barrel_shifter(width: int = 8) -> BooleanNetwork:
+    """A logarithmic left barrel shifter (zero fill): layered MUX stages."""
+    import math
+
+    b = NetworkBuilder("bshift%d" % width)
+    stages = max(1, int(math.log2(width)))
+    sels = [b.input("s%d" % i) for i in range(stages)]
+    level: List[Signal] = [b.input("d%d" % i) for i in range(width)]
+    zero_needed = [False]
+    zero_sig: List[Signal] = []
+
+    def zero() -> Signal:
+        if not zero_sig:
+            # A structural constant-0: d0 & ~d0 would be swept; use an
+            # explicit extra input tied by convention instead.
+            zero_sig.append(b.input("zero"))
+        return zero_sig[0]
+
+    for stage, sel in enumerate(sels):
+        shift = 1 << stage
+        nxt: List[Signal] = []
+        for i in range(width):
+            shifted = level[i - shift] if i - shift >= 0 else zero()
+            keep = b.and_(~sel, level[i], name="k%d_%d" % (stage, i))
+            move = b.and_(sel, shifted, name="m%d_%d" % (stage, i))
+            nxt.append(b.or_(keep, move, name="r%d_%d" % (stage, i)))
+        level = nxt
+    for i, sig in enumerate(level):
+        b.output("q%d" % i, sig)
+    return b.network()
+
+
+def alu_slice() -> BooleanNetwork:
+    """A 1-bit ALU slice: AND/OR/XOR/ADD selected by two opcode bits."""
+    b = NetworkBuilder("alu_slice")
+    a, bb, cin, op0, op1 = b.inputs("a", "b", "cin", "op0", "op1")
+    f_and = b.and_(a, bb, name="f_and")
+    f_or = b.or_(a, bb, name="f_or")
+    f_xor = b.xor_(a, bb, name="f_xor")
+    f_sum = b.xor_(f_xor, cin, name="f_sum")
+    cout = b.or_(
+        b.and_(a, bb, name="c_ab"),
+        b.and_(f_xor, cin, name="c_pc"),
+        name="cout_or",
+    )
+    # 4-to-1 result mux on (op1, op0).
+    result = b.or_(
+        b.and_(~op1, ~op0, f_and, name="sel_and"),
+        b.and_(~op1, op0, f_or, name="sel_or"),
+        b.and_(op1, ~op0, f_xor, name="sel_xor"),
+        b.and_(op1, op0, f_sum, name="sel_sum"),
+        name="result",
+    )
+    b.output("y", result)
+    b.output("cout", cout)
+    return b.network()

@@ -1,0 +1,134 @@
+"""Deterministic random boolean-network generation.
+
+The generator produces networks with the structural texture of
+MIS-optimized multi-level logic: mostly 2-4 input AND/OR gates with an
+occasional wide gate, alternating-op tendency (factored forms alternate
+AND and OR levels), a controllable inverted-edge rate, and sink-driven
+output selection.  Crucially, fanout is *concentrated*: most gate outputs
+are consumed exactly once (fresh picks), while reuse is steered to
+primary inputs and a small set of hub signals — matching the large
+fanout-free regions of MIS-optimized netlists that Chortle's forest
+partition feeds on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.network.network import AND, OR, BooleanNetwork, Signal
+from repro.network.transform import sweep
+
+DEFAULT_FANIN_WEIGHTS: Tuple[Tuple[int, float], ...] = (
+    (2, 0.42),
+    (3, 0.26),
+    (4, 0.16),
+    (5, 0.08),
+    (6, 0.04),
+    (8, 0.03),
+    (12, 0.01),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the synthetic-network generator."""
+
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    seed: int = 0
+    fanin_weights: Tuple[Tuple[int, float], ...] = DEFAULT_FANIN_WEIGHTS
+    invert_prob: float = 0.15
+    alternate_prob: float = 0.7  # chance to pick the op opposite the fanins'
+    fresh_prob: float = 0.9  # chance to consume a not-yet-used gate output,
+    # which yields the large fanout-free regions MIS-optimized networks have
+    pi_reuse_bias: float = 0.6  # reused edges drawn from primary inputs...
+    hub_bias: float = 0.75  # ...or from already-shared "hub" gates, so
+    # fanout concentrates on a few signals instead of spreading everywhere
+
+
+def _pick_fanin_count(rng: random.Random, weights) -> int:
+    total = sum(w for _, w in weights)
+    roll = rng.random() * total
+    for value, weight in weights:
+        roll -= weight
+        if roll <= 0:
+            return value
+    return weights[-1][0]
+
+
+def random_network(config: GeneratorConfig) -> BooleanNetwork:
+    """Generate, sweep, and return a deterministic random network."""
+    rng = random.Random(config.seed)
+    net = BooleanNetwork("synth_s%d" % config.seed)
+    signals: List[str] = []
+    ops: Dict[str, str] = {}
+    for i in range(config.num_inputs):
+        name = "pi%d" % i
+        net.add_input(name)
+        signals.append(name)
+        ops[name] = "input"
+
+    inputs = list(signals)
+    unused: List[str] = []
+    hubs: List[str] = []
+    for g in range(config.num_gates):
+        fanin_count = min(_pick_fanin_count(rng, config.fanin_weights), len(signals))
+        fanin_count = max(fanin_count, 2)
+        chosen: List[str] = []
+        attempts = 0
+        while len(chosen) < fanin_count:
+            attempts += 1
+            if unused and rng.random() < config.fresh_prob:
+                src = unused[rng.randrange(len(unused))]
+            elif rng.random() < config.pi_reuse_bias:
+                src = inputs[rng.randrange(len(inputs))]
+            elif hubs and rng.random() < config.hub_bias:
+                src = hubs[rng.randrange(len(hubs))]
+            else:
+                # Promote a random existing gate signal to shared (hub) use.
+                src = signals[rng.randrange(len(signals))]
+                if ops[src] in (AND, OR) and src not in hubs:
+                    hubs.append(src)
+            if src not in chosen:
+                chosen.append(src)
+            elif attempts > 20 * fanin_count:
+                break
+        unused = [u for u in unused if u not in chosen]
+        fanins = [
+            Signal(src, rng.random() < config.invert_prob) for src in chosen
+        ]
+        child_ops = [ops[src] for src in chosen if ops[src] in (AND, OR)]
+        if child_ops and rng.random() < config.alternate_prob:
+            majority_op = AND if child_ops.count(AND) >= child_ops.count(OR) else OR
+            op = OR if majority_op == AND else AND
+        else:
+            op = rng.choice((AND, OR))
+        name = "n%d" % g
+        net.add_gate(name, op, fanins)
+        signals.append(name)
+        unused.append(name)
+        ops[name] = op
+
+    _assign_outputs(net, rng, config.num_outputs)
+    return sweep(net)
+
+
+def _assign_outputs(net: BooleanNetwork, rng: random.Random, num_outputs: int) -> None:
+    fanouts = net.fanout_counts()
+    sinks = [n.name for n in net.gates() if fanouts[n.name] == 0]
+    gates = [n.name for n in net.gates()]
+    if not gates:
+        raise ValueError("generated network has no gates")
+    chosen: List[str]
+    if len(sinks) >= num_outputs:
+        chosen = sinks[:num_outputs]
+    else:
+        chosen = list(sinks)
+        pool = [g for g in gates if g not in set(chosen)]
+        rng.shuffle(pool)
+        chosen.extend(pool[: num_outputs - len(chosen)])
+    for i, name in enumerate(chosen):
+        net.set_output("po%d" % i, Signal(name))

@@ -1,0 +1,98 @@
+"""Synthetic stand-ins for the MCNC-89 circuits the paper maps.
+
+Each profile carries the *published interface* of the real benchmark
+(primary input and output counts) and a gate budget approximating the
+MIS-optimized network size; the generator then produces a deterministic
+circuit with that interface and MIS-like multi-level texture.  See
+DESIGN.md for why this substitution preserves the paper's (relative)
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.generator import GeneratorConfig, random_network
+from repro.network.network import BooleanNetwork
+
+
+@dataclass(frozen=True)
+class McncProfile:
+    """Interface and size profile of one MCNC-89 benchmark."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    seed: int
+
+
+# Input/output counts are the real benchmarks' published interfaces;
+# gate budgets approximate the optimized-network sizes the paper mapped.
+MCNC_PROFILES: Dict[str, McncProfile] = {
+    p.name: p
+    for p in [
+        McncProfile("9symml", 9, 1, 170, seed=0x9511),
+        McncProfile("alu2", 10, 6, 280, seed=0xA122),
+        McncProfile("alu4", 14, 8, 540, seed=0xA144),
+        McncProfile("apex6", 135, 99, 560, seed=0xAE6),
+        McncProfile("apex7", 49, 37, 190, seed=0xAE7),
+        McncProfile("count", 35, 16, 120, seed=0xC0),
+        McncProfile("des", 256, 245, 2100, seed=0xDE5),
+        McncProfile("frg1", 28, 3, 120, seed=0xF61),
+        McncProfile("frg2", 143, 139, 620, seed=0xF62),
+        McncProfile("k2", 45, 45, 800, seed=0xB2),
+        McncProfile("pair", 173, 137, 1100, seed=0x9A12),
+        McncProfile("rot", 135, 107, 500, seed=0x207),
+        # Additional classic circuits beyond the paper's table (useful for
+        # wider sweeps; interfaces follow the published netlists).
+        McncProfile("c432", 36, 7, 180, seed=0x432),
+        McncProfile("c880", 60, 26, 360, seed=0x880),
+        McncProfile("c1355", 41, 32, 520, seed=0x1355),
+        McncProfile("dalu", 75, 16, 900, seed=0xDA1),
+        McncProfile("i10", 257, 224, 1800, seed=0x110),
+        McncProfile("t481", 16, 1, 650, seed=0x481),
+    ]
+}
+
+# The circuits that appear in the paper's Tables 1-4.
+TABLE_CIRCUITS: Tuple[str, ...] = (
+    "9symml",
+    "alu2",
+    "alu4",
+    "apex6",
+    "apex7",
+    "count",
+    "des",
+    "frg1",
+    "frg2",
+    "k2",
+    "pair",
+    "rot",
+)
+
+
+def mcnc_circuit(name: str) -> BooleanNetwork:
+    """Generate the synthetic stand-in for one MCNC benchmark."""
+    try:
+        profile = MCNC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown MCNC profile %r; available: %s"
+            % (name, ", ".join(sorted(MCNC_PROFILES)))
+        ) from None
+    config = GeneratorConfig(
+        num_inputs=profile.num_inputs,
+        num_outputs=profile.num_outputs,
+        num_gates=profile.num_gates,
+        seed=profile.seed,
+    )
+    net = random_network(config)
+    net.name = profile.name
+    return net
+
+
+def mcnc_suite(names: Tuple[str, ...] = TABLE_CIRCUITS) -> List[BooleanNetwork]:
+    """Generate the whole table suite, in the paper's order."""
+    return [mcnc_circuit(name) for name in names]

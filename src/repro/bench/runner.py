@@ -1,0 +1,129 @@
+"""Programmatic experiment runner: suite sweeps with exportable results.
+
+Runs a set of circuits through a set of mappers at a set of K values and
+collects :class:`~repro.report.MappingReport` objects, exportable as
+JSON or CSV for regression tracking — the machine-readable counterpart
+of the pytest benchmark harness.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.baseline.mis_mapper import MisMapper
+from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
+from repro.core.chortle import ChortleMapper
+from repro.extensions.binpack import BinPackMapper
+from repro.extensions.flowmap import FlowMapper
+from repro.extensions.pareto import DepthBoundedMapper
+from repro.network.network import BooleanNetwork
+from repro.report import MappingReport, build_report
+from repro.verify import verify_equivalence
+
+MAPPER_FACTORIES: Dict[str, Callable[[int], object]] = {
+    "chortle": lambda k: ChortleMapper(k=k),
+    "mis": lambda k: MisMapper(k=k),
+    "flowmap": lambda k: FlowMapper(k=k),
+    "binpack": lambda k: BinPackMapper(k=k),
+    "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
+}
+
+_CSV_FIELDS = [
+    "circuit_name",
+    "k",
+    "mapper",
+    "num_inputs",
+    "num_outputs",
+    "source_gates",
+    "luts",
+    "luts_total",
+    "depth",
+    "seconds",
+]
+
+
+@dataclass
+class SuiteResult:
+    """All reports from one sweep, with export helpers."""
+
+    reports: List[MappingReport] = field(default_factory=list)
+
+    def filter(self, **criteria) -> List[MappingReport]:
+        out = []
+        for report in self.reports:
+            if all(getattr(report, key) == val for key, val in criteria.items()):
+                out.append(report)
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            [r.to_dict() for r in self.reports], indent=indent, sort_keys=True
+        )
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for report in self.reports:
+            row = {key: getattr(report, key) for key in _CSV_FIELDS}
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def comparison(self, k: int, baseline: str, challenger: str) -> Dict[str, float]:
+        """Per-circuit % improvement of challenger over baseline LUTs."""
+        gains: Dict[str, float] = {}
+        base = {r.circuit_name: r for r in self.filter(k=k, mapper=baseline)}
+        for report in self.filter(k=k, mapper=challenger):
+            ref = base.get(report.circuit_name)
+            if ref is None or ref.luts == 0:
+                continue
+            gains[report.circuit_name] = 100.0 * (ref.luts - report.luts) / ref.luts
+        return gains
+
+
+def run_suite(
+    circuits: Optional[Sequence] = None,
+    mappers: Sequence[str] = ("chortle", "mis"),
+    ks: Sequence[int] = (2, 3, 4, 5),
+    verify: bool = False,
+) -> SuiteResult:
+    """Sweep circuits x mappers x K and return the collected reports.
+
+    ``circuits`` may contain MCNC profile names or BooleanNetwork objects;
+    default is the full 12-circuit table suite.
+    """
+    if circuits is None:
+        circuits = TABLE_CIRCUITS
+    networks: List[BooleanNetwork] = []
+    for entry in circuits:
+        if isinstance(entry, BooleanNetwork):
+            networks.append(entry)
+        else:
+            networks.append(mcnc_circuit(str(entry)))
+
+    result = SuiteResult()
+    for net in networks:
+        for k in ks:
+            for mapper_name in mappers:
+                factory = MAPPER_FACTORIES[mapper_name]
+                mapper = factory(k)
+                start = time.perf_counter()
+                circuit = mapper.map(net)
+                seconds = time.perf_counter() - start
+                if verify:
+                    verify_equivalence(net, circuit, vectors=256)
+                result.reports.append(
+                    build_report(
+                        net,
+                        circuit,
+                        k,
+                        mapper=mapper_name,
+                        seconds=round(seconds, 4),
+                    )
+                )
+    return result

@@ -1,0 +1,31 @@
+"""BLIF reading and writing.
+
+The MCNC-89 benchmarks the paper maps are distributed in Berkeley Logic
+Interchange Format.  This package parses combinational BLIF models into
+:class:`~repro.network.BooleanNetwork` objects (converting each ``.names``
+sum-of-products table into AND/OR nodes with polarity-labelled edges) and
+writes both networks and mapped LUT circuits back out as BLIF.
+"""
+
+from repro.blif.sop import SopCover
+from repro.blif.parser import BlifModel, parse_blif, parse_blif_file
+from repro.blif.convert import blif_to_network, network_to_blif_model
+from repro.blif.writer import (
+    write_lut_circuit,
+    write_lut_circuit_file,
+    write_network,
+    write_network_file,
+)
+
+__all__ = [
+    "SopCover",
+    "BlifModel",
+    "parse_blif",
+    "parse_blif_file",
+    "blif_to_network",
+    "network_to_blif_model",
+    "write_network",
+    "write_network_file",
+    "write_lut_circuit",
+    "write_lut_circuit_file",
+]

@@ -1,0 +1,125 @@
+"""Conversion between BLIF models and AND/OR boolean networks.
+
+Each ``.names`` table becomes a two-level AND/OR structure: one AND node
+per multi-literal cube and an OR node collecting the cubes, with cube
+polarities carried on edge labels.  Off-set (phase 0) covers and single
+literal covers become inverting/buffering single-fanin gates that the
+standard :func:`~repro.network.sweep` pass folds into edge polarities.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import BlifError
+from repro.blif.parser import BlifModel
+from repro.blif.sop import SopCover
+from repro.network.network import AND, CONST0, CONST1, INPUT, OR, BooleanNetwork, Signal
+
+
+def _cube_literals(cover: SopCover, cube: str) -> List[Signal]:
+    literals = []
+    for name, ch in zip(cover.inputs, cube):
+        if ch == "-":
+            continue
+        literals.append(Signal(name, ch == "0"))
+    return literals
+
+
+def _build_table(net: BooleanNetwork, cover: SopCover) -> None:
+    """Add nodes computing ``cover`` with output node named cover.output."""
+    out_name = cover.output
+    if cover.is_constant():
+        net.add_const(out_name, bool(cover.constant_value()))
+        return
+
+    cube_signals: List[Signal] = []
+    for idx, cube in enumerate(cover.cubes):
+        literals = _cube_literals(cover, cube)
+        if len(literals) == 1:
+            cube_signals.append(literals[0])
+        else:
+            name = net.fresh_name("%s_c%d" % (out_name, idx))
+            net.add_gate(name, AND, literals)
+            cube_signals.append(Signal(name))
+
+    invert = cover.phase == 0
+    if len(cube_signals) == 1:
+        sig = cube_signals[0]
+        # Single-fanin gate preserving the table's output name; swept later.
+        net.add_gate(out_name, AND, [Signal(sig.name, sig.inv != invert)])
+    else:
+        if invert:
+            inner = net.fresh_name(out_name + "_pos")
+            net.add_gate(inner, OR, cube_signals)
+            net.add_gate(out_name, AND, [Signal(inner, True)])
+        else:
+            net.add_gate(out_name, OR, cube_signals)
+
+
+def blif_to_network(model: BlifModel) -> BooleanNetwork:
+    """Build an AND/OR network computing the model's outputs."""
+    net = BooleanNetwork(model.name)
+    for name in model.inputs:
+        net.add_input(name)
+    # Tables may appear in any order in BLIF; emit in dependency order.
+    remaining = {t.output: t for t in model.tables}
+    defined = set(model.inputs)
+    progress = True
+    while remaining and progress:
+        progress = False
+        for output in list(remaining):
+            table = remaining[output]
+            if all(i in defined for i in table.inputs):
+                _build_table(net, table)
+                defined.add(output)
+                del remaining[output]
+                progress = True
+    if remaining:
+        raise BlifError(
+            "cyclic or dangling table definitions: %s" % ", ".join(sorted(remaining))
+        )
+    for out in model.outputs:
+        net.set_output(out, Signal(out))
+    net.validate()
+    return net
+
+
+def network_to_blif_model(net: BooleanNetwork) -> BlifModel:
+    """Express an AND/OR network as a BLIF model (one table per gate)."""
+    model = BlifModel(net.name)
+    model.inputs = list(net.inputs)
+    aliases = {}  # output ports needing a buffer table
+    for node in net.nodes():
+        if node.op == INPUT:
+            continue
+        if node.op in (CONST0, CONST1):
+            model.tables.append(
+                SopCover.constant(node.name, 1 if node.op == CONST1 else 0)
+            )
+            continue
+        names = [s.name for s in node.fanins]
+        if node.op == AND:
+            cube = "".join("0" if s.inv else "1" for s in node.fanins)
+            model.tables.append(SopCover(names, node.name, (cube,), phase=1))
+        else:
+            cubes = []
+            for j, s in enumerate(node.fanins):
+                cube = ["-"] * len(names)
+                cube[j] = "0" if s.inv else "1"
+                cubes.append("".join(cube))
+            model.tables.append(SopCover(names, node.name, tuple(cubes), phase=1))
+    existing = {t.output for t in model.tables} | set(model.inputs)
+    for port, sig in net.outputs.items():
+        if port == sig.name and not sig.inv:
+            model.outputs.append(port)
+            continue
+        # The port needs its own signal: add a buffer/inverter table.
+        buf_name = port if port not in existing else port + "_out"
+        cube = "0" if sig.inv else "1"
+        model.tables.append(SopCover((sig.name,), buf_name, (cube,), phase=1))
+        existing.add(buf_name)
+        model.outputs.append(buf_name)
+        aliases[port] = buf_name
+    model.validate()
+    return model

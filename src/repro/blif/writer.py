@@ -1,0 +1,84 @@
+"""BLIF emission for networks and mapped LUT circuits."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blif.convert import network_to_blif_model
+from repro.blif.parser import BlifModel
+from repro.core.lut import LUTCircuit
+from repro.network.network import BooleanNetwork
+
+
+def _model_to_text(model: BlifModel) -> str:
+    lines: List[str] = [".model %s" % model.name]
+    if model.inputs:
+        lines.append(".inputs %s" % " ".join(model.inputs))
+    if model.outputs:
+        lines.append(".outputs %s" % " ".join(model.outputs))
+    for table in model.tables:
+        header = ".names %s" % " ".join(list(table.inputs) + [table.output])
+        lines.append(header)
+        out_ch = str(table.phase)
+        for cube in table.cubes:
+            lines.append(("%s %s" % (cube, out_ch)) if cube else out_ch)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_network(net: BooleanNetwork) -> str:
+    """Serialize an AND/OR network as BLIF text."""
+    return _model_to_text(network_to_blif_model(net))
+
+
+def write_network_file(net: BooleanNetwork, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_network(net))
+
+
+def write_lut_circuit(circuit: LUTCircuit) -> str:
+    """Serialize a LUT circuit as BLIF: one ``.names`` table per LUT."""
+    lines: List[str] = [".model %s" % circuit.name]
+    if circuit.inputs:
+        lines.append(".inputs %s" % " ".join(circuit.inputs))
+    outputs = circuit.outputs
+    port_lines: List[str] = []
+    emitted = set(circuit.inputs)
+    body: List[str] = []
+    for name in circuit.topological_order():
+        lut = circuit.lut(name)
+        body.append(".names %s" % " ".join(list(lut.inputs) + [name]))
+        minterms = list(lut.tt.minterms())
+        if not lut.inputs:
+            if minterms:
+                body.append("1")
+            # constant 0: empty cover
+        else:
+            for m in minterms:
+                cube = "".join(
+                    "1" if (m >> j) & 1 else "0" for j in range(len(lut.inputs))
+                )
+                body.append("%s 1" % cube)
+        emitted.add(name)
+    # Output ports whose name differs from their driving signal need buffers.
+    out_names: List[str] = []
+    for port, sig in outputs.items():
+        if port == sig:
+            out_names.append(port)
+        else:
+            buf = port if port not in emitted else port + "_out"
+            port_lines.append(".names %s %s" % (sig, buf))
+            port_lines.append("1 1")
+            emitted.add(buf)
+            out_names.append(buf)
+    if out_names:
+        lines.append(".outputs %s" % " ".join(out_names))
+    lines.extend(body)
+    lines.extend(port_lines)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_lut_circuit_file(circuit: LUTCircuit, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_lut_circuit(circuit))

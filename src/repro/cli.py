@@ -1,0 +1,300 @@
+"""Command-line interface.
+
+Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
+
+    chortle map in.blif -k 4 -o out.blif          # Chortle mapping
+    chortle map in.blif -k 4 --mapper mis         # MIS-style baseline
+    chortle map in.blif -k 4 --mapper flowmap     # depth-optimal mapping
+    chortle map in.blif -k 4 --mapper binpack     # fast bin-packing mapper
+    chortle stats in.blif                         # network statistics
+    chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
+    chortle verify in.blif mapped.blif            # equivalence check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.blif import (
+    blif_to_network,
+    parse_blif_file,
+    write_lut_circuit,
+    write_network,
+)
+from repro.baseline import MisMapper
+from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit
+from repro.core import ChortleMapper
+from repro.errors import ReproError
+from repro.extensions import BinPackMapper, DepthBoundedMapper, FlowMapper
+from repro.network import network_stats
+from repro.network.simulate import exhaustive_input_words, simulate
+from repro.opt import factored_network_from_blif
+from repro.verify import verify_equivalence
+
+
+def _load_network(path: str, factor: bool, minimize: bool = False):
+    model = parse_blif_file(path)
+    if factor or minimize:
+        return factored_network_from_blif(model, minimize=minimize)
+    return blif_to_network(model)
+
+
+class _Pipeline:
+    """Adapter exposing the composed flows through the mapper interface."""
+
+    def __init__(self, k: int, delay: bool):
+        self._k = k
+        self._delay = delay
+
+    def map(self, net):
+        from repro.pipeline import map_area, map_delay
+
+        if self._delay:
+            return map_delay(net, k=self._k, slack=0)
+        return map_area(net, k=self._k)
+
+
+_MAPPERS = {
+    "chortle": lambda k: ChortleMapper(k=k),
+    "area": lambda k: _Pipeline(k, delay=False),
+    "delay": lambda k: _Pipeline(k, delay=True),
+    "mis": lambda k: MisMapper(k=k),
+    "flowmap": lambda k: FlowMapper(k=k),
+    "binpack": lambda k: BinPackMapper(k=k),
+    "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
+}
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
+    mapper = _MAPPERS[args.mapper](args.k)
+    start = time.perf_counter()
+    circuit = mapper.map(net)
+    elapsed = time.perf_counter() - start
+    if args.verify:
+        vectors = verify_equivalence(net, circuit)
+        print(
+            "verified against %d input vectors" % vectors, file=sys.stderr
+        )
+    text = write_lut_circuit(circuit)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    if args.verilog:
+        from repro.verilog import write_verilog_file
+
+        write_verilog_file(circuit, args.verilog)
+    if args.report or args.json_report:
+        from repro.report import build_report
+
+        report = build_report(
+            net,
+            circuit,
+            args.k,
+            mapper=args.mapper,
+            seconds=elapsed,
+            pack_blocks=args.clb,
+        )
+        print(
+            report.to_json() if args.json_report else report.to_text(),
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "%s: %d LUTs (K=%d, %d counting inverters), depth %d, %.3fs"
+            % (
+                args.mapper,
+                circuit.cost,
+                args.k,
+                circuit.num_luts,
+                circuit.depth(),
+                elapsed,
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Timing and wiring analysis of an already-mapped BLIF circuit."""
+    from repro.analysis import analyze_timing, analyze_wiring
+    from repro.core.lut import LUTCircuit
+
+    model = parse_blif_file(args.input)
+    circuit = LUTCircuit(model.name)
+    for name in model.inputs:
+        circuit.add_input(name)
+    for table in model.tables:
+        circuit.add_lut(table.output, tuple(table.inputs), table.truth_table())
+    for out in model.outputs:
+        circuit.set_output(out, out)
+    timing = analyze_timing(circuit)
+    wiring = analyze_wiring(circuit)
+    print("%s: %d LUTs (%d counted), depth %d" % (
+        model.name, circuit.num_luts, circuit.cost, timing.depth))
+    print("critical path (port %r): %s" % (
+        timing.critical_port, " -> ".join(timing.critical_path)))
+    print("nets: %d, pins: %d, max fanout: %d, avg fanout: %.2f" % (
+        wiring.num_nets, wiring.total_pins, wiring.max_fanout,
+        wiring.average_fanout))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    net = _load_network(args.input, args.factor)
+    stats = network_stats(net)
+    print(stats)
+    print("fanin histogram: %s" % dict(sorted(stats.fanin_histogram.items())))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    net = mcnc_circuit(args.profile)
+    text = write_network(net)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    print(str(network_stats(net)), file=sys.stderr)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    golden = _load_network(args.golden, factor=False)
+    mapped = _load_network(args.mapped, factor=False)
+    # Compare the two networks output-port by output-port.
+    if set(golden.outputs) != set(mapped.outputs):
+        print("output port sets differ", file=sys.stderr)
+        return 1
+    if set(golden.inputs) != set(mapped.inputs):
+        print("input sets differ", file=sys.stderr)
+        return 1
+    inputs = golden.inputs
+    if len(inputs) <= 14:
+        words = exhaustive_input_words(inputs)
+        width = 1 << len(inputs)
+    else:
+        import random
+
+        rng = random.Random(0)
+        width = 4096
+        words = {name: rng.getrandbits(width) for name in inputs}
+    mask = (1 << width) - 1
+    g_vals = simulate(golden, words, width)
+    m_vals = simulate(mapped, words, width)
+    ok = True
+    for port in golden.outputs:
+        gs = golden.outputs[port]
+        ms = mapped.outputs[port]
+        g = g_vals[gs.name] ^ (mask if gs.inv else 0)
+        m = m_vals[ms.name] ^ (mask if ms.inv else 0)
+        if (g ^ m) & mask:
+            print("output %r differs" % port, file=sys.stderr)
+            ok = False
+    print("equivalent" if ok else "NOT equivalent")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chortle",
+        description="Technology mapping for lookup table-based FPGAs "
+        "(Chortle, DAC 1990 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map a BLIF network into K-input LUTs")
+    p_map.add_argument("input", help="input BLIF file")
+    p_map.add_argument("-k", type=int, default=4, help="LUT input count (default 4)")
+    p_map.add_argument("-o", "--output", help="output BLIF file (default stdout)")
+    p_map.add_argument(
+        "--mapper",
+        choices=sorted(_MAPPERS),
+        default="chortle",
+        help="mapping algorithm (default chortle)",
+    )
+    p_map.add_argument(
+        "--factor",
+        action="store_true",
+        help="algebraically factor each table before mapping (MIS-script style)",
+    )
+    p_map.add_argument(
+        "--minimize",
+        action="store_true",
+        help="two-level minimize each table (implies --factor)",
+    )
+    p_map.add_argument(
+        "--verify",
+        action="store_true",
+        help="simulate the mapped circuit against the input network",
+    )
+    p_map.add_argument(
+        "--report",
+        action="store_true",
+        help="print a structured mapping report to stderr",
+    )
+    p_map.add_argument(
+        "--json-report",
+        action="store_true",
+        help="print the mapping report as JSON to stderr",
+    )
+    p_map.add_argument(
+        "--verilog",
+        metavar="FILE",
+        help="also write the mapped circuit as structural Verilog",
+    )
+    p_map.add_argument(
+        "--clb",
+        action="store_true",
+        help="include XC3000-style CLB packing figures in the report",
+    )
+    p_map.set_defaults(func=_cmd_map)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="timing/wiring analysis of a mapped BLIF circuit"
+    )
+    p_analyze.add_argument("input", help="mapped BLIF file (one table per LUT)")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_stats = sub.add_parser("stats", help="print network statistics")
+    p_stats.add_argument("input", help="input BLIF file")
+    p_stats.add_argument("--factor", action="store_true")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_gen = sub.add_parser(
+        "generate", help="emit a synthetic MCNC-89 stand-in circuit as BLIF"
+    )
+    p_gen.add_argument(
+        "profile", choices=sorted(MCNC_PROFILES), help="benchmark profile"
+    )
+    p_gen.add_argument("-o", "--output", help="output BLIF file (default stdout)")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_verify = sub.add_parser(
+        "verify", help="check two BLIF files are functionally equivalent"
+    )
+    p_verify.add_argument("golden", help="reference BLIF file")
+    p_verify.add_argument("mapped", help="candidate BLIF file")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""The complete Chortle mapper: forest partitioning + tree DP + emission.
+
+``ChortleMapper(k).map(network)`` returns a :class:`~repro.core.lut.LUTCircuit`
+whose root lookup tables are named after the tree-root nodes of the input
+network, so per-node functions can be compared directly during
+verification.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Tuple
+
+from repro.errors import MappingError
+from repro.core.expr import Leaf, NotExpr, OpExpr, leaf_keys, to_truth_table
+from repro.core.forest import build_forest, check_forest
+from repro.core.lut import LUTCircuit
+from repro.core.tree_mapper import MapCand, TreeMapper
+from repro.network.network import CONST0, CONST1, BooleanNetwork
+from repro.network.transform import sweep
+from repro.truth.truthtable import TruthTable
+
+
+class ChortleMapper:
+    """Area-minimizing technology mapper for K-input lookup tables."""
+
+    def __init__(self, k: int = 4, split_threshold: int = 10, preprocess: bool = True):
+        self.k = k
+        self.split_threshold = split_threshold
+        self.preprocess = preprocess
+        self._tree_mapper = TreeMapper(k, split_threshold=split_threshold)
+
+    def map(self, network: BooleanNetwork) -> LUTCircuit:
+        """Map the network into a circuit of K-input lookup tables."""
+        net = sweep(network) if self.preprocess else network
+        net.validate()
+        for node in net.gates():
+            if node.fanin_count < 2:
+                raise MappingError(
+                    "gate %r has fanin %d; run sweep() or enable preprocess"
+                    % (node.name, node.fanin_count)
+                )
+
+        # Emission recurses along tree depth; be generous for deep chains.
+        limit = max(sys.getrecursionlimit(), 4 * len(net) + 1000)
+        sys.setrecursionlimit(limit)
+
+        forest = build_forest(net)
+        check_forest(forest)
+
+        circuit = LUTCircuit("%s_k%d" % (net.name, self.k))
+        for name in net.inputs:
+            circuit.add_input(name)
+
+        for tree in forest.trees:
+            cand = self._tree_mapper.map_tree(net, tree)
+            emitted = _emit_candidate(cand, circuit, tree.root)
+            if emitted != cand.cost:
+                raise MappingError(
+                    "internal accounting error in tree %r: predicted %d LUTs, "
+                    "emitted %d" % (tree.root, cand.cost, emitted)
+                )
+
+        wire_outputs(net, circuit)
+        circuit.validate(self.k)
+        return circuit
+
+
+def map_network(
+    network: BooleanNetwork, k: int = 4, split_threshold: int = 10
+) -> LUTCircuit:
+    """Convenience wrapper around :class:`ChortleMapper`."""
+    return ChortleMapper(k=k, split_threshold=split_threshold).map(network)
+
+
+def _emit_candidate(cand: MapCand, circuit: LUTCircuit, wire_name: str) -> int:
+    """Materialize a candidate as LUTs; returns the number emitted."""
+    counter = [0]
+    emitted = [0]
+
+    def fresh_internal() -> str:
+        counter[0] += 1
+        return circuit.fresh_name("%s_l%d" % (wire_name, counter[0]))
+
+    def resolve(c: MapCand):
+        children = []
+        for placement in c.placements:
+            kind = placement[0]
+            if kind == "ext":
+                children.append(Leaf(placement[1], placement[2]))
+            elif kind == "wire":
+                child_name = fresh_internal()
+                emit(placement[1], child_name)
+                children.append(Leaf(child_name, placement[2]))
+            else:  # merged: the child's root table folds into this one
+                sub = resolve(placement[1])
+                children.append(NotExpr(sub) if placement[2] else sub)
+        return OpExpr(c.op, children)
+
+    def emit(c: MapCand, name: str) -> None:
+        expr = resolve(c)
+        keys = leaf_keys(expr)
+        tt = to_truth_table(expr, keys)
+        circuit.add_lut(name, keys, tt)
+        emitted[0] += 1
+
+    emit(cand, wire_name)
+    return emitted[0]
+
+
+def wire_outputs(net: BooleanNetwork, circuit: LUTCircuit) -> None:
+    """Connect output ports, adding inverters/buffers/constants as needed.
+
+    Single-input and zero-input tables added here are interface plumbing
+    and are excluded from the cost metric (see
+    :attr:`~repro.core.lut.LUTCircuit.cost`).
+    """
+    materialized: Dict[Tuple[str, bool], str] = {}
+    for port, sig in net.outputs.items():
+        node = net.node(sig.name)
+        if node.op in (CONST0, CONST1):
+            value = (node.op == CONST1) != sig.inv
+            key = ("__const__", value)
+            if key not in materialized:
+                name = circuit.fresh_name(port)
+                circuit.add_lut(name, (), TruthTable.const(value, 0))
+                materialized[key] = name
+            circuit.set_output(port, materialized[key])
+        elif sig.inv:
+            key = (sig.name, True)
+            if key not in materialized:
+                name = circuit.fresh_name(port)
+                circuit.add_lut(name, (sig.name,), ~TruthTable.var(0, 1))
+                materialized[key] = name
+            circuit.set_output(port, materialized[key])
+        else:
+            circuit.set_output(port, sig.name)

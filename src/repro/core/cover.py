@@ -1,0 +1,76 @@
+"""Legality checks for lookup-table covers (Section 2's conditions).
+
+A mapped circuit is a *cover* of the boolean network.  This module checks
+the conditions the paper imposes on valid covers, at the granularity our
+construction makes observable:
+
+1. every lookup table has a single output and at most K inputs;
+2. the circuit is acyclic and its wires are all defined;
+3. every output port of the network is driven, and the circuit's primary
+   inputs are exactly the network's;
+4. every network node retained as a tree root has an identically named
+   lookup table computing the same boolean function (the paper's
+   "at least one node in the set of sub-dags with the same boolean
+   function" restriction), checked by bit-parallel simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.errors import VerificationError
+from repro.core.lut import LUTCircuit
+from repro.network.network import BooleanNetwork
+from repro.network.simulate import exhaustive_input_words, simulate
+
+
+def check_cover(
+    network: BooleanNetwork,
+    circuit: LUTCircuit,
+    k: int,
+    vectors: int = 256,
+    seed: int = 0,
+) -> None:
+    """Raise :class:`VerificationError` if the cover is not valid."""
+    circuit.validate(k)
+
+    if tuple(circuit.inputs) != tuple(network.inputs):
+        raise VerificationError(
+            "primary inputs differ: %s vs %s"
+            % (network.inputs, circuit.inputs)
+        )
+    missing_ports = set(network.outputs) - set(circuit.outputs)
+    if missing_ports:
+        raise VerificationError("undriven output ports: %s" % sorted(missing_ports))
+
+    inputs = network.inputs
+    if len(inputs) <= 12:
+        words = exhaustive_input_words(inputs)
+        width = 1 << len(inputs)
+    else:
+        rng = random.Random(seed)
+        width = vectors
+        words = {name: rng.getrandbits(width) for name in inputs}
+
+    net_values = simulate(network, words, width)
+    ckt_values = circuit.simulate(words, width)
+    mask = (1 << width) - 1
+
+    # Tree-root lookup tables carry the network node's name; their
+    # functions must match node for node.
+    for name, word in ckt_values.items():
+        if name in net_values and name not in circuit.inputs:
+            if word & mask != net_values[name] & mask:
+                raise VerificationError(
+                    "lookup table %r does not match network node %r" % (name, name)
+                )
+
+    # Output ports must match functionally.
+    for port, sig in network.outputs.items():
+        expected = net_values[sig.name]
+        if sig.inv:
+            expected = ~expected & mask
+        actual = ckt_values[circuit.outputs[port]]
+        if expected & mask != actual & mask:
+            raise VerificationError("output port %r differs" % port)

@@ -1,0 +1,115 @@
+"""Expression trees describing the function inside a single lookup table.
+
+During tree mapping, the contents of a root lookup table are represented
+structurally: an AND/OR expression whose leaves are either external
+signals (tree leaves) or references to child lookup tables.  Expressions
+are materialized into truth tables only for the LUTs of the final chosen
+mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.network.network import AND, OR
+from repro.truth.truthtable import TruthTable
+
+
+class Leaf:
+    """A literal: an input wire of the lookup table, possibly inverted."""
+
+    __slots__ = ("key", "inv")
+
+    def __init__(self, key, inv: bool = False):
+        self.key = key
+        self.inv = bool(inv)
+
+    def __repr__(self) -> str:
+        return "Leaf(%r%s)" % (self.key, ", inv" if self.inv else "")
+
+
+class OpExpr:
+    """An AND/OR over sub-expressions."""
+
+    __slots__ = ("op", "children")
+
+    def __init__(self, op: str, children: Sequence):
+        if op not in (AND, OR):
+            raise ValueError("expression op must be and/or, got %r" % op)
+        if not children:
+            raise ValueError("OpExpr needs at least one child")
+        self.op = op
+        self.children = tuple(children)
+
+    def __repr__(self) -> str:
+        return "OpExpr(%r, %d children)" % (self.op, len(self.children))
+
+
+class NotExpr:
+    """Complement of a sub-expression."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child):
+        self.child = child
+
+    def __repr__(self) -> str:
+        return "NotExpr(%r)" % (self.child,)
+
+
+Expr = object  # Leaf | OpExpr | NotExpr
+
+
+def iter_leaves(expr) -> Iterator[Leaf]:
+    """Yield every Leaf in the expression, left to right."""
+    stack = [expr]
+    out: List[Leaf] = []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Leaf):
+            out.append(node)
+        elif isinstance(node, NotExpr):
+            stack.append(node.child)
+        else:
+            stack.extend(reversed(node.children))
+    # The stack walk above visits in reverse; rebuild order.
+    return iter(out)
+
+
+def leaf_keys(expr) -> List:
+    """Distinct leaf keys in first-appearance order."""
+    seen = set()
+    order = []
+    for leaf in iter_leaves(expr):
+        if leaf.key not in seen:
+            seen.add(leaf.key)
+            order.append(leaf.key)
+    return order
+
+
+def evaluate(expr, values: Dict) -> bool:
+    """Evaluate the expression given leaf-key truth values."""
+    if isinstance(expr, Leaf):
+        v = bool(values[expr.key])
+        return not v if expr.inv else v
+    if isinstance(expr, NotExpr):
+        return not evaluate(expr.child, values)
+    if expr.op == AND:
+        return all(evaluate(c, values) for c in expr.children)
+    return any(evaluate(c, values) for c in expr.children)
+
+
+def to_truth_table(expr, key_order: Sequence) -> TruthTable:
+    """Truth table of the expression over the given leaf-key order."""
+    n = len(key_order)
+    bits = 0
+    for m in range(1 << n):
+        values = {key: (m >> j) & 1 for j, key in enumerate(key_order)}
+        if evaluate(expr, values):
+            bits |= 1 << m
+    return TruthTable(n, bits)
+
+
+def count_leaf_refs(expr) -> int:
+    """Total leaf references (with multiplicity)."""
+    return sum(1 for _ in iter_leaves(expr))

@@ -1,0 +1,338 @@
+"""Dynamic-programming tree mapping (Section 3.1 of the paper).
+
+For every tree node ``n`` and every utilization ``U`` in ``2..K`` the
+mapper records ``minmap(n, U)``: the cheapest circuit of K-input lookup
+tables implementing the subtree rooted at ``n`` whose root lookup table
+uses at most ``U`` inputs.  (The paper states the table for exact
+utilization; the at-most form is equivalent at the optimum and makes the
+monotonicity property ``cost(minmap(n,U)) >= cost(minmap(n,K))`` hold by
+construction.)
+
+Decomposition (Section 3.1.3) is searched exhaustively: every partition
+of a node's fanin set into groups, where a non-singleton group becomes an
+intermediate node carrying the same operation, including multi-level
+decompositions of the intermediate nodes themselves.  The search is
+organized as a DP over fanin subsets:
+
+* ``sub[S][U]`` — the best mapping of the *virtual node* ``op(S)`` over
+  fanin subset ``S`` with root utilization at most ``U`` (for the full
+  fanin set this is ``minmap(n, U)`` itself);
+* ``F[S][u]`` — the best way to feed the items of ``S`` into an enclosing
+  root lookup table using at most ``u`` of its inputs, choosing for each
+  item whether it enters as a direct wire, as a merged child root table,
+  or grouped with siblings under an intermediate node.
+
+Enumerating the block containing the lowest-indexed element of ``S``
+visits every set partition exactly once, so this DP reaches exactly the
+mappings of the paper's exhaustive utilization-division search; the test
+suite cross-checks it against a literal transliteration of the paper's
+pseudo-code (:mod:`repro.core.divisions`).
+
+Node splitting (Section 3.1.4): nodes with more fanins than
+``split_threshold`` (default 10, as in the paper) are first split into
+two roughly equal halves that are decomposed separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.errors import MappingError
+from repro.core.expr import Leaf, NotExpr, OpExpr
+from repro.core.forest import Tree
+from repro.network.network import BooleanNetwork
+
+
+class MapCand:
+    """A candidate mapping of a (possibly virtual) node.
+
+    ``cost`` counts all lookup tables in the candidate including its root
+    table.  ``placements`` describe the root table's inputs; see the
+    placement kinds below.  ``input_depth`` is the LUT depth of the
+    deepest signal feeding the root table (so the candidate's own depth
+    is ``input_depth + 1``); it is tracked so equal-cost mappings can be
+    tie-broken toward shallower circuits.
+    """
+
+    __slots__ = ("cost", "op", "placements", "input_depth")
+
+    def __init__(self, cost: int, op: str, placements: Tuple, input_depth: int = 0):
+        self.cost = cost
+        self.op = op
+        self.placements = placements
+        self.input_depth = input_depth
+
+    @property
+    def depth(self) -> int:
+        """LUT levels from the tree's leaves through this root table."""
+        return self.input_depth + 1
+
+    def expr(self):
+        """The root lookup table's function as an expression tree."""
+        children = []
+        for placement in self.placements:
+            kind = placement[0]
+            if kind == "ext":
+                children.append(Leaf(("ext", placement[1]), placement[2]))
+            elif kind == "wire":
+                children.append(Leaf(("lut", placement[1]), placement[2]))
+            else:  # merged
+                sub = placement[1].expr()
+                children.append(NotExpr(sub) if placement[2] else sub)
+        return OpExpr(self.op, children)
+
+    def __repr__(self) -> str:
+        return "MapCand(cost=%d, op=%r, inputs=%d)" % (
+            self.cost,
+            self.op,
+            len(self.placements),
+        )
+
+
+# Placement kinds (tuples, first element is the tag):
+#   ("ext", name, inv)     external tree-leaf signal
+#   ("wire", cand, inv)    a child or intermediate node realized as its own LUT
+#   ("merged", cand, inv)  a child whose root LUT is absorbed into this LUT
+
+# A node table: index u in 0..k, entry is the best MapCand with root
+# utilization <= u (None where infeasible).
+NodeTable = List[Optional[MapCand]]
+
+
+class ExtItem(NamedTuple):
+    """A fanin edge to a tree leaf."""
+
+    name: str
+    inv: bool
+
+
+class TableItem(NamedTuple):
+    """A fanin edge to an already-mapped child (or split-virtual) node."""
+
+    table: tuple  # actually NodeTable; tuple for hashability of the item
+    inv: bool
+
+
+FaninItem = Union[ExtItem, TableItem]
+
+# Linked list of placements used inside the F tables: (placement, rest).
+_Chain = Optional[Tuple[tuple, Optional[tuple]]]
+
+
+def placement_depth(placement: tuple) -> int:
+    """LUT depth contributed to an enclosing root table by a placement."""
+    kind = placement[0]
+    if kind == "ext":
+        return 0
+    if kind == "wire":
+        return placement[1].input_depth + 1
+    return placement[1].input_depth  # merged: child root LUT is absorbed
+
+
+def _chain_to_tuple(chain: _Chain) -> Tuple:
+    placements = []
+    while chain is not None:
+        placements.append(chain[0])
+        chain = chain[1]
+    return tuple(placements)
+
+
+class TreeMapper:
+    """Maps fanout-free trees into minimum-cost circuits of K-input LUTs."""
+
+    def __init__(self, k: int, split_threshold: int = 10):
+        if k < 2:
+            raise MappingError("K must be at least 2, got %d" % k)
+        if split_threshold < 2:
+            raise MappingError(
+                "split threshold must be at least 2, got %d" % split_threshold
+            )
+        self.k = k
+        self.split_threshold = split_threshold
+
+    # -- public API ---------------------------------------------------------
+
+    def map_tree(self, network: BooleanNetwork, tree: Tree) -> MapCand:
+        """Optimal mapping of one fanout-free tree; returns the root candidate."""
+        tables: Dict[str, NodeTable] = {}
+        for name in network.topological_order():
+            if name not in tree.internal:
+                continue
+            node = network.node(name)
+            items: List[FaninItem] = []
+            for sig in node.fanins:
+                if sig.name in tables:
+                    items.append(TableItem(tuple(tables[sig.name]), sig.inv))
+                else:
+                    items.append(ExtItem(sig.name, sig.inv))
+            tables[name] = self.compute_node_table(node.op, items)
+        root_table = tables.get(tree.root)
+        if root_table is None:
+            raise MappingError("tree root %r was never mapped" % tree.root)
+        best = root_table[self.k]
+        if best is None:
+            raise MappingError("no feasible mapping for tree %r" % tree.root)
+        return best
+
+    # -- node table construction ------------------------------------------------
+
+    def compute_node_table(self, op: str, items: Sequence[FaninItem]) -> NodeTable:
+        """``minmap(n, U)`` for all U, for a node with the given fanin items."""
+        items = list(items)
+        if len(items) < 1:
+            raise MappingError("a node must have at least one fanin")
+        if len(items) == 1:
+            raise MappingError(
+                "single-fanin gates must be swept before mapping"
+            )
+        if len(items) > self.split_threshold:
+            return self._split_and_map(op, items)
+        return self._subset_dp(op, items)
+
+    def _split_and_map(self, op: str, items: List[FaninItem]) -> NodeTable:
+        """Section 3.1.4: split a wide node into two roughly equal halves."""
+        half = len(items) // 2
+        left = self._table_or_passthrough(op, items[:half])
+        right = self._table_or_passthrough(op, items[half:])
+        return self._subset_dp(op, [left, right])
+
+    def _table_or_passthrough(self, op: str, items: List[FaninItem]) -> FaninItem:
+        if len(items) == 1:
+            return items[0]
+        table = self.compute_node_table(op, items)
+        return TableItem(tuple(table), False)
+
+    # -- the subset DP ------------------------------------------------------------
+
+    def _subset_dp(self, op: str, items: List[FaninItem]) -> NodeTable:
+        k = self.k
+        n = len(items)
+        full = (1 << n) - 1
+
+        # F[mask] : list over u in 0..k of (cost, input_depth, chain) or None.
+        F: Dict[int, List[Optional[Tuple[int, int, _Chain]]]] = {}
+        F[0] = [(0, 0, None)] + [None] * k
+        # sub[mask] : NodeTable for the virtual node op(items in mask).
+        sub: Dict[int, NodeTable] = {}
+
+        masks_by_popcount: List[List[int]] = [[] for _ in range(n + 1)]
+        for mask in range(1, full + 1):
+            masks_by_popcount[bin(mask).count("1")].append(mask)
+
+        for p in range(1, n + 1):
+            for mask in masks_by_popcount[p]:
+                if p >= 2:
+                    sub[mask] = self._make_table(op, items, mask, F, sub)
+                F[mask] = self._make_f(op, items, mask, F, sub)
+
+        return sub[full]
+
+    def _singleton_options(self, item: FaninItem) -> List[Tuple[int, int, tuple]]:
+        """(consumed, cost, placement) options for a singleton block."""
+        k = self.k
+        options: List[Tuple[int, int, tuple]] = []
+        if isinstance(item, ExtItem):
+            options.append((1, 0, ("ext", item.name, item.inv)))
+        else:
+            table = item.table
+            wire_cand = table[k]
+            if wire_cand is not None:
+                options.append((1, wire_cand.cost, ("wire", wire_cand, item.inv)))
+            for uc in range(2, k + 1):
+                cand = table[uc]
+                if cand is None:
+                    continue
+                options.append((uc, cand.cost - 1, ("merged", cand, item.inv)))
+        return options
+
+    def _combine(
+        self,
+        op: str,
+        items: List[FaninItem],
+        mask: int,
+        F: Dict[int, List],
+        sub: Dict[int, NodeTable],
+        allow_whole_block: bool,
+    ) -> List[Optional[Tuple[int, _Chain]]]:
+        """Best distributions of ``mask``'s items over at most u root inputs.
+
+        The block containing the lowest-indexed item of ``mask`` is
+        enumerated explicitly; the remaining items are taken from the
+        already-computed ``F`` table of the rest.  ``allow_whole_block``
+        distinguishes the unrestricted F table (True) from the node-table
+        computation, which must not degenerate into a single block (False).
+        """
+        k = self.k
+        best: List[Optional[Tuple[int, int, _Chain]]] = [None] * (k + 1)
+        first_bit = mask & -mask
+        first_idx = first_bit.bit_length() - 1
+        rest0 = mask ^ first_bit
+
+        def consider(consumed: int, cost: int, placement: tuple, rest_mask: int):
+            rest_table = F[rest_mask]
+            pdepth = placement_depth(placement)
+            for u in range(consumed, k + 1):
+                rest_entry = rest_table[u - consumed]
+                if rest_entry is None:
+                    continue
+                total = cost + rest_entry[0]
+                depth = pdepth if pdepth > rest_entry[1] else rest_entry[1]
+                cur = best[u]
+                # Cost first (the paper's objective); among equal-cost
+                # choices prefer the shallower circuit.
+                if cur is None or (total, depth) < (cur[0], cur[1]):
+                    best[u] = (total, depth, (placement, rest_entry[2]))
+
+        for consumed, cost, placement in self._singleton_options(items[first_idx]):
+            consider(consumed, cost, placement, rest0)
+
+        # Non-singleton blocks: intermediate nodes over subsets containing
+        # the first item (Section 3.1.3: an intermediate node provides a
+        # single input to the root lookup table, so u_i = 1).
+        t = rest0
+        while t:
+            block = first_bit | t
+            if block != mask or allow_whole_block:
+                cand = sub[block][k]
+                if cand is not None:
+                    consider(1, cand.cost, ("wire", cand, False), mask ^ block)
+            t = (t - 1) & rest0
+
+        # Monotonize: entry at u is the best using at most u inputs.
+        for u in range(1, k + 1):
+            prev = best[u - 1]
+            if prev is not None and (
+                best[u] is None or (prev[0], prev[1]) < (best[u][0], best[u][1])
+            ):
+                best[u] = prev
+        return best
+
+    def _make_table(
+        self,
+        op: str,
+        items: List[FaninItem],
+        mask: int,
+        F: Dict[int, List],
+        sub: Dict[int, NodeTable],
+    ) -> NodeTable:
+        dist = self._combine(op, items, mask, F, sub, allow_whole_block=False)
+        table: NodeTable = [None] * (self.k + 1)
+        for u in range(2, self.k + 1):
+            entry = dist[u]
+            if entry is None:
+                continue
+            cost, depth, chain = entry
+            table[u] = MapCand(
+                cost + 1, op, _chain_to_tuple(chain), input_depth=depth
+            )
+        return table
+
+    def _make_f(
+        self,
+        op: str,
+        items: List[FaninItem],
+        mask: int,
+        F: Dict[int, List],
+        sub: Dict[int, NodeTable],
+    ) -> List[Optional[Tuple[int, _Chain]]]:
+        return self._combine(op, items, mask, F, sub, allow_whole_block=True)

@@ -1,0 +1,25 @@
+"""Exception hierarchy shared across the package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NetworkError(ReproError):
+    """Malformed boolean network (cycles, dangling references, bad ops)."""
+
+
+class BlifError(ReproError):
+    """Syntactic or semantic problem in a BLIF file."""
+
+
+class MappingError(ReproError):
+    """The mapper was given an input it cannot handle."""
+
+
+class LibraryError(ReproError):
+    """Problem constructing or querying a technology library."""
+
+
+class VerificationError(ReproError):
+    """A mapped circuit is not functionally equivalent to its source."""

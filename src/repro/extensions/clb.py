@@ -1,0 +1,195 @@
+"""Packing lookup tables into commercial FPGA logic blocks.
+
+The paper closes with "we would also like to extend our algorithm to
+handle commercial FPGA architectures."  The canonical 1990 target was
+the Xilinx XC3000 configurable logic block (CLB): one block realizes
+either **any single function of up to five inputs** or **two functions
+of up to four inputs each, sharing at most five distinct inputs**.
+
+This module post-processes a mapped LUT circuit into CLBs: LUTs that can
+legally share a block are paired by maximum matching over the
+compatibility graph (exact via networkx for moderate sizes, greedy for
+very large circuits), and everything else occupies a block alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import MappingError
+from repro.core.lut import LUTCircuit
+
+
+@dataclass(frozen=True)
+class Clb:
+    """One configured logic block: one or two LUT outputs."""
+
+    luts: Tuple[str, ...]
+    inputs: Tuple[str, ...]
+
+    @property
+    def is_paired(self) -> bool:
+        return len(self.luts) == 2
+
+
+@dataclass
+class ClbPacking:
+    """The result of packing a LUT circuit into CLBs."""
+
+    clbs: List[Clb] = field(default_factory=list)
+    num_luts: int = 0
+
+    @property
+    def num_clbs(self) -> int:
+        return len(self.clbs)
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(1 for c in self.clbs if c.is_paired)
+
+    @property
+    def packing_ratio(self) -> float:
+        """LUTs per CLB (1.0 = no pairing, 2.0 = perfect pairing)."""
+        return self.num_luts / self.num_clbs if self.clbs else 0.0
+
+
+class ClbPacker:
+    """Pairs mapped LUTs into XC3000-style two-output logic blocks."""
+
+    def __init__(
+        self,
+        pair_lut_inputs: int = 4,
+        pair_shared_limit: int = 5,
+        single_lut_inputs: int = 5,
+        method: str = "auto",
+    ):
+        if method not in ("auto", "exact", "greedy"):
+            raise MappingError("packing method must be auto/exact/greedy")
+        self.pair_lut_inputs = pair_lut_inputs
+        self.pair_shared_limit = pair_shared_limit
+        self.single_lut_inputs = single_lut_inputs
+        self.method = method
+
+    # -- compatibility ------------------------------------------------------
+
+    def can_pair(self, inputs_a: FrozenSet[str], inputs_b: FrozenSet[str]) -> bool:
+        return (
+            len(inputs_a) <= self.pair_lut_inputs
+            and len(inputs_b) <= self.pair_lut_inputs
+            and len(inputs_a | inputs_b) <= self.pair_shared_limit
+        )
+
+    def _candidate_pairs(
+        self, lut_inputs: Dict[str, FrozenSet[str]]
+    ) -> Set[Tuple[str, str]]:
+        """All legal pairs, found without the full quadratic scan.
+
+        Two LUTs are pairable iff they share at least
+        ``|A| + |B| - pair_shared_limit`` inputs; pairs needing no sharing
+        (small LUTs) are enumerated among the small-LUT subset, the rest
+        through a per-signal index.
+        """
+        pairs: Set[Tuple[str, str]] = set()
+        names = [
+            n for n, ins in lut_inputs.items()
+            if len(ins) <= self.pair_lut_inputs
+        ]
+        # Pairs that need shared inputs: find via the signal index.
+        by_signal: Dict[str, List[str]] = {}
+        for name in names:
+            for sig in lut_inputs[name]:
+                by_signal.setdefault(sig, []).append(name)
+        for users in by_signal.values():
+            for i, a in enumerate(users):
+                for b in users[i + 1:]:
+                    key = (a, b) if a < b else (b, a)
+                    if key in pairs:
+                        continue
+                    if self.can_pair(lut_inputs[a], lut_inputs[b]):
+                        pairs.add(key)
+        # Pairs small enough to need no sharing at all.
+        free = [
+            n for n in names
+            if len(lut_inputs[n]) * 2 <= self.pair_shared_limit
+            or len(lut_inputs[n]) == 0
+        ]
+        small = [n for n in names if len(lut_inputs[n]) <= self.pair_shared_limit]
+        for a in free:
+            for b in small:
+                if a == b:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                if key not in pairs and self.can_pair(
+                    lut_inputs[a], lut_inputs[b]
+                ):
+                    pairs.add(key)
+        return pairs
+
+    # -- packing ---------------------------------------------------------------
+
+    def pack(self, circuit: LUTCircuit) -> ClbPacking:
+        lut_inputs: Dict[str, FrozenSet[str]] = {}
+        for lut in circuit.luts():
+            if len(lut.inputs) > self.single_lut_inputs:
+                raise MappingError(
+                    "LUT %r has %d inputs; the target block accepts at "
+                    "most %d (map with a smaller K)"
+                    % (lut.name, len(lut.inputs), self.single_lut_inputs)
+                )
+            lut_inputs[lut.name] = frozenset(lut.inputs)
+
+        pairs = self._candidate_pairs(lut_inputs)
+        matching = self._match(list(lut_inputs), pairs)
+
+        packing = ClbPacking(num_luts=len(lut_inputs))
+        used: Set[str] = set()
+        for a, b in sorted(matching):
+            used.add(a)
+            used.add(b)
+            packing.clbs.append(
+                Clb(
+                    luts=(a, b),
+                    inputs=tuple(sorted(lut_inputs[a] | lut_inputs[b])),
+                )
+            )
+        for name in lut_inputs:
+            if name not in used:
+                packing.clbs.append(
+                    Clb(luts=(name,), inputs=tuple(sorted(lut_inputs[name])))
+                )
+        return packing
+
+    def _match(
+        self, names: List[str], pairs: Set[Tuple[str, str]]
+    ) -> Set[Tuple[str, str]]:
+        method = self.method
+        if method == "auto":
+            method = "exact" if len(names) <= 600 else "greedy"
+        if method == "exact":
+            try:
+                import networkx as nx
+            except ImportError:  # pragma: no cover - networkx is installed
+                method = "greedy"
+            else:
+                graph = nx.Graph()
+                graph.add_nodes_from(names)
+                graph.add_edges_from(pairs)
+                matching = nx.max_weight_matching(graph, maxcardinality=True)
+                return {tuple(sorted(edge)) for edge in matching}
+        # Greedy: prefer pairing the widest LUTs first (they are the
+        # hardest to place later).
+        degree_order = sorted(pairs)
+        chosen: Set[Tuple[str, str]] = set()
+        used: Set[str] = set()
+        for a, b in degree_order:
+            if a not in used and b not in used:
+                chosen.add((a, b))
+                used.add(a)
+                used.add(b)
+        return chosen
+
+
+def pack_clbs(circuit: LUTCircuit, method: str = "auto") -> ClbPacking:
+    """Pack a mapped (K<=4 for pairing) circuit into XC3000-style CLBs."""
+    return ClbPacker(method=method).pack(circuit)

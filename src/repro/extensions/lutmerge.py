@@ -1,0 +1,105 @@
+"""Post-mapping LUT compaction: absorb single-fanout tables downstream.
+
+A standard cleanup after any LUT mapper: if table ``v`` feeds exactly
+one other table ``w`` and the merged support ``inputs(w) \\ {v} ∪
+inputs(v)`` still fits K inputs, ``v`` folds into ``w``'s truth table
+and disappears.  On Chortle's output this almost never fires (the DP
+already absorbed everything absorbable *inside* trees), which the tests
+assert; on FlowMap or bin-packing output it recovers real area — and it
+also merges across the fanout boundaries Chortle's forest partition
+cannot see, occasionally beating the per-tree optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.lut import LUT, LUTCircuit
+from repro.truth.truthtable import TruthTable
+
+
+def _merge_tables(outer: LUT, inner: LUT, k: int) -> Optional[LUT]:
+    """Fold ``inner`` into ``outer`` (which reads it); None if > k inputs."""
+    new_inputs: List[str] = []
+    for name in outer.inputs:
+        if name != inner.name and name not in new_inputs:
+            new_inputs.append(name)
+    for name in inner.inputs:
+        if name not in new_inputs:
+            new_inputs.append(name)
+    if len(new_inputs) > k:
+        return None
+
+    n = len(new_inputs)
+    position = {name: j for j, name in enumerate(new_inputs)}
+    bits = 0
+    for m in range(1 << n):
+        inner_index = 0
+        for j, name in enumerate(inner.inputs):
+            if (m >> position[name]) & 1:
+                inner_index |= 1 << j
+        inner_value = inner.tt.value(inner_index)
+        outer_index = 0
+        for j, name in enumerate(outer.inputs):
+            value = inner_value if name == inner.name else (m >> position[name]) & 1
+            if value:
+                outer_index |= 1 << j
+        if outer.tt.value(outer_index):
+            bits |= 1 << m
+    return LUT(outer.name, tuple(new_inputs), TruthTable(n, bits))
+
+
+def merge_luts(circuit: LUTCircuit, k: int, protect_outputs: bool = True) -> LUTCircuit:
+    """Return a compacted copy of the circuit (same outputs, fewer LUTs).
+
+    Only single-fanout tables are folded, so no logic is duplicated.
+    With ``protect_outputs`` (default), tables whose wire drives an
+    output port are kept so the port's named signal survives.
+    """
+    luts: Dict[str, LUT] = {lut.name: lut for lut in circuit.luts()}
+    output_wires: Set[str] = set(circuit.outputs.values())
+
+    changed = True
+    while changed:
+        changed = False
+        fanout: Dict[str, List[str]] = {name: [] for name in luts}
+        for lut in luts.values():
+            for src in lut.inputs:
+                if src in fanout:
+                    fanout[src].append(lut.name)
+        for name in list(luts):
+            readers = fanout.get(name, [])
+            if len(readers) != 1:
+                continue
+            if protect_outputs and name in output_wires:
+                continue
+            reader = luts[readers[0]]
+            merged = _merge_tables(reader, luts[name], k)
+            if merged is None:
+                continue
+            luts[reader.name] = merged
+            del luts[name]
+            changed = True
+            break  # fanout map is stale; recompute
+
+    out = LUTCircuit(circuit.name)
+    for name in circuit.inputs:
+        out.add_input(name)
+    # Preserve a valid topological emission order.
+    remaining = dict(luts)
+    emitted: Set[str] = set(circuit.inputs)
+    while remaining:
+        progress = False
+        for name in list(remaining):
+            lut = remaining[name]
+            if all(src in emitted for src in lut.inputs):
+                out.add_lut(lut.name, lut.inputs, lut.tt)
+                emitted.add(name)
+                del remaining[name]
+                progress = True
+        if not progress:  # pragma: no cover - would indicate a cycle
+            raise AssertionError("cyclic LUT dependencies during merge")
+    for port, sig in circuit.outputs.items():
+        out.set_output(port, sig)
+    out.validate(k)
+    return out

@@ -1,0 +1,117 @@
+"""Logic duplication at fanout nodes (Section 5 future work).
+
+Chortle's forest partition cuts every multi-fanout edge, so logic feeding
+several consumers always costs its own lookup tables.  Duplicating a
+small multi-fanout gate gives each consumer a private copy that can be
+absorbed into the consumer's tree (and often into a single LUT).  This
+pass performs that duplication structurally; whether it pays off is the
+mapper's problem, which is exactly what the ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.network.network import BooleanNetwork, Signal
+
+
+def replicate_fanout_nodes(
+    network: BooleanNetwork,
+    max_fanin: int = 4,
+    max_fanout: int = 4,
+    rounds: int = 1,
+) -> BooleanNetwork:
+    """Duplicate small multi-fanout gates, one private copy per consumer.
+
+    A gate is duplicated when it has at most ``max_fanin`` fanins and at
+    most ``max_fanout`` gate consumers (wider sharing usually makes
+    duplication a loss).  Gates that drive output ports keep their
+    original node for the port.  ``rounds`` > 1 repeats the pass, peeling
+    multi-level shared cones one level at a time.
+    """
+    net = network
+    for _ in range(rounds):
+        net = _replicate_once(net, max_fanin, max_fanout)
+    return net
+
+
+def replicate_until_tree(
+    network: BooleanNetwork, max_growth: float = 4.0
+) -> BooleanNetwork:
+    """Duplicate shared gates until the network is (nearly) a forest.
+
+    This is the DAGON-style "map the DAG as trees by duplicating fanout
+    cones" strategy the paper contrasts with its fanout partition.  Gate
+    count may grow geometrically on deeply shared logic, so duplication
+    stops once the network exceeds ``max_growth`` times its original
+    size; whatever sharing remains is handled by the normal forest
+    partition.
+    """
+    if max_growth < 1.0:
+        raise ValueError("max_growth must be at least 1.0")
+    net = network
+    budget = max(1, int(network.num_gates * max_growth))
+    for _ in range(64):  # far beyond any realistic sharing depth
+        if net.num_gates > budget:
+            break
+        grown = _replicate_once(net, max_fanin=10**9, max_fanout=10**9)
+        if grown.num_gates <= net.num_gates:
+            break
+        net = grown
+    return net
+
+
+def _replicate_once(
+    network: BooleanNetwork, max_fanin: int, max_fanout: int
+) -> BooleanNetwork:
+    consumers: Dict[str, List[str]] = network.consumers()
+    port_driven = {sig.name for sig in network.outputs.values()}
+
+    to_split = set()
+    for node in network.gates():
+        uses = consumers[node.name]
+        total_uses = len(uses) + (1 if node.name in port_driven else 0)
+        if total_uses < 2:
+            continue
+        if len(uses) < 2 and node.name not in port_driven:
+            continue
+        if node.fanin_count > max_fanin or len(uses) > max_fanout:
+            continue
+        if len(uses) == 0:
+            continue
+        to_split.add(node.name)
+
+    if not to_split:
+        return network.copy()
+
+    out = BooleanNetwork(network.name)
+    for name in network.topological_order():
+        node = network.node(name)
+        if node.op == "input":
+            out.add_input(name)
+        elif node.is_gate:
+            out.add_gate(name, node.op, node.fanins)
+        else:
+            out.add_const(name, node.op == "const1")
+
+    # Give each gate-consumer of a split node its own copy.
+    for name in sorted(to_split):
+        node = network.node(name)
+        for consumer in consumers[name]:
+            copy_name = out.fresh_name("%s_dup" % name)
+            out.add_gate(copy_name, node.op, node.fanins)
+            cnode = out.node(consumer)
+            new_fanins = [
+                Signal(copy_name, s.inv) if s.name == name else s
+                for s in cnode.fanins
+            ]
+            out.replace_node(consumer, cnode.op, new_fanins)
+
+    for port, sig in network.outputs.items():
+        out.set_output(port, sig)
+
+    from repro.network.transform import remove_unreachable
+
+    result = remove_unreachable(out)
+    result.validate()
+    return result

@@ -1,0 +1,53 @@
+"""Boolean-network substrate.
+
+The network model follows Section 2 of the paper: a directed acyclic graph
+whose non-input nodes compute AND or OR over their fanin variables, with
+edge labels carrying signal polarity and designated output ports.
+"""
+
+from repro.network.network import (
+    AND,
+    CONST0,
+    CONST1,
+    INPUT,
+    OR,
+    BooleanNetwork,
+    Node,
+    Signal,
+)
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import (
+    exhaustive_input_words,
+    network_truth_tables,
+    simulate,
+)
+from repro.network.stats import NetworkStats, network_stats
+from repro.network.transform import (
+    collapse_buffers,
+    propagate_constants,
+    remove_unreachable,
+    strash,
+    sweep,
+)
+
+__all__ = [
+    "AND",
+    "OR",
+    "INPUT",
+    "CONST0",
+    "CONST1",
+    "Signal",
+    "Node",
+    "BooleanNetwork",
+    "NetworkBuilder",
+    "simulate",
+    "exhaustive_input_words",
+    "network_truth_tables",
+    "NetworkStats",
+    "network_stats",
+    "sweep",
+    "strash",
+    "collapse_buffers",
+    "propagate_constants",
+    "remove_unreachable",
+]

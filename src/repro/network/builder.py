@@ -1,0 +1,64 @@
+"""A small expression-style builder for constructing networks in code.
+
+Example::
+
+    b = NetworkBuilder("fig1")
+    a, bb, c, d, e = b.inputs("a", "b", "c", "d", "e")
+    x = b.and_(a, bb)
+    y = b.or_(x, ~c)
+    b.output("y", y)
+    net = b.network()
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.network.network import AND, OR, BooleanNetwork, Signal
+
+
+class NetworkBuilder:
+    """Incrementally builds a :class:`BooleanNetwork`."""
+
+    def __init__(self, name: str = "network"):
+        self._net = BooleanNetwork(name)
+        self._counter = 0
+
+    def _auto_name(self, stem: str) -> str:
+        self._counter += 1
+        return self._net.fresh_name("%s%d" % (stem, self._counter))
+
+    def input(self, name: str) -> Signal:
+        return self._net.add_input(name)
+
+    def inputs(self, *names: str) -> Tuple[Signal, ...]:
+        return tuple(self._net.add_input(n) for n in names)
+
+    def and_(self, *fanins, name: str = None) -> Signal:
+        """AND gate over the given signals."""
+        return self._net.add_gate(name or self._auto_name("g"), AND, fanins)
+
+    def or_(self, *fanins, name: str = None) -> Signal:
+        """OR gate over the given signals."""
+        return self._net.add_gate(name or self._auto_name("g"), OR, fanins)
+
+    def nand_(self, *fanins, name: str = None) -> Signal:
+        return ~self.and_(*fanins, name=name)
+
+    def nor_(self, *fanins, name: str = None) -> Signal:
+        return ~self.or_(*fanins, name=name)
+
+    def xor_(self, a, b, name: str = None) -> Signal:
+        """XOR built structurally as (a & ~b) | (~a & b)."""
+        stem = name or self._auto_name("x")
+        p = self.and_(a, ~b, name=stem + "_p")
+        q = self.and_(~a, b, name=stem + "_q")
+        return self.or_(p, q, name=stem)
+
+    def output(self, port: str, sig) -> None:
+        self._net.set_output(port, sig)
+
+    def network(self, validate: bool = True) -> BooleanNetwork:
+        if validate:
+            self._net.validate()
+        return self._net

@@ -1,0 +1,308 @@
+"""The boolean-network DAG (Section 2 of the paper).
+
+Nodes are inputs, constants, or AND/OR gates over one or more fanin
+signals.  Every fanin reference and every output port is a
+:class:`Signal`: a node name plus a polarity flag, mirroring the paper's
+labelled edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import NetworkError
+
+INPUT = "input"
+AND = "and"
+OR = "or"
+CONST0 = "const0"
+CONST1 = "const1"
+
+_GATE_OPS = (AND, OR)
+_ALL_OPS = (INPUT, AND, OR, CONST0, CONST1)
+
+
+class Signal(NamedTuple):
+    """A reference to a node's output, possibly inverted."""
+
+    name: str
+    inv: bool = False
+
+    def __invert__(self) -> "Signal":
+        return Signal(self.name, not self.inv)
+
+    def __str__(self) -> str:
+        return ("~" if self.inv else "") + self.name
+
+
+def as_signal(ref) -> Signal:
+    """Coerce a node name, ``(name, inv)`` pair, or Signal into a Signal."""
+    if isinstance(ref, Signal):
+        return ref
+    if isinstance(ref, str):
+        return Signal(ref, False)
+    if isinstance(ref, tuple) and len(ref) == 2:
+        name, inv = ref
+        return Signal(str(name), bool(inv))
+    raise TypeError("cannot interpret %r as a signal" % (ref,))
+
+
+class Node(NamedTuple):
+    """A single network node: an op applied over fanin signals."""
+
+    name: str
+    op: str
+    fanins: Tuple[Signal, ...]
+
+    @property
+    def is_gate(self) -> bool:
+        return self.op in _GATE_OPS
+
+    @property
+    def fanin_count(self) -> int:
+        return len(self.fanins)
+
+
+class BooleanNetwork:
+    """A multi-input multi-output combinational boolean network."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._inputs: List[str] = []
+        self._outputs: Dict[str, Signal] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def _check_fresh(self, name: str) -> None:
+        if not name:
+            raise NetworkError("node names must be non-empty")
+        if name in self._nodes:
+            raise NetworkError("duplicate node name %r" % name)
+
+    def add_input(self, name: str) -> Signal:
+        """Declare a primary input and return its signal."""
+        self._check_fresh(name)
+        self._nodes[name] = Node(name, INPUT, ())
+        self._inputs.append(name)
+        return Signal(name)
+
+    def add_const(self, name: str, value: bool) -> Signal:
+        """Add a constant node (used transiently; swept before mapping)."""
+        self._check_fresh(name)
+        self._nodes[name] = Node(name, CONST1 if value else CONST0, ())
+        return Signal(name)
+
+    def add_gate(self, name: str, op: str, fanins: Iterable) -> Signal:
+        """Add an AND/OR gate over one or more fanin signals."""
+        self._check_fresh(name)
+        if op not in _GATE_OPS:
+            raise NetworkError("gate op must be 'and' or 'or', got %r" % op)
+        sigs = tuple(as_signal(f) for f in fanins)
+        if not sigs:
+            raise NetworkError("gate %r must have at least one fanin" % name)
+        self._nodes[name] = Node(name, op, sigs)
+        return Signal(name)
+
+    def set_output(self, port: str, ref, inv: bool = False) -> None:
+        """Designate an output port driven by a signal."""
+        if not port:
+            raise NetworkError("output port names must be non-empty")
+        sig = as_signal(ref)
+        if inv:
+            sig = ~sig
+        self._outputs[port] = sig
+
+    def remove_node(self, name: str) -> None:
+        """Delete a node (callers must have rewired its consumers first)."""
+        node = self.node(name)
+        if node.op == INPUT:
+            self._inputs.remove(name)
+        del self._nodes[name]
+
+    def replace_node(self, name: str, op: str, fanins: Iterable) -> None:
+        """Swap the definition of an existing gate node in place."""
+        if name not in self._nodes:
+            raise NetworkError("no node named %r" % name)
+        if op not in _GATE_OPS:
+            raise NetworkError("gate op must be 'and' or 'or', got %r" % op)
+        sigs = tuple(as_signal(f) for f in fanins)
+        if not sigs:
+            raise NetworkError("gate %r must have at least one fanin" % name)
+        self._nodes[name] = Node(name, op, sigs)
+
+    def fresh_name(self, stem: str) -> str:
+        """A node name not yet in use, derived from ``stem``."""
+        if stem not in self._nodes:
+            return stem
+        i = 0
+        while True:
+            cand = "%s_%d" % (stem, i)
+            if cand not in self._nodes:
+                return cand
+            i += 1
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Dict[str, Signal]:
+        return dict(self._outputs)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError("no node named %r" % name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def names(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def gates(self) -> Iterator[Node]:
+        return (n for n in self._nodes.values() if n.is_gate)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return sum(1 for _ in self.gates())
+
+    @property
+    def num_edges(self) -> int:
+        return sum(n.fanin_count for n in self.gates())
+
+    # -- structure queries ----------------------------------------------------
+
+    def fanout_counts(self) -> Dict[str, int]:
+        """Uses of each node as a fanin or an output driver."""
+        counts = {name: 0 for name in self._nodes}
+        for node in self.gates():
+            for sig in node.fanins:
+                counts[sig.name] += 1
+        for sig in self._outputs.values():
+            counts[sig.name] += 1
+        return counts
+
+    def consumers(self) -> Dict[str, List[str]]:
+        """Map each node to the gate nodes that read it."""
+        result: Dict[str, List[str]] = {name: [] for name in self._nodes}
+        for node in self.gates():
+            for sig in node.fanins:
+                result[sig.name].append(node.name)
+        return result
+
+    def topological_order(self) -> List[str]:
+        """Node names, every node after all of its fanins.
+
+        Raises :class:`NetworkError` on combinational cycles.
+        """
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+        order: List[str] = []
+        for root in self._nodes:
+            if state.get(root) == 1:
+                continue
+            stack = [(root, 0)]
+            while stack:
+                name, phase = stack.pop()
+                if phase == 0:
+                    st = state.get(name)
+                    if st == 1:
+                        continue
+                    if st == 0:
+                        raise NetworkError(
+                            "combinational cycle through node %r" % name
+                        )
+                    state[name] = 0
+                    stack.append((name, 1))
+                    node = self.node(name)
+                    for sig in node.fanins:
+                        if state.get(sig.name) != 1:
+                            stack.append((sig.name, 0))
+                else:
+                    if state.get(name) == 1:
+                        continue
+                    state[name] = 1
+                    order.append(name)
+        return order
+
+    def depth(self) -> int:
+        """Longest input-to-output path measured in gate levels."""
+        level: Dict[str, int] = {}
+        for name in self.topological_order():
+            node = self.node(name)
+            if node.is_gate:
+                level[name] = 1 + max(level.get(s.name, 0) for s in node.fanins)
+            else:
+                level[name] = 0
+        if not self._outputs:
+            return 0
+        return max(level[sig.name] for sig in self._outputs.values())
+
+    def transitive_fanin(self, name: str) -> List[str]:
+        """All nodes (including ``name``) feeding the given node."""
+        seen = set()
+        stack = [name]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            for sig in self.node(cur).fanins:
+                stack.append(sig.name)
+        return [n for n in self._nodes if n in seen]
+
+    def validate(self) -> None:
+        """Check reference integrity, ops, and acyclicity."""
+        for node in self._nodes.values():
+            if node.op not in _ALL_OPS:
+                raise NetworkError("node %r has unknown op %r" % (node.name, node.op))
+            if node.op in _GATE_OPS and not node.fanins:
+                raise NetworkError("gate %r has no fanins" % node.name)
+            if node.op not in _GATE_OPS and node.fanins:
+                raise NetworkError("non-gate %r has fanins" % node.name)
+            for sig in node.fanins:
+                if sig.name not in self._nodes:
+                    raise NetworkError(
+                        "node %r references unknown node %r" % (node.name, sig.name)
+                    )
+        for port, sig in self._outputs.items():
+            if sig.name not in self._nodes:
+                raise NetworkError(
+                    "output %r references unknown node %r" % (port, sig.name)
+                )
+        self.topological_order()
+
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "BooleanNetwork":
+        out = BooleanNetwork(name if name is not None else self.name)
+        out._nodes = dict(self._nodes)
+        out._inputs = list(self._inputs)
+        out._outputs = dict(self._outputs)
+        return out
+
+    def __repr__(self) -> str:
+        return "BooleanNetwork(%r, inputs=%d, gates=%d, outputs=%d)" % (
+            self.name,
+            self.num_inputs,
+            self.num_gates,
+            self.num_outputs,
+        )

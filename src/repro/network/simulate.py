@@ -1,0 +1,92 @@
+"""Bit-parallel simulation of boolean networks.
+
+Each signal value is a Python integer used as a word of parallel
+simulation bits, so one pass evaluates the network on arbitrarily many
+input vectors at once.  Exhaustive simulation over ``n`` inputs uses a
+``2**n``-bit word per signal, which doubles as a truth-table extractor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.errors import NetworkError
+from repro.network.network import AND, CONST0, CONST1, INPUT, OR, BooleanNetwork
+from repro.truth.truthtable import TruthTable
+
+
+def simulate(
+    network: BooleanNetwork, input_words: Mapping[str, int], width: int
+) -> Dict[str, int]:
+    """Evaluate every node on ``width`` parallel input vectors.
+
+    ``input_words`` maps each primary input to a word whose bit *i* is that
+    input's value in vector *i*.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive, got %d" % width)
+    mask = (1 << width) - 1
+    values: Dict[str, int] = {}
+    for name in network.topological_order():
+        node = network.node(name)
+        if node.op == INPUT:
+            try:
+                word = input_words[name]
+            except KeyError:
+                raise NetworkError("no value supplied for input %r" % name) from None
+            values[name] = word & mask
+        elif node.op == CONST0:
+            values[name] = 0
+        elif node.op == CONST1:
+            values[name] = mask
+        else:
+            acc = None
+            for sig in node.fanins:
+                word = values[sig.name]
+                if sig.inv:
+                    word = ~word & mask
+                if acc is None:
+                    acc = word
+                elif node.op == AND:
+                    acc &= word
+                elif node.op == OR:
+                    acc |= word
+            values[name] = acc
+    return values
+
+
+def exhaustive_input_words(inputs: Iterable[str]) -> Dict[str, int]:
+    """Standard exhaustive patterns: input *j* toggles with period ``2**j``."""
+    inputs = list(inputs)
+    n = len(inputs)
+    if n > 20:
+        raise ValueError(
+            "exhaustive simulation over %d inputs is not practical" % n
+        )
+    words = {}
+    for j, name in enumerate(inputs):
+        period = 1 << j
+        block = ((1 << period) - 1) << period
+        word = 0
+        for start in range(0, 1 << n, 2 * period):
+            word |= block << start
+        words[name] = word
+    return words
+
+
+def network_truth_tables(network: BooleanNetwork) -> Dict[str, TruthTable]:
+    """Truth table of every node over the primary inputs, in input order."""
+    inputs = network.inputs
+    words = exhaustive_input_words(inputs)
+    values = simulate(network, words, 1 << len(inputs))
+    return {name: TruthTable(len(inputs), word) for name, word in values.items()}
+
+
+def output_truth_tables(network: BooleanNetwork) -> Dict[str, TruthTable]:
+    """Truth table of every output port over the primary inputs."""
+    tables = network_truth_tables(network)
+    result = {}
+    for port, sig in network.outputs.items():
+        tt = tables[sig.name]
+        result[port] = ~tt if sig.inv else tt
+    return result

@@ -1,0 +1,66 @@
+"""Structural statistics of a boolean network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.network.network import BooleanNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """A structural summary used in reports and benchmark tables."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_edges: int
+    depth: int
+    max_fanin: int
+    max_fanout: int
+    num_inverted_edges: int
+    fanin_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            "%s: %d in / %d out, %d gates, %d edges, depth %d, "
+            "max fanin %d, max fanout %d"
+            % (
+                self.name,
+                self.num_inputs,
+                self.num_outputs,
+                self.num_gates,
+                self.num_edges,
+                self.depth,
+                self.max_fanin,
+                self.max_fanout,
+            )
+        )
+
+
+def network_stats(network: BooleanNetwork) -> NetworkStats:
+    """Compute a :class:`NetworkStats` summary."""
+    histogram: Dict[int, int] = {}
+    max_fanin = 0
+    inverted = 0
+    for node in network.gates():
+        f = node.fanin_count
+        histogram[f] = histogram.get(f, 0) + 1
+        max_fanin = max(max_fanin, f)
+        inverted += sum(1 for s in node.fanins if s.inv)
+    inverted += sum(1 for s in network.outputs.values() if s.inv)
+    fanouts = network.fanout_counts()
+    return NetworkStats(
+        name=network.name,
+        num_inputs=network.num_inputs,
+        num_outputs=network.num_outputs,
+        num_gates=network.num_gates,
+        num_edges=network.num_edges,
+        depth=network.depth(),
+        max_fanin=max_fanin,
+        max_fanout=max(fanouts.values()) if fanouts else 0,
+        num_inverted_edges=inverted,
+        fanin_histogram=histogram,
+    )

@@ -1,0 +1,182 @@
+"""Structural cleanup passes over boolean networks.
+
+The paper assumes mapping starts from an optimized network; these passes
+provide the minimum hygiene the mappers rely on: constant propagation,
+single-fanin (buffer/inverter) collapse, duplicate-fanin removal, and
+unreachable-node sweeping.  After :func:`sweep`, every gate has at least
+two distinct, non-constant fanins, and the only constant nodes remaining
+are those directly driving output ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.network.network import (
+    AND,
+    CONST0,
+    CONST1,
+    INPUT,
+    OR,
+    BooleanNetwork,
+    Signal,
+)
+
+# A resolution is either a constant value or an equivalent signal.
+_Res = Tuple[str, Union[bool, Signal]]
+
+
+def _resolve_fanin(res: Dict[str, _Res], sig: Signal) -> _Res:
+    kind, val = res[sig.name]
+    if kind == "const":
+        return ("const", bool(val) != sig.inv)
+    base = val
+    return ("sig", Signal(base.name, base.inv != sig.inv))
+
+
+def _simplify_gate(op: str, fanins: List[_Res]) -> Union[_Res, List[Signal]]:
+    """Apply constant/duplicate rules; return a resolution or a fanin list."""
+    identity = op == AND  # AND's identity element is 1, OR's is 0
+    keep: List[Signal] = []
+    seen: Dict[str, bool] = {}
+    for kind, val in fanins:
+        if kind == "const":
+            if bool(val) == identity:
+                continue  # identity element, drop
+            return ("const", not identity)  # absorbing element
+        sig = val
+        if sig.name in seen:
+            if seen[sig.name] == sig.inv:
+                continue  # duplicate literal
+            # x op ~x: AND -> 0, OR -> 1
+            return ("const", op == OR)
+        seen[sig.name] = sig.inv
+        keep.append(sig)
+    if not keep:
+        # Empty AND is 1, empty OR is 0.
+        return ("const", op == AND)
+    if len(keep) == 1:
+        return ("sig", keep[0])
+    return keep
+
+
+def sweep(network: BooleanNetwork) -> BooleanNetwork:
+    """Return a cleaned copy of the network.
+
+    Propagates constants, collapses buffers and inverter chains into edge
+    polarities, removes duplicate fanins, and drops nodes unreachable from
+    the outputs.  Primary inputs are always preserved to keep the external
+    interface stable.
+    """
+    out = BooleanNetwork(network.name)
+    res: Dict[str, _Res] = {}
+    for name in network.topological_order():
+        node = network.node(name)
+        if node.op == INPUT:
+            out.add_input(name)
+            res[name] = ("sig", Signal(name))
+        elif node.op == CONST0:
+            res[name] = ("const", False)
+        elif node.op == CONST1:
+            res[name] = ("const", True)
+        else:
+            resolved = [_resolve_fanin(res, s) for s in node.fanins]
+            simplified = _simplify_gate(node.op, resolved)
+            if isinstance(simplified, list):
+                out.add_gate(name, node.op, simplified)
+                res[name] = ("sig", Signal(name))
+            else:
+                res[name] = simplified
+
+    const_nodes: Dict[bool, str] = {}
+    for port, sig in network.outputs.items():
+        kind, val = _resolve_fanin(res, sig)
+        if kind == "const":
+            value = bool(val)
+            if value not in const_nodes:
+                cname = out.fresh_name("__const1__" if value else "__const0__")
+                out.add_const(cname, value)
+                const_nodes[value] = cname
+            out.set_output(port, Signal(const_nodes[value]))
+        else:
+            out.set_output(port, val)
+
+    return remove_unreachable(out)
+
+
+def remove_unreachable(network: BooleanNetwork) -> BooleanNetwork:
+    """Drop gates not in the transitive fanin of any output."""
+    live = set()
+    stack = [sig.name for sig in network.outputs.values()]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for sig in network.node(name).fanins:
+            stack.append(sig.name)
+    out = BooleanNetwork(network.name)
+    for name in network.topological_order():
+        node = network.node(name)
+        if node.op == INPUT:
+            out.add_input(name)
+        elif name in live:
+            if node.is_gate:
+                out.add_gate(name, node.op, node.fanins)
+            else:
+                out.add_const(name, node.op == CONST1)
+    for port, sig in network.outputs.items():
+        out.set_output(port, sig)
+    return out
+
+
+def strash(network: BooleanNetwork) -> BooleanNetwork:
+    """Structural hashing: share structurally identical gates.
+
+    Two gates with the same operation and the same (unordered) resolved
+    fanin signals compute the same function; all but the first are
+    replaced by references to it.  Classic technology-independent
+    area recovery — it *increases* fanout, so its interaction with the
+    mapper's forest partition is a measurable trade-off, not a free win.
+    The pass runs on swept networks and sweeps afterwards.
+    """
+    net = sweep(network)
+    canonical: Dict[Tuple, str] = {}
+    replacement: Dict[str, Signal] = {}
+
+    def resolve(sig: Signal) -> Signal:
+        repl = replacement.get(sig.name)
+        if repl is None:
+            return sig
+        return Signal(repl.name, repl.inv != sig.inv)
+
+    out = BooleanNetwork(net.name)
+    for name in net.topological_order():
+        node = net.node(name)
+        if node.op == INPUT:
+            out.add_input(name)
+            continue
+        if not node.is_gate:
+            out.add_const(name, node.op == CONST1)
+            continue
+        fanins = tuple(resolve(s) for s in node.fanins)
+        key = (node.op, frozenset(fanins))
+        existing = canonical.get(key)
+        if existing is not None:
+            replacement[name] = Signal(existing)
+            continue
+        canonical[key] = name
+        out.add_gate(name, node.op, fanins)
+    for port, sig in net.outputs.items():
+        out.set_output(port, resolve(sig))
+    return sweep(out)
+
+
+def propagate_constants(network: BooleanNetwork) -> BooleanNetwork:
+    """Alias of :func:`sweep` kept for pipeline readability."""
+    return sweep(network)
+
+
+def collapse_buffers(network: BooleanNetwork) -> BooleanNetwork:
+    """Alias of :func:`sweep` kept for pipeline readability."""
+    return sweep(network)

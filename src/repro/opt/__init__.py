@@ -1,0 +1,59 @@
+"""Logic-optimization substrate (the MIS II role in the paper's flow).
+
+The paper maps networks that were "optimized by the standard MIS II
+script" and builds its K>=4 baseline libraries from *level-0 kernels*.
+This package provides the algebraic machinery both of those depend on:
+
+* :mod:`repro.opt.algebra` — cube/SOP algebra and algebraic division;
+* :mod:`repro.opt.kernels` — kernel and co-kernel extraction, level-0
+  kernel identification;
+* :mod:`repro.opt.factor` — algebraic factoring of SOP covers into
+  multi-level AND/OR trees;
+* :mod:`repro.opt.script` — a MIS-script-like cleanup/decomposition
+  pipeline applied to networks before mapping.
+"""
+
+from repro.opt.algebra import (
+    Cube,
+    SopExpr,
+    algebraic_divide,
+    cube_literals,
+    expr_from_cover,
+    is_cube_free,
+    make_cube,
+    multiply,
+)
+from repro.opt.kernels import all_kernels, is_level0_kernel, kernel_level
+from repro.opt.factor import factor_cover, factor_expr, factored_literal_count
+from repro.opt.minimize import (
+    minimize_cover,
+    minimize_model_tables,
+    minimize_truth_table,
+    prime_implicants,
+)
+from repro.opt.refactor import refactor_network
+from repro.opt.script import factored_network_from_blif, mis_script
+
+__all__ = [
+    "Cube",
+    "SopExpr",
+    "make_cube",
+    "cube_literals",
+    "expr_from_cover",
+    "algebraic_divide",
+    "multiply",
+    "is_cube_free",
+    "all_kernels",
+    "kernel_level",
+    "is_level0_kernel",
+    "factor_expr",
+    "factor_cover",
+    "factored_literal_count",
+    "prime_implicants",
+    "minimize_truth_table",
+    "minimize_cover",
+    "minimize_model_tables",
+    "refactor_network",
+    "mis_script",
+    "factored_network_from_blif",
+]

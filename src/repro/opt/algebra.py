@@ -1,0 +1,153 @@
+"""Cube/SOP algebra: the classical machinery of algebraic division.
+
+Literals are ``(variable, positive)`` pairs; as in algebraic (as opposed
+to Boolean) methods, ``x`` and ``~x`` are treated as unrelated symbols.
+A cube is a frozenset of literals, an SOP expression a frozenset of
+cubes.  These are the objects kernel extraction and factoring operate on.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.blif.sop import SopCover
+
+Literal = Tuple[str, bool]
+Cube = FrozenSet[Literal]
+SopExpr = FrozenSet[Cube]
+
+
+def make_cube(*literals) -> Cube:
+    """Build a cube from ``"x"`` / ``"~x"`` strings or literal pairs."""
+    result: Set[Literal] = set()
+    for lit in literals:
+        if isinstance(lit, str):
+            if lit.startswith("~"):
+                result.add((lit[1:], False))
+            else:
+                result.add((lit, True))
+        else:
+            var, pos = lit
+            result.add((str(var), bool(pos)))
+    return frozenset(result)
+
+
+def make_expr(*cubes) -> SopExpr:
+    """Build an SOP expression from cubes (or iterables of literals)."""
+    out: Set[Cube] = set()
+    for cube in cubes:
+        if isinstance(cube, frozenset):
+            out.add(cube)
+        else:
+            out.add(make_cube(*cube))
+    return frozenset(out)
+
+
+def cube_literals(expr: SopExpr) -> Set[Literal]:
+    """All literals appearing anywhere in the expression."""
+    out: Set[Literal] = set()
+    for cube in expr:
+        out |= cube
+    return out
+
+
+def literal_count(expr: SopExpr) -> int:
+    return sum(len(cube) for cube in expr)
+
+
+def expr_from_cover(cover: SopCover) -> SopExpr:
+    """The SOP expression of a phase-1 BLIF cover.
+
+    Off-set covers have no algebraic SOP form; callers complement at the
+    network level instead.
+    """
+    if cover.phase != 1:
+        raise ValueError(
+            "cover of %r is an off-set cover; complement before factoring"
+            % cover.output
+        )
+    cubes = []
+    for cube in cover.cubes:
+        lits = []
+        for name, ch in zip(cover.inputs, cube):
+            if ch == "-":
+                continue
+            lits.append((name, ch == "1"))
+        cubes.append(frozenset(lits))
+    return frozenset(cubes)
+
+
+def multiply(f: SopExpr, g: SopExpr) -> SopExpr:
+    """Algebraic product: pairwise cube unions, dropping non-algebraic terms.
+
+    A term is dropped if the same variable would appear in both phases
+    (x * ~x), keeping the product algebraic.
+    """
+    out: Set[Cube] = set()
+    for a in f:
+        vars_a = {v for v, _ in a}
+        for b in g:
+            clash = any((v, not p) in a for v, p in b)
+            if clash:
+                continue
+            out.add(a | b)
+    return frozenset(out)
+
+
+def divide_by_cube(f: SopExpr, d: Cube) -> SopExpr:
+    """Quotient of dividing by a single cube."""
+    return frozenset(cube - d for cube in f if d <= cube)
+
+
+def algebraic_divide(f: SopExpr, d: SopExpr) -> Tuple[SopExpr, SopExpr]:
+    """Weak algebraic division: returns (quotient, remainder).
+
+    ``f = quotient * d + remainder`` with the product algebraic; the
+    quotient is the largest such expression (Brayton-McMullen).
+    """
+    if not d:
+        raise ZeroDivisionError("division by the empty expression")
+    quotient: Optional[SopExpr] = None
+    for d_cube in d:
+        partial = divide_by_cube(f, d_cube)
+        quotient = partial if quotient is None else quotient & partial
+        if not quotient:
+            return frozenset(), f
+    product = multiply(quotient, d)
+    remainder = frozenset(f - product)
+    return quotient, remainder
+
+
+def is_cube_free(expr: SopExpr) -> bool:
+    """No single literal divides every cube, and not a lone cube."""
+    if len(expr) <= 1:
+        return False
+    common = None
+    for cube in expr:
+        common = set(cube) if common is None else common & cube
+        if not common:
+            return True
+    return not common
+
+
+def common_cube(expr: SopExpr) -> Cube:
+    """The largest cube dividing every cube of the expression."""
+    common: Optional[Set[Literal]] = None
+    for cube in expr:
+        common = set(cube) if common is None else common & cube
+    return frozenset(common or ())
+
+
+def expr_to_string(expr: SopExpr) -> str:
+    """Human-readable form, deterministic ordering (for tests and docs)."""
+    if not expr:
+        return "0"
+    def lit_str(lit: Literal) -> str:
+        return ("" if lit[1] else "~") + lit[0]
+    cubes = []
+    for cube in expr:
+        if not cube:
+            cubes.append("1")
+        else:
+            cubes.append("".join(lit_str(l) for l in sorted(cube)))
+    return " + ".join(sorted(cubes))

@@ -1,0 +1,93 @@
+"""Algebraic factoring of SOP covers into multi-level AND/OR trees.
+
+This is the "factored form ... that minimizes the literal count" role of
+the MIS logic-optimization step (Section 4.1).  The factoring heuristic
+is classical literal factoring: repeatedly pull out the most frequent
+literal (after stripping any common cube), which is guaranteed to
+terminate and produces trees whose leaf nodes are level-0-kernel-shaped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Tuple, Union
+
+from repro.blif.sop import SopCover
+from repro.opt.algebra import (
+    SopExpr,
+    common_cube,
+    divide_by_cube,
+    expr_from_cover,
+)
+
+# A factor tree: ("lit", (var, positive)) | ("and", [trees]) | ("or", [trees])
+FactorTree = Tuple
+
+
+def _cube_tree(cube) -> FactorTree:
+    lits = sorted(cube)
+    if len(lits) == 1:
+        return ("lit", lits[0])
+    return ("and", [("lit", l) for l in lits])
+
+
+def factor_expr(expr: SopExpr) -> FactorTree:
+    """Factor a non-empty SOP expression into an AND/OR tree."""
+    if not expr:
+        raise ValueError("cannot factor the constant-0 expression")
+    if len(expr) == 1:
+        (cube,) = expr
+        if not cube:
+            raise ValueError("cannot factor the constant-1 expression")
+        return _cube_tree(cube)
+
+    cc = common_cube(expr)
+    if cc:
+        rest = frozenset(cube - cc for cube in expr)
+        parts: List[FactorTree] = [("lit", l) for l in sorted(cc)]
+        parts.append(factor_expr(rest))
+        return ("and", parts)
+
+    counts = Counter()
+    for cube in expr:
+        counts.update(cube)
+    lit, freq = max(counts.items(), key=lambda item: (item[1], item[0]))
+    if freq < 2:
+        return ("or", [_cube_tree(c) for c in sorted(expr, key=sorted)])
+
+    with_lit = divide_by_cube(expr, frozenset([lit]))
+    without_lit = frozenset(c for c in expr if lit not in c)
+    factored = ("and", [("lit", lit), factor_expr(with_lit)])
+    if not without_lit:
+        return factored
+    return ("or", [factored, factor_expr(without_lit)])
+
+
+def factor_cover(cover: SopCover) -> Tuple[FactorTree, bool]:
+    """Factor a BLIF cover; returns ``(tree, output_inverted)``.
+
+    Off-set (phase 0) covers are factored as their complements with the
+    inversion reported to the caller, who carries it on an edge label.
+    """
+    if cover.is_constant():
+        raise ValueError("constant covers have no factored form")
+    expr = expr_from_cover(
+        cover if cover.phase == 1
+        else SopCover(cover.inputs, cover.output, cover.cubes, phase=1)
+    )
+    return factor_expr(expr), cover.phase == 0
+
+
+def factored_literal_count(tree: FactorTree) -> int:
+    """Number of literal leaves in a factor tree."""
+    tag = tree[0]
+    if tag == "lit":
+        return 1
+    return sum(factored_literal_count(child) for child in tree[1])
+
+
+def tree_depth(tree: FactorTree) -> int:
+    tag = tree[0]
+    if tag == "lit":
+        return 0
+    return 1 + max(tree_depth(child) for child in tree[1])

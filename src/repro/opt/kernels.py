@@ -1,0 +1,103 @@
+"""Kernel extraction (Brayton-McMullen) and level-0 kernel identification.
+
+The *kernels* of an expression are its cube-free quotients by cubes; a
+kernel is *level-0* if it has no kernels other than itself — equivalently
+no literal appears in more than one of its cubes.  Section 4.1 of the
+paper builds the K=4 and K=5 MIS libraries from "the set of all level-0
+kernels with four or fewer literals and their duals"; this module
+provides the machinery used to validate those libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.opt.algebra import (
+    Cube,
+    SopExpr,
+    common_cube,
+    cube_literals,
+    divide_by_cube,
+    is_cube_free,
+)
+
+
+def _kernels_rec(
+    expr: SopExpr, literals: List, start: int, found: Set[SopExpr]
+) -> None:
+    for idx in range(start, len(literals)):
+        lit = literals[idx]
+        appears = [cube for cube in expr if lit in cube]
+        if len(appears) < 2:
+            continue
+        quotient = divide_by_cube(expr, frozenset([lit]))
+        # Make the quotient cube-free by stripping its common cube.
+        cc = common_cube(quotient)
+        if any(literals.index(l) < idx for l in cc if l in literals):
+            continue  # already found via an earlier literal (pruning)
+        kernel = frozenset(cube - cc for cube in quotient)
+        if kernel not in found and len(kernel) >= 2:
+            found.add(kernel)
+            _kernels_rec(kernel, literals, idx + 1, found)
+
+
+def all_kernels(expr: SopExpr, include_self: bool = True) -> Set[SopExpr]:
+    """Every kernel of the expression.
+
+    With ``include_self=True`` the expression itself is included when it
+    is cube-free (the standard convention).
+    """
+    literals = sorted(cube_literals(expr))
+    found: Set[SopExpr] = set()
+    _kernels_rec(expr, literals, 0, found)
+    if include_self and is_cube_free(expr):
+        found.add(expr)
+    return found
+
+
+def kernel_level(expr: SopExpr) -> int:
+    """The level of a kernel: 0 if its only kernel is itself."""
+    if not is_cube_free(expr):
+        raise ValueError("kernel_level is defined for cube-free expressions")
+    sub = all_kernels(expr, include_self=False) - {expr}
+    if not sub:
+        return 0
+    return 1 + max(kernel_level(k) for k in sub)
+
+
+def is_level0_kernel(expr: SopExpr) -> bool:
+    """True for cube-free expressions in which no literal repeats.
+
+    This is the classical characterization: a kernel is level-0 iff no
+    literal appears in more than one cube.
+    """
+    if not is_cube_free(expr):
+        return False
+    seen: Set = set()
+    for cube in expr:
+        for lit in cube:
+            if lit in seen:
+                return False
+            seen.add(lit)
+    return True
+
+
+def cokernels(expr: SopExpr) -> Dict[SopExpr, List[Cube]]:
+    """Map each kernel to the cubes that produce it as a quotient."""
+    result: Dict[SopExpr, List[Cube]] = {}
+    literals = sorted(cube_literals(expr))
+    # Brute-force over cubes built from subsets actually co-occurring:
+    # for substrate purposes the single-literal and pairwise co-kernels
+    # suffice, so enumerate quotients by every cube of up to 2 literals.
+    candidates: List[Cube] = [frozenset([l]) for l in literals]
+    for i in range(len(literals)):
+        for j in range(i + 1, len(literals)):
+            candidates.append(frozenset([literals[i], literals[j]]))
+    for cube in candidates:
+        quotient = divide_by_cube(expr, cube)
+        if len(quotient) < 2:
+            continue
+        cc = common_cube(quotient)
+        kernel = frozenset(c - cc for c in quotient)
+        result.setdefault(kernel, []).append(frozenset(cube | cc))
+    return result

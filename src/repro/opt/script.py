@@ -1,0 +1,101 @@
+"""A MIS-script-like preparation pipeline for mapping.
+
+The paper's experiments feed both mappers networks "optimized by the
+standard MIS II script".  Our synthetic workloads are generated directly
+in optimized multi-level shape; for BLIF inputs, this module provides the
+equivalent preparation: per-table algebraic factoring into multi-level
+AND/OR trees followed by structural sweeping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.blif.parser import BlifModel
+from repro.errors import BlifError
+from repro.network.network import AND, OR, BooleanNetwork, Signal
+from repro.network.transform import sweep
+from repro.opt.factor import FactorTree, factor_cover
+
+
+def _emit_factor_tree(
+    net: BooleanNetwork, tree: FactorTree, stem: str, counter: List[int]
+) -> Signal:
+    tag = tree[0]
+    if tag == "lit":
+        var, positive = tree[1]
+        return Signal(var, not positive)
+    op = AND if tag == "and" else OR
+    fanins = [
+        _emit_factor_tree(net, child, stem, counter) for child in tree[1]
+    ]
+    counter[0] += 1
+    name = net.fresh_name("%s_f%d" % (stem, counter[0]))
+    return net.add_gate(name, op, fanins)
+
+
+def factored_network_from_blif(
+    model: BlifModel, minimize: bool = False
+) -> BooleanNetwork:
+    """Build a multi-level AND/OR network with each table factored.
+
+    With ``minimize=True``, each cover is first put through two-level
+    minimization (:mod:`repro.opt.minimize`) — the full "simplify then
+    factor" shape of the MIS script.  The output node of each table keeps
+    the table's name (possibly as a single-fanin gate carrying an
+    inversion, later folded by sweep), so inter-table references resolve
+    unchanged.
+    """
+    if minimize:
+        from repro.opt.minimize import minimize_cover
+
+        model = BlifModel(
+            model.name,
+            list(model.inputs),
+            list(model.outputs),
+            [minimize_cover(t) for t in model.tables],
+        )
+    net = BooleanNetwork(model.name)
+    for name in model.inputs:
+        net.add_input(name)
+    remaining = {t.output: t for t in model.tables}
+    defined = set(model.inputs)
+    progress = True
+    while remaining and progress:
+        progress = False
+        for output in list(remaining):
+            table = remaining[output]
+            if not all(i in defined for i in table.inputs):
+                continue
+            if table.is_constant():
+                net.add_const(output, bool(table.constant_value()))
+            else:
+                tree, inverted = factor_cover(table)
+                counter = [0]
+                sig = _emit_factor_tree(net, tree, output, counter)
+                if inverted:
+                    sig = ~sig
+                # Name-preserving wrapper; sweep folds it away.
+                net.add_gate(output, AND, [sig])
+            defined.add(output)
+            del remaining[output]
+            progress = True
+    if remaining:
+        raise BlifError(
+            "cyclic or dangling table definitions: %s" % ", ".join(sorted(remaining))
+        )
+    for out in model.outputs:
+        net.set_output(out, Signal(out))
+    net.validate()
+    return net
+
+
+def mis_script(network: BooleanNetwork) -> BooleanNetwork:
+    """The cleanup half of the MIS script: constant propagation + sweep.
+
+    Algebraic restructuring happens at BLIF conversion time via
+    :func:`factored_network_from_blif`; this pass makes any network safe
+    for the mappers (no constants inside logic, no single-fanin gates, no
+    duplicate fanins).
+    """
+    return sweep(network)

@@ -1,0 +1,65 @@
+"""Best-effort mapping pipelines: composed flows with one call.
+
+Combines the individual passes into the flows a user actually wants:
+
+* :func:`map_area` — sweep → strash → refactor → Chortle → LUT merge:
+  the best area this repository knows how to get;
+* :func:`map_delay` — the same front end, then depth-bounded mapping at
+  a chosen slack, then LUT merge with the K bound (merging never
+  increases depth, since a folded table takes its reader's level).
+
+Every stage preserves functions; the composed flows are verified
+end-to-end in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.extensions.lutmerge import merge_luts
+from repro.extensions.pareto import DepthBoundedMapper
+from repro.network.network import BooleanNetwork
+from repro.network.transform import strash, sweep
+from repro.opt.refactor import refactor_network
+
+
+def _front_end(network: BooleanNetwork, refactor: bool) -> BooleanNetwork:
+    net = strash(sweep(network))
+    if refactor:
+        net = refactor_network(net)
+        net = strash(net)
+    return net
+
+
+def map_area(
+    network: BooleanNetwork,
+    k: int = 4,
+    refactor: bool = True,
+    merge: bool = True,
+) -> LUTCircuit:
+    """Area-focused composed flow; minimum LUTs this package can reach."""
+    net = _front_end(network, refactor)
+    circuit = ChortleMapper(k=k).map(net)
+    if merge:
+        circuit = merge_luts(circuit, k)
+    return circuit
+
+
+def map_delay(
+    network: BooleanNetwork,
+    k: int = 4,
+    slack: int = 0,
+    refactor: bool = True,
+    merge: bool = True,
+) -> LUTCircuit:
+    """Delay-focused composed flow: minimum depth, area recovered."""
+    net = _front_end(network, refactor)
+    circuit = DepthBoundedMapper(k=k, slack=slack).map(net)
+    if merge:
+        before = circuit.depth()
+        merged = merge_luts(circuit, k)
+        # Folding a single-fanout table into its reader keeps the reader's
+        # level, so depth cannot grow; assert the invariant anyway.
+        if merged.depth() <= before:
+            circuit = merged
+    return circuit

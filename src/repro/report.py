@@ -1,0 +1,117 @@
+"""Structured mapping reports (text and JSON-serializable dict forms).
+
+Gathers, in one object, everything a user wants to know after a mapping
+run: source-network statistics, LUT counts under both accountings, the
+utilization histogram, depth, and optionally XC3000-style CLB packing
+figures — suitable for printing, regression-diffing, or CI dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from repro.core.lut import LUTCircuit
+from repro.network.network import BooleanNetwork
+from repro.network.stats import network_stats
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """The result summary of mapping one network."""
+
+    circuit_name: str
+    k: int
+    mapper: str
+    num_inputs: int
+    num_outputs: int
+    source_gates: int
+    source_edges: int
+    source_depth: int
+    luts: int  # the paper's area metric (multi-input tables)
+    luts_total: int  # including interface inverters/buffers/constants
+    depth: int
+    utilization_histogram: Dict[int, int] = field(default_factory=dict)
+    seconds: Optional[float] = None
+    clbs: Optional[int] = None
+    clb_packing_ratio: Optional[float] = None
+
+    @property
+    def average_utilization(self) -> float:
+        total = sum(u * n for u, n in self.utilization_histogram.items())
+        count = sum(self.utilization_histogram.values())
+        return total / count if count else 0.0
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["average_utilization"] = round(self.average_utilization, 3)
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines = [
+            "mapping report: %s (K=%d, %s)" % (self.circuit_name, self.k, self.mapper),
+            "  source: %d in / %d out, %d gates, %d edges, depth %d"
+            % (
+                self.num_inputs,
+                self.num_outputs,
+                self.source_gates,
+                self.source_edges,
+                self.source_depth,
+            ),
+            "  result: %d LUTs (%d with interface tables), depth %d"
+            % (self.luts, self.luts_total, self.depth),
+            "  utilization: %s (average %.2f inputs/LUT)"
+            % (
+                dict(sorted(self.utilization_histogram.items())),
+                self.average_utilization,
+            ),
+        ]
+        if self.seconds is not None:
+            lines.append("  mapping time: %.3fs" % self.seconds)
+        if self.clbs is not None:
+            lines.append(
+                "  XC3000-style CLBs: %d (%.2f LUTs per block)"
+                % (self.clbs, self.clb_packing_ratio or 0.0)
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    network: BooleanNetwork,
+    circuit: LUTCircuit,
+    k: int,
+    mapper: str = "chortle",
+    seconds: Optional[float] = None,
+    pack_blocks: bool = False,
+) -> MappingReport:
+    """Assemble a :class:`MappingReport` for a mapped circuit."""
+    stats = network_stats(network)
+    clbs = None
+    ratio = None
+    if pack_blocks:
+        from repro.extensions.clb import pack_clbs
+
+        packing = pack_clbs(circuit)
+        clbs = packing.num_clbs
+        ratio = round(packing.packing_ratio, 3)
+    return MappingReport(
+        circuit_name=network.name,
+        k=k,
+        mapper=mapper,
+        num_inputs=stats.num_inputs,
+        num_outputs=stats.num_outputs,
+        source_gates=stats.num_gates,
+        source_edges=stats.num_edges,
+        source_depth=stats.depth,
+        luts=circuit.cost,
+        luts_total=circuit.num_luts,
+        depth=circuit.depth(),
+        utilization_histogram=circuit.utilization_histogram(),
+        seconds=seconds,
+        clbs=clbs,
+        clb_packing_ratio=ratio,
+    )

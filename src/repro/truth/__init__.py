@@ -1,0 +1,29 @@
+"""Boolean function substrate: truth tables and canonical forms.
+
+A :class:`TruthTable` is an immutable boolean function of ``n`` ordered
+variables stored as a bitmask over all ``2**n`` input assignments.  This is
+the representation used for LUT contents, for Boolean matching in the MIS
+baseline library, and for functional verification of mappings.
+"""
+
+from repro.truth.truthtable import TruthTable
+from repro.truth.canonical import (
+    np_canonical,
+    npn_canonical,
+    p_canonical,
+)
+from repro.truth.enumerate import (
+    all_functions,
+    count_p_classes,
+    p_class_representatives,
+)
+
+__all__ = [
+    "TruthTable",
+    "p_canonical",
+    "np_canonical",
+    "npn_canonical",
+    "all_functions",
+    "p_class_representatives",
+    "count_p_classes",
+]

@@ -1,0 +1,88 @@
+"""Canonical forms of boolean functions under input/output symmetry groups.
+
+Three progressively larger groups are supported:
+
+* **P**   — permutation of inputs.
+* **NP**  — permutation plus complementation of inputs.  This is the group
+  used for Boolean matching in the MIS baseline mapper, matching the
+  paper's accounting in which input inverters are free ("a simple
+  post-processor could easily merge all inverters into the lookup
+  tables").
+* **NPN** — NP plus complementation of the output.
+
+Canonicalization is by exhaustive minimization over the group, which is
+exact and fast enough for the variable counts that matter here (K <= 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from repro.truth.truthtable import TruthTable
+
+
+@lru_cache(maxsize=16)
+def _perm_tables(nvars: int) -> tuple:
+    """Precomputed minterm-index remappings, one per input permutation.
+
+    For a permutation ``perm``, entry ``m`` of its table is the source
+    minterm index such that ``permuted.bits[m] = original.bits[table[m]]``.
+    """
+    tables = []
+    for perm in itertools.permutations(range(nvars)):
+        table = []
+        for m in range(1 << nvars):
+            src_m = 0
+            for i in range(nvars):
+                if (m >> perm[i]) & 1:
+                    src_m |= 1 << i
+            table.append(src_m)
+        tables.append(tuple(table))
+    return tuple(tables)
+
+
+def _apply_index_table(bits: int, table: tuple) -> int:
+    out = 0
+    for m, src in enumerate(table):
+        if (bits >> src) & 1:
+            out |= 1 << m
+    return out
+
+
+def _neg_inputs(bits: int, mask: int, nvars: int) -> int:
+    out = 0
+    for m in range(1 << nvars):
+        if (bits >> (m ^ mask)) & 1:
+            out |= 1 << m
+    return out
+
+
+def p_canonical(tt: TruthTable) -> TruthTable:
+    """Smallest table bits over all input permutations."""
+    best = None
+    for table in _perm_tables(tt.nvars):
+        cand = _apply_index_table(tt.bits, table)
+        if best is None or cand < best:
+            best = cand
+    return TruthTable(tt.nvars, best)
+
+
+def np_canonical(tt: TruthTable) -> TruthTable:
+    """Smallest table bits over input permutations and input negations."""
+    best = None
+    n = tt.nvars
+    for mask in range(1 << n):
+        negged = _neg_inputs(tt.bits, mask, n)
+        for table in _perm_tables(n):
+            cand = _apply_index_table(negged, table)
+            if best is None or cand < best:
+                best = cand
+    return TruthTable(n, best)
+
+
+def npn_canonical(tt: TruthTable) -> TruthTable:
+    """Smallest table bits over the full NPN group."""
+    a = np_canonical(tt)
+    b = np_canonical(~tt)
+    return a if a.bits <= b.bits else b

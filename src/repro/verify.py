@@ -1,0 +1,72 @@
+"""Functional verification of mapped circuits against source networks.
+
+Exhaustive simulation is used for networks with at most
+``exhaustive_limit`` primary inputs; larger networks are checked on a
+configurable number of random vectors (bit-parallel, so thousands of
+vectors cost one simulation pass).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.errors import VerificationError
+from repro.core.lut import LUTCircuit
+from repro.network.network import BooleanNetwork
+from repro.network.simulate import exhaustive_input_words, simulate
+
+
+def verify_equivalence(
+    network: BooleanNetwork,
+    circuit: LUTCircuit,
+    vectors: int = 4096,
+    exhaustive_limit: int = 14,
+    seed: int = 2026,
+) -> int:
+    """Check every output port matches; returns the number of vectors used.
+
+    Raises :class:`VerificationError` on the first mismatching port.
+    """
+    inputs = network.inputs
+    if set(circuit.inputs) != set(inputs):
+        raise VerificationError(
+            "input sets differ: %s vs %s" % (sorted(inputs), sorted(circuit.inputs))
+        )
+    if set(network.outputs) - set(circuit.outputs):
+        raise VerificationError(
+            "missing output ports: %s"
+            % sorted(set(network.outputs) - set(circuit.outputs))
+        )
+
+    if len(inputs) <= exhaustive_limit:
+        words: Dict[str, int] = exhaustive_input_words(inputs)
+        width = 1 << len(inputs)
+    else:
+        rng = random.Random(seed)
+        width = vectors
+        words = {name: rng.getrandbits(width) for name in inputs}
+
+    mask = (1 << width) - 1
+    net_values = simulate(network, words, width)
+    ckt_values = circuit.simulate(words, width)
+    for port, sig in network.outputs.items():
+        expected = net_values[sig.name]
+        if sig.inv:
+            expected = ~expected
+        actual = ckt_values[circuit.outputs[port]]
+        if (expected ^ actual) & mask:
+            diff = bin((expected ^ actual) & mask).count("1")
+            raise VerificationError(
+                "output %r differs on %d of %d vectors" % (port, diff, width)
+            )
+    return width
+
+
+def equivalent(network: BooleanNetwork, circuit: LUTCircuit, **kwargs) -> bool:
+    """Boolean-returning convenience wrapper over :func:`verify_equivalence`."""
+    try:
+        verify_equivalence(network, circuit, **kwargs)
+    except VerificationError:
+        return False
+    return True

@@ -1,0 +1,106 @@
+"""Structural Verilog emission for mapped LUT circuits.
+
+Each lookup table becomes a truth-table wire indexed by the concatenated
+inputs — plain synthesizable Verilog-2001 with no vendor primitives, so
+the output drops into any simulation or FPGA flow:
+
+    wire [7:0] g_tt = 8'b11101010;
+    assign g = g_tt[{c, b, a}];
+
+Identifiers are sanitized (BLIF allows characters Verilog does not) with
+collision-free renaming; the port order follows the circuit's.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.core.lut import LUTCircuit
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_KEYWORDS = frozenset(
+    "module endmodule input output inout wire reg assign begin end always "
+    "if else case endcase for while integer parameter localparam initial "
+    "posedge negedge or and not nand nor xor xnor buf signed".split()
+)
+
+
+class _Namer:
+    """Deterministic, collision-free identifier sanitization."""
+
+    def __init__(self):
+        self._map: Dict[str, str] = {}
+        self._used = set(_KEYWORDS)
+
+    def __call__(self, name: str) -> str:
+        if name in self._map:
+            return self._map[name]
+        candidate = re.sub(r"[^A-Za-z0-9_]", "_", name)
+        if not candidate or not _IDENT.match(candidate) or candidate in _KEYWORDS:
+            candidate = "sig_" + candidate if candidate else "sig"
+        if not _IDENT.match(candidate):
+            candidate = "sig_" + re.sub(r"[^A-Za-z0-9_]", "_", candidate)
+        base = candidate
+        counter = 0
+        while candidate in self._used:
+            counter += 1
+            candidate = "%s_%d" % (base, counter)
+        self._used.add(candidate)
+        self._map[name] = candidate
+        return candidate
+
+
+def write_verilog(circuit: LUTCircuit, module_name: str = None) -> str:
+    """Serialize the LUT circuit as a structural Verilog module."""
+    name = _Namer()
+    module = re.sub(r"[^A-Za-z0-9_]", "_", module_name or circuit.name) or "mapped"
+    if not _IDENT.match(module) or module in _KEYWORDS:
+        module = "m_" + module
+
+    inputs = [name(n) for n in circuit.inputs]
+    outputs = circuit.outputs
+    port_names = {port: name("port$" + port) for port in outputs}
+
+    lines: List[str] = []
+    lines.append("module %s (" % module)
+    decls = ["    input  wire %s" % n for n in inputs]
+    decls += ["    output wire %s" % port_names[p] for p in outputs]
+    lines.append(",\n".join(decls))
+    lines.append(");")
+    lines.append("")
+
+    order = circuit.topological_order()
+    for lut_name in order:
+        lines.append("    wire %s;" % name(lut_name))
+    if order:
+        lines.append("")
+
+    for lut_name in order:
+        lut = circuit.lut(lut_name)
+        out = name(lut_name)
+        n = len(lut.inputs)
+        if n == 0:
+            lines.append("    assign %s = 1'b%d;" % (out, lut.tt.bits & 1))
+            continue
+        width = 1 << n
+        table_wire = out + "_tt"
+        bits = format(lut.tt.bits, "0%db" % width)
+        lines.append(
+            "    wire [%d:0] %s = %d'b%s;" % (width - 1, table_wire, width, bits)
+        )
+        # Bit m of the table is the value for assignment m, with input j
+        # at bit j: the index concatenation lists inputs MSB-first.
+        index = ", ".join(name(src) for src in reversed(lut.inputs))
+        lines.append("    assign %s = %s[{%s}];" % (out, table_wire, index))
+
+    lines.append("")
+    for port, sig in outputs.items():
+        lines.append("    assign %s = %s;" % (port_names[port], name(sig)))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(circuit: LUTCircuit, path, module_name: str = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_verilog(circuit, module_name=module_name))

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite (helpers live in tests/util.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.circuits import figure1_network
+from repro.network.builder import NetworkBuilder
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure 1 network."""
+    return figure1_network()
+
+
+@pytest.fixture
+def tiny_and_or():
+    """y = (a & b) | c — the smallest interesting mapping target."""
+    b = NetworkBuilder("tiny")
+    a, bb, c = b.inputs("a", "b", "c")
+    b.output("y", b.or_(b.and_(a, bb), c))
+    return b.network()

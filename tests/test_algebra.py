@@ -1,0 +1,124 @@
+"""Tests for cube/SOP algebra and algebraic division."""
+
+import pytest
+
+from repro.blif.sop import SopCover
+from repro.opt.algebra import (
+    algebraic_divide,
+    common_cube,
+    cube_literals,
+    divide_by_cube,
+    expr_from_cover,
+    expr_to_string,
+    is_cube_free,
+    literal_count,
+    make_cube,
+    make_expr,
+    multiply,
+)
+
+
+def E(*cubes):
+    return make_expr(*[c.split() for c in cubes])
+
+
+class TestCubes:
+    def test_make_cube_strings(self):
+        cube = make_cube("a", "~b")
+        assert ("a", True) in cube
+        assert ("b", False) in cube
+
+    def test_make_cube_pairs(self):
+        assert make_cube(("a", True)) == make_cube("a")
+
+    def test_cube_literals(self):
+        expr = E("a b", "c")
+        assert cube_literals(expr) == {("a", True), ("b", True), ("c", True)}
+
+    def test_literal_count(self):
+        assert literal_count(E("a b", "c")) == 3
+
+
+class TestMultiply:
+    def test_basic_product(self):
+        f = E("a", "b")
+        g = E("c", "d")
+        assert multiply(f, g) == E("a c", "a d", "b c", "b d")
+
+    def test_absorbs_same_literal(self):
+        f = E("a")
+        assert multiply(f, f) == E("a")
+
+    def test_drops_contradictions(self):
+        f = E("a")
+        g = E("~a")
+        assert multiply(f, g) == frozenset()
+
+
+class TestDivision:
+    def test_divide_by_cube(self):
+        f = E("a b c", "a b d", "e")
+        q = divide_by_cube(f, make_cube("a", "b"))
+        assert q == E("c", "d")
+
+    def test_algebraic_divide_exact(self):
+        # (a+b)(c+d) = ac+ad+bc+bd; dividing by (c+d) gives a+b, rem 0.
+        f = E("a c", "a d", "b c", "b d")
+        q, r = algebraic_divide(f, E("c", "d"))
+        assert q == E("a", "b")
+        assert r == frozenset()
+
+    def test_algebraic_divide_with_remainder(self):
+        f = E("a c", "a d", "b c", "b d", "e")
+        q, r = algebraic_divide(f, E("c", "d"))
+        assert q == E("a", "b")
+        assert r == E("e")
+
+    def test_divide_no_quotient(self):
+        f = E("a b")
+        q, r = algebraic_divide(f, E("c"))
+        assert q == frozenset()
+        assert r == f
+
+    def test_divide_by_empty_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            algebraic_divide(E("a"), frozenset())
+
+    def test_reconstruction_identity(self):
+        """f == q*d + r for weak division."""
+        f = E("a d f", "a e f", "b d f", "b e f", "c d f", "c e f", "g")
+        d = E("d", "e")
+        q, r = algebraic_divide(f, d)
+        assert multiply(q, d) | r == f
+
+
+class TestCubeFree:
+    def test_single_cube_not_cube_free(self):
+        assert not is_cube_free(E("a b"))
+
+    def test_common_literal_not_cube_free(self):
+        assert not is_cube_free(E("a b", "a c"))
+
+    def test_cube_free(self):
+        assert is_cube_free(E("a b", "c"))
+
+    def test_common_cube(self):
+        assert common_cube(E("a b c", "a b d")) == make_cube("a", "b")
+        assert common_cube(E("a", "b")) == frozenset()
+
+
+class TestCoverBridge:
+    def test_expr_from_cover(self):
+        cover = SopCover(["a", "b", "c"], "y", ["11-", "--0"])
+        expr = expr_from_cover(cover)
+        assert expr == E("a b", "~c")
+
+    def test_expr_from_offset_cover_rejected(self):
+        cover = SopCover(["a"], "y", ["1"], phase=0)
+        with pytest.raises(ValueError):
+            expr_from_cover(cover)
+
+    def test_expr_to_string_deterministic(self):
+        expr = E("b a", "c")
+        assert expr_to_string(expr) == "ab + c"
+        assert expr_to_string(frozenset()) == "0"

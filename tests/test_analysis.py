@@ -1,0 +1,82 @@
+"""Tests for post-mapping timing/wiring analysis."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.analysis import analyze_timing, analyze_wiring
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.truth.truthtable import TruthTable
+
+
+def two_level_circuit():
+    c = LUTCircuit("t")
+    for name in ("a", "b", "d"):
+        c.add_input(name)
+    c.add_lut("g", ("a", "b"), TruthTable.var(0, 2) & TruthTable.var(1, 2))
+    c.add_lut("h", ("g", "d"), TruthTable.var(0, 2) | TruthTable.var(1, 2))
+    c.set_output("y", "h")
+    c.set_output("mid", "g")
+    return c
+
+
+class TestTiming:
+    def test_depth_and_path(self):
+        timing = analyze_timing(two_level_circuit())
+        assert timing.depth == 2
+        assert timing.critical_port == "y"
+        assert timing.critical_path[-1] == "h"
+        assert timing.critical_path[0] in ("a", "b")
+        assert timing.num_critical_luts == 2
+
+    def test_arrival_times(self):
+        timing = analyze_timing(two_level_circuit())
+        assert timing.arrival["a"] == 0
+        assert timing.arrival["g"] == 1
+        assert timing.arrival["h"] == 2
+
+    def test_slack(self):
+        timing = analyze_timing(two_level_circuit())
+        # Everything on the critical path has zero slack.
+        for name in timing.critical_path:
+            assert timing.slack[name] == 0
+        # d arrives at 0 but is needed at 1.
+        assert timing.slack["d"] == 1
+
+    def test_depth_matches_circuit_method(self):
+        for seed in range(5):
+            net = make_random_network(seed, num_gates=12)
+            circuit = ChortleMapper(k=4).map(net)
+            assert analyze_timing(circuit).depth == circuit.depth()
+
+    def test_critical_path_is_connected(self):
+        net = make_random_network(3, num_gates=15)
+        circuit = ChortleMapper(k=3).map(net)
+        timing = analyze_timing(circuit)
+        path = timing.critical_path
+        for src, dst in zip(path, path[1:]):
+            assert src in circuit.lut(dst).inputs
+
+    def test_empty_circuit(self):
+        c = LUTCircuit("e")
+        c.add_input("a")
+        timing = analyze_timing(c)
+        assert timing.depth == 0
+        assert timing.critical_path == ()
+
+
+class TestWiring:
+    def test_counts(self):
+        wiring = analyze_wiring(two_level_circuit())
+        # nets: a, b, d, g, h
+        assert wiring.num_nets == 5
+        # pins: g reads a,b; h reads g,d; ports read h and g.
+        assert wiring.total_pins == 6
+        assert wiring.max_fanout == 2  # g: read by h and the mid port
+
+    def test_histogram_sums(self):
+        net = make_random_network(4, num_gates=12)
+        circuit = ChortleMapper(k=4).map(net)
+        wiring = analyze_wiring(circuit)
+        assert sum(wiring.fanout_histogram.values()) == wiring.num_nets
+        assert wiring.average_fanout > 0

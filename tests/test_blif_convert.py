@@ -1,0 +1,122 @@
+"""Tests for BLIF <-> network conversion."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.blif.convert import blif_to_network, network_to_blif_model
+from repro.blif.parser import parse_blif
+from repro.errors import BlifError
+from repro.network.simulate import output_truth_tables
+from repro.network.transform import sweep
+from repro.truth.truthtable import TruthTable
+
+
+def roundtrip_functions(net):
+    """net -> BLIF model -> net again; compare output functions."""
+    model = network_to_blif_model(net)
+    back = blif_to_network(model)
+    return output_truth_tables(net), output_truth_tables(back)
+
+
+class TestBlifToNetwork:
+    def test_simple(self):
+        text = """
+.model m
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+"""
+        net = blif_to_network(parse_blif(text))
+        tts = output_truth_tables(net)
+        a, b, c = (TruthTable.var(j, 3) for j in range(3))
+        assert tts["y"] == (a & b) | c
+
+    def test_phase0_table(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        net = blif_to_network(parse_blif(text))
+        tts = output_truth_tables(net)
+        assert tts["y"] == ~(TruthTable.var(0, 2) & TruthTable.var(1, 2))
+
+    def test_single_literal_inverter(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n"
+        net = blif_to_network(parse_blif(text))
+        tts = output_truth_tables(net)
+        assert tts["y"] == ~TruthTable.var(0, 1)
+
+    def test_constant_output(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        net = blif_to_network(parse_blif(text))
+        tts = output_truth_tables(net)
+        assert tts["y"] == TruthTable.const(True, 1)
+
+    def test_out_of_order_tables(self):
+        # The y table references t before t is defined: legal BLIF.
+        text = """
+.model m
+.inputs a b
+.outputs y
+.names t b y
+11 1
+.names a b t
+-1 1
+.end
+"""
+        net = blif_to_network(parse_blif(text))
+        assert "t" in net
+
+    def test_multi_level_covers(self):
+        text = """
+.model m
+.inputs a b c d
+.outputs y
+.names a b c d y
+11-- 1
+--11 1
+.end
+"""
+        net = blif_to_network(parse_blif(text))
+        tts = output_truth_tables(net)
+        a, b, c, d = (TruthTable.var(j, 4) for j in range(4))
+        assert tts["y"] == (a & b) | (c & d)
+
+
+class TestNetworkToBlif:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_trip_preserves_functions(self, seed):
+        net = make_random_network(seed, num_gates=12)
+        orig, back = roundtrip_functions(net)
+        assert orig == back
+
+    def test_inverted_output_round_trip(self):
+        net = make_random_network(1)
+        port, sig = next(iter(net.outputs.items()))
+        net.set_output(port, sig.name, inv=not sig.inv)
+        model = network_to_blif_model(net)
+        back = blif_to_network(model)
+        orig_tts = output_truth_tables(net)
+        back_tts = output_truth_tables(back)
+        assert orig_tts[port] == back_tts[port]
+
+    def test_const_node_round_trip(self):
+        from repro.network.network import BooleanNetwork
+
+        net = BooleanNetwork("c")
+        net.add_input("a")
+        net.add_const("one", True)
+        net.set_output("y", "one")
+        model = network_to_blif_model(net)
+        back = blif_to_network(model)
+        assert output_truth_tables(back)["y"] == TruthTable.const(True, 1)
+
+    def test_sweep_after_round_trip_restores_shape(self):
+        net = make_random_network(3, num_gates=10)
+        model = network_to_blif_model(net)
+        back = sweep(blif_to_network(model))
+        # Same gate count modulo naming: the conversion only adds
+        # buffers/cube nodes that sweep folds away.
+        assert back.num_gates == net.num_gates

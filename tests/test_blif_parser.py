@@ -1,0 +1,178 @@
+"""Tests for the BLIF parser."""
+
+import pytest
+
+from repro.blif.parser import parse_blif, parse_blif_file
+from repro.errors import BlifError
+
+SIMPLE = """
+.model simple
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+"""
+
+
+class TestBasicParsing:
+    def test_simple_model(self):
+        model = parse_blif(SIMPLE)
+        assert model.name == "simple"
+        assert model.inputs == ["a", "b", "c"]
+        assert model.outputs == ["y"]
+        assert len(model.tables) == 2
+        t = model.table_map()["t"]
+        assert t.inputs == ("a", "b")
+        assert t.cubes == ("11",)
+
+    def test_comments_stripped(self):
+        text = SIMPLE.replace(".inputs a b c", ".inputs a b c  # the inputs")
+        model = parse_blif(text)
+        assert model.inputs == ["a", "b", "c"]
+
+    def test_line_continuation(self):
+        text = SIMPLE.replace(".inputs a b c", ".inputs a \\\nb c")
+        model = parse_blif(text)
+        assert model.inputs == ["a", "b", "c"]
+
+    def test_dangling_continuation(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a \\")
+
+    def test_multiple_inputs_lines(self):
+        text = SIMPLE.replace(".inputs a b c", ".inputs a b\n.inputs c")
+        model = parse_blif(text)
+        assert model.inputs == ["a", "b", "c"]
+
+    def test_missing_model(self):
+        with pytest.raises(BlifError):
+            parse_blif(".inputs a\n")
+
+    def test_only_first_model_read(self):
+        text = SIMPLE + "\n.model second\n.inputs x\n.outputs z\n.names x z\n1 1\n.end\n"
+        model = parse_blif(text)
+        assert model.name == "simple"
+
+
+class TestCovers:
+    def test_phase0_cover(self):
+        text = """
+.model m
+.inputs a b
+.outputs y
+.names a b y
+11 0
+00 0
+.end
+"""
+        model = parse_blif(text)
+        cover = model.tables[0]
+        assert cover.phase == 0
+        assert cover.evaluate([1, 0]) == 1
+        assert cover.evaluate([1, 1]) == 0
+
+    def test_mixed_phase_rejected(self):
+        text = """
+.model m
+.inputs a
+.outputs y
+.names a y
+1 1
+0 0
+.end
+"""
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_constant_one_table(self):
+        text = ".model m\n.outputs y\n.names y\n1\n.end\n"
+        model = parse_blif(text)
+        assert model.tables[0].is_constant()
+        assert model.tables[0].constant_value() == 1
+
+    def test_constant_zero_empty_table(self):
+        text = ".model m\n.outputs y\n.names y\n.end\n"
+        model = parse_blif(text)
+        assert model.tables[0].constant_value() == 0
+
+    def test_dense_cube_form(self):
+        # Some writers glue the output bit onto the cube: "111" == "11 1".
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n111\n.end\n"
+        model = parse_blif(text)
+        assert model.tables[0].cubes == ("11",)
+
+    def test_malformed_cube(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1 1 1\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_bad_output_bit(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 2\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_cube_outside_table(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n11 1\n.end\n")
+
+
+class TestRejectedConstructs:
+    @pytest.mark.parametrize("construct", [".latch a b", ".subckt foo x=a", ".gate nand2 a=x"])
+    def test_sequential_and_hierarchy_rejected(self, construct):
+        text = ".model m\n.inputs a\n.outputs y\n%s\n.end\n" % construct
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.bogus x\n.end\n")
+
+    def test_ignorable_constructs_skipped(self):
+        text = ".model m\n.inputs a\n.outputs y\n.default_input_arrival 1 1\n.names a y\n1 1\n.end\n"
+        model = parse_blif(text)
+        assert len(model.tables) == 1
+
+    def test_names_without_output(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.names\n.end\n")
+
+
+class TestValidation:
+    def test_double_definition_rejected(self):
+        text = """
+.model m
+.inputs a
+.outputs y
+.names a y
+1 1
+.names a y
+0 1
+.end
+"""
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_undefined_table_input(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names ghost y\n1 1\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_undefined_output(self):
+        text = ".model m\n.inputs a\n.outputs ghost\n.names a y\n1 1\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_validation_can_be_disabled(self):
+        text = ".model m\n.inputs a\n.outputs ghost\n.names a y\n1 1\n.end\n"
+        model = parse_blif(text, validate=False)
+        assert model.outputs == ["ghost"]
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "m.blif"
+        path.write_text(SIMPLE)
+        model = parse_blif_file(path)
+        assert model.name == "simple"

@@ -1,0 +1,68 @@
+"""Tests for the expression-style network builder."""
+
+import pytest
+
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import network_truth_tables, output_truth_tables
+from repro.truth.truthtable import TruthTable
+
+
+class TestBuilder:
+    def test_inputs(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        assert a.name == "a" and c.name == "c"
+
+    def test_and_or(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        y = b.or_(b.and_(a, c), ~a)
+        b.output("y", y)
+        net = b.network()
+        tts = output_truth_tables(net)
+        va, vc = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert tts["y"] == (va & vc) | ~va
+
+    def test_named_gates(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        s = b.and_(a, c, name="myand")
+        assert s.name == "myand"
+
+    def test_nand_nor(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("nand", b.nand_(a, c))
+        b.output("nor", b.nor_(a, c))
+        tts = output_truth_tables(b.network())
+        va, vc = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert tts["nand"] == ~(va & vc)
+        assert tts["nor"] == ~(va | vc)
+
+    def test_xor(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("x", b.xor_(a, c))
+        tts = output_truth_tables(b.network())
+        assert tts["x"] == TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+    def test_auto_names_unique(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        s1 = b.and_(a, c)
+        s2 = b.and_(a, ~c)
+        assert s1.name != s2.name
+
+    def test_validation_runs(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("y", b.and_(a, c))
+        net = b.network(validate=True)
+        assert net.num_gates == 1
+
+    def test_inverted_output(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("y", ~b.and_(a, c))
+        tts = output_truth_tables(b.network())
+        assert tts["y"] == ~(TruthTable.var(0, 2) & TruthTable.var(1, 2))

@@ -1,0 +1,112 @@
+"""Tests for P/NP/NPN canonicalization."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.truth.canonical import np_canonical, npn_canonical, p_canonical
+from repro.truth.truthtable import TruthTable
+
+
+def tables(n):
+    return st.integers(min_value=0, max_value=(1 << (1 << n)) - 1).map(
+        lambda bits: TruthTable(n, bits)
+    )
+
+
+class TestPCanonical:
+    def test_and_permutations_collapse(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert p_canonical(a & ~b) == p_canonical(b & ~a)
+
+    def test_distinct_functions_stay_distinct(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert p_canonical(a & b) != p_canonical(a | b)
+
+    def test_canonical_is_member_of_class(self):
+        tt = TruthTable(3, 0b11010010)
+        canon = p_canonical(tt)
+        members = {
+            tt.permute(list(p)).bits for p in itertools.permutations(range(3))
+        }
+        assert canon.bits in members
+        assert canon.bits == min(members)
+
+    @given(tables(3), st.randoms(use_true_random=False))
+    @settings(max_examples=50)
+    def test_invariant_under_permutation(self, tt, rnd):
+        perm = list(range(3))
+        rnd.shuffle(perm)
+        assert p_canonical(tt) == p_canonical(tt.permute(perm))
+
+
+class TestNPCanonical:
+    def test_polarity_collapse(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert np_canonical(a & b) == np_canonical(a & ~b)
+        assert np_canonical(a & b) == np_canonical(~a & ~b)
+
+    def test_xor_xnor_same_np_class(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        # xnor = xor with one input complemented
+        assert np_canonical(a ^ b) == np_canonical(~(a ^ b))
+
+    def test_and_or_distinct_np_classes(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert np_canonical(a & b) != np_canonical(a | b)
+
+    @given(tables(3), st.integers(0, 7), st.randoms(use_true_random=False))
+    @settings(max_examples=50)
+    def test_invariant_under_np_transform(self, tt, mask, rnd):
+        perm = list(range(3))
+        rnd.shuffle(perm)
+        transformed = tt.negate_inputs(mask).permute(perm)
+        assert np_canonical(tt) == np_canonical(transformed)
+
+
+class TestNPNCanonical:
+    def test_and_nand_same_npn_class(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert npn_canonical(a & b) == npn_canonical(~(a & b))
+
+    def test_and_or_same_npn_class(self):
+        # OR is NAND of complemented inputs: same NPN class as AND.
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        assert npn_canonical(a & b) == npn_canonical(a | b)
+
+    def test_npn_class_count_2vars(self):
+        # The classical result: 4 NPN classes of 2-variable functions.
+        classes = {npn_canonical(TruthTable(2, bits)).bits for bits in range(16)}
+        assert len(classes) == 4
+
+    def test_npn_class_count_3vars(self):
+        # The classical result: 14 NPN classes of 3-variable functions.
+        classes = {npn_canonical(TruthTable(3, bits)).bits for bits in range(256)}
+        assert len(classes) == 14
+
+    @given(tables(3))
+    @settings(max_examples=50)
+    def test_invariant_under_output_negation(self, tt):
+        assert npn_canonical(tt) == npn_canonical(~tt)
+
+
+class TestClassHierarchy:
+    @given(tables(3))
+    @settings(max_examples=40)
+    def test_np_refines_npn(self, tt):
+        """Functions in the same NP class are in the same NPN class."""
+        assert npn_canonical(np_canonical(tt)) == npn_canonical(tt)
+
+    @given(tables(3))
+    @settings(max_examples=40)
+    def test_p_refines_np(self, tt):
+        assert np_canonical(p_canonical(tt)) == np_canonical(tt)
+
+    @given(tables(3))
+    @settings(max_examples=40)
+    def test_canonicalization_idempotent(self, tt):
+        assert p_canonical(p_canonical(tt)) == p_canonical(tt)
+        assert np_canonical(np_canonical(tt)) == np_canonical(tt)
+        assert npn_canonical(npn_canonical(tt)) == npn_canonical(tt)

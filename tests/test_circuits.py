@@ -1,0 +1,199 @@
+"""Tests for the hand-written example circuits."""
+
+import itertools
+
+import pytest
+
+from repro.bench.circuits import (
+    figure1_network,
+    majority,
+    mux_tree,
+    parity_tree,
+    ripple_adder,
+    wide_and,
+)
+from repro.network.simulate import output_truth_tables
+from repro.truth.truthtable import TruthTable
+
+
+class TestFigure1:
+    def test_structure(self):
+        net = figure1_network()
+        assert net.num_inputs == 5
+        assert net.num_outputs == 2
+        assert net.num_gates == 4
+
+    def test_functions(self):
+        tts = output_truth_tables(figure1_network())
+        a, b, c, d, e = (TruthTable.var(j, 5) for j in range(5))
+        assert tts["y"] == (a & b) | ~c
+        assert tts["z"] == (a & b) | ~c | (c & d & e)
+
+
+class TestParityTree:
+    @pytest.mark.parametrize("width", [2, 3, 8])
+    def test_parity(self, width):
+        tts = output_truth_tables(parity_tree(width))
+        expected = TruthTable.var(0, width)
+        for j in range(1, width):
+            expected = expected ^ TruthTable.var(j, width)
+        assert tts["parity"] == expected
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_addition(self, width):
+        net = ripple_adder(width)
+        tts = output_truth_tables(net)
+        n = 2 * width
+        for a in range(1 << width):
+            for b in range(1 << width):
+                m = 0
+                for i in range(width):
+                    if (a >> i) & 1:
+                        m |= 1 << net.inputs.index("a%d" % i)
+                    if (b >> i) & 1:
+                        m |= 1 << net.inputs.index("b%d" % i)
+                total = a + b
+                for i in range(width):
+                    assert tts["sum%d" % i].value(m) == (total >> i) & 1
+                assert tts["cout"].value(m) == (total >> width) & 1
+
+
+class TestMajority:
+    @pytest.mark.parametrize("width", [3, 5])
+    def test_majority_function(self, width):
+        tts = output_truth_tables(majority(width))
+        for m in range(1 << width):
+            expected = bin(m).count("1") > width // 2
+            assert tts["maj"].value(m) == int(expected)
+
+
+class TestMuxTree:
+    def test_mux_selects(self):
+        net = mux_tree(2)
+        tts = output_truth_tables(net)
+        inputs = list(net.inputs)
+        for sel in range(4):
+            for data in range(16):
+                m = 0
+                for i in range(2):
+                    if (sel >> i) & 1:
+                        m |= 1 << inputs.index("s%d" % i)
+                for i in range(4):
+                    if (data >> i) & 1:
+                        m |= 1 << inputs.index("d%d" % i)
+                assert tts["y"].value(m) == (data >> sel) & 1
+
+
+class TestWideAnd:
+    def test_wide_and(self):
+        tts = output_truth_tables(wide_and(6))
+        assert tts["y"].count_ones() == 1
+        assert tts["y"].value((1 << 6) - 1) == 1
+
+
+class TestDecoder:
+    def test_one_hot(self):
+        from repro.bench.circuits import decoder
+
+        net = decoder(3)
+        tts = output_truth_tables(net)
+        for sel in range(8):
+            outputs = [tts["o%d" % code].value(sel) for code in range(8)]
+            assert outputs == [1 if code == sel else 0 for code in range(8)]
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_eq_and_gt(self, width):
+        from repro.bench.circuits import comparator
+
+        net = comparator(width)
+        tts = output_truth_tables(net)
+        inputs = list(net.inputs)
+        for a in range(1 << width):
+            for b in range(1 << width):
+                m = 0
+                for i in range(width):
+                    if (a >> i) & 1:
+                        m |= 1 << inputs.index("a%d" % i)
+                    if (b >> i) & 1:
+                        m |= 1 << inputs.index("b%d" % i)
+                assert tts["eq"].value(m) == int(a == b)
+                assert tts["gt"].value(m) == int(a > b)
+
+
+class TestBarrelShifter:
+    def test_shifts(self):
+        from repro.bench.circuits import barrel_shifter
+
+        net = barrel_shifter(4)
+        tts = output_truth_tables(net)
+        inputs = list(net.inputs)
+        for shift in range(4):
+            for data in range(16):
+                m = 0
+                for i in range(2):
+                    if (shift >> i) & 1:
+                        m |= 1 << inputs.index("s%d" % i)
+                for i in range(4):
+                    if (data >> i) & 1:
+                        m |= 1 << inputs.index("d%d" % i)
+                # The "zero" fill input is left at 0.
+                expected = (data << shift) & 0xF
+                got = 0
+                for i in range(4):
+                    if tts["q%d" % i].value(m):
+                        got |= 1 << i
+                assert got == expected, (shift, data)
+
+
+class TestAluSlice:
+    def test_all_opcodes(self):
+        from repro.bench.circuits import alu_slice
+
+        net = alu_slice()
+        tts = output_truth_tables(net)
+        inputs = list(net.inputs)
+
+        def idx(name):
+            return inputs.index(name)
+
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    for op in range(4):
+                        m = (
+                            (a << idx("a"))
+                            | (b << idx("b"))
+                            | (cin << idx("cin"))
+                            | ((op & 1) << idx("op0"))
+                            | ((op >> 1) << idx("op1"))
+                        )
+                        expected = [
+                            a & b, a | b, a ^ b, (a ^ b) ^ cin,
+                        ][op]
+                        assert tts["y"].value(m) == expected, (a, b, cin, op)
+                        # cout is the adder carry, independent of the opcode.
+                        assert tts["cout"].value(m) == int(a + b + cin >= 2)
+
+
+class TestAllCircuitsMap:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: __import__("repro.bench.circuits", fromlist=["decoder"]).decoder(3),
+            lambda: __import__("repro.bench.circuits", fromlist=["comparator"]).comparator(3),
+            lambda: __import__("repro.bench.circuits", fromlist=["barrel_shifter"]).barrel_shifter(4),
+            lambda: __import__("repro.bench.circuits", fromlist=["alu_slice"]).alu_slice(),
+        ],
+    )
+    @pytest.mark.parametrize("k", [3, 5])
+    def test_mappable_and_equivalent(self, maker, k):
+        from repro.core.chortle import ChortleMapper
+        from repro.verify import verify_equivalence
+
+        net = maker()
+        circuit = ChortleMapper(k=k).map(net)
+        verify_equivalence(net, circuit)

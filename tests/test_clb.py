@@ -1,0 +1,136 @@
+"""Tests for XC3000-style CLB packing."""
+
+import math
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.errors import MappingError
+from repro.extensions.clb import Clb, ClbPacker, pack_clbs
+from repro.truth.truthtable import TruthTable
+
+
+def circuit_with_luts(specs):
+    """Build a LUT circuit from (name, input-names) specs."""
+    circuit = LUTCircuit("t")
+    signals = set()
+    for _, inputs in specs:
+        signals.update(inputs)
+    for sig in sorted(signals):
+        circuit.add_input(sig)
+    for name, inputs in specs:
+        tt = TruthTable.const(True, len(inputs))
+        circuit.add_lut(name, tuple(inputs), tt)
+    return circuit
+
+
+class TestCompatibility:
+    def test_small_pair_no_sharing_needed(self):
+        packer = ClbPacker()
+        assert packer.can_pair(frozenset("ab"), frozenset("cd"))
+
+    def test_wide_pair_needs_sharing(self):
+        packer = ClbPacker()
+        assert not packer.can_pair(frozenset("abcd"), frozenset("efgh"))
+        assert packer.can_pair(frozenset("abcd"), frozenset("abce"))
+
+    def test_five_input_lut_not_pairable(self):
+        packer = ClbPacker()
+        assert not packer.can_pair(frozenset("abcde"), frozenset("a"))
+
+
+class TestPacking:
+    def test_disjoint_small_luts_pair(self):
+        circuit = circuit_with_luts([("l1", ["a", "b"]), ("l2", ["c", "d"])])
+        packing = pack_clbs(circuit)
+        assert packing.num_clbs == 1
+        assert packing.num_pairs == 1
+        assert packing.packing_ratio == 2.0
+
+    def test_sharing_pair(self):
+        circuit = circuit_with_luts(
+            [("l1", ["a", "b", "c", "d"]), ("l2", ["a", "b", "c", "e"])]
+        )
+        packing = pack_clbs(circuit)
+        assert packing.num_clbs == 1
+        assert set(packing.clbs[0].inputs) == {"a", "b", "c", "d", "e"}
+
+    def test_unpairable_wide_luts(self):
+        circuit = circuit_with_luts(
+            [("l1", ["a", "b", "c", "d"]), ("l2", ["e", "f", "g", "h"])]
+        )
+        packing = pack_clbs(circuit)
+        assert packing.num_clbs == 2
+        assert packing.num_pairs == 0
+
+    def test_five_input_lut_occupies_block_alone(self):
+        circuit = circuit_with_luts(
+            [("l1", ["a", "b", "c", "d", "e"]), ("l2", ["a", "b"])]
+        )
+        packing = pack_clbs(circuit)
+        assert packing.num_clbs == 2
+
+    def test_six_input_lut_rejected(self):
+        circuit = circuit_with_luts([("l1", list("abcdef"))])
+        with pytest.raises(MappingError):
+            pack_clbs(circuit)
+
+    def test_triangle_matches_one_pair(self):
+        # Three mutually pairable LUTs: exactly one pair + one single.
+        circuit = circuit_with_luts(
+            [("l1", ["a", "b"]), ("l2", ["a", "c"]), ("l3", ["b", "c"])]
+        )
+        packing = pack_clbs(circuit)
+        assert packing.num_clbs == 2
+        assert packing.num_pairs == 1
+
+    def test_inverter_pairs_with_anything(self):
+        circuit = circuit_with_luts(
+            [("inv", ["a"]), ("l2", ["b", "c", "d", "e"])]
+        )
+        packing = pack_clbs(circuit)
+        assert packing.num_clbs == 1
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(MappingError):
+            ClbPacker(method="magic")
+
+
+class TestMatchingQuality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_at_least_as_good_as_greedy(self, seed):
+        net = make_random_network(seed, num_gates=20)
+        circuit = ChortleMapper(k=4).map(net)
+        exact = ClbPacker(method="exact").pack(circuit)
+        greedy = ClbPacker(method="greedy").pack(circuit)
+        assert exact.num_clbs <= greedy.num_clbs
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bounds(self, seed):
+        net = make_random_network(seed, num_gates=20)
+        circuit = ChortleMapper(k=4).map(net)
+        packing = pack_clbs(circuit)
+        assert math.ceil(circuit.num_luts / 2) <= packing.num_clbs
+        assert packing.num_clbs <= circuit.num_luts
+        assert packing.num_luts == circuit.num_luts
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_lut_in_exactly_one_clb(self, seed):
+        net = make_random_network(seed, num_gates=20)
+        circuit = ChortleMapper(k=4).map(net)
+        packing = pack_clbs(circuit)
+        placed = [name for clb in packing.clbs for name in clb.luts]
+        assert sorted(placed) == sorted(l.name for l in circuit.luts())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_clb_legal(self, seed):
+        net = make_random_network(seed, num_gates=20)
+        circuit = ChortleMapper(k=4).map(net)
+        packer = ClbPacker()
+        for clb in packer.pack(circuit).clbs:
+            assert len(clb.inputs) <= 5
+            if clb.is_paired:
+                for name in clb.luts:
+                    assert len(circuit.lut(name).inputs) <= 4

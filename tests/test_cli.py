@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def blif_file(tmp_path, capsys):
+    path = tmp_path / "count.blif"
+    assert main(["generate", "count", "-o", str(path)]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_blif(self, tmp_path, capsys):
+        path = tmp_path / "c.blif"
+        assert main(["generate", "frg1", "-o", str(path)]) == 0
+        text = path.read_text()
+        assert ".model frg1" in text
+
+    def test_generate_stdout(self, capsys):
+        assert main(["generate", "9symml"]) == 0
+        out = capsys.readouterr().out
+        assert ".model 9symml" in out
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "bogus"])
+
+
+class TestMap:
+    @pytest.mark.parametrize("mapper", ["chortle", "mis", "flowmap", "binpack"])
+    def test_mappers(self, blif_file, tmp_path, capsys, mapper):
+        out = tmp_path / "out.blif"
+        rc = main(
+            ["map", str(blif_file), "-k", "4", "--mapper", mapper,
+             "--verify", "-o", str(out)]
+        )
+        assert rc == 0
+        assert ".model" in out.read_text()
+        assert "LUTs" in capsys.readouterr().err
+
+    def test_map_with_factoring(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        rc = main(["map", str(blif_file), "--factor", "--verify", "-o", str(out)])
+        assert rc == 0
+
+    def test_map_to_stdout(self, blif_file, capsys):
+        assert main(["map", str(blif_file), "-k", "3"]) == 0
+        assert ".names" in capsys.readouterr().out
+
+    def test_bad_blif_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.blif"
+        path.write_text(".model m\n.latch a b\n.end\n")
+        assert main(["map", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStatsAndVerify:
+    def test_stats(self, blif_file, capsys):
+        assert main(["stats", str(blif_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fanin histogram" in out
+
+    def test_verify_equivalent(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        main(["map", str(blif_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(blif_file), str(out)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_verify_detects_difference(self, tmp_path, capsys):
+        a = tmp_path / "a.blif"
+        b = tmp_path / "b.blif"
+        a.write_text(
+            ".model m\n.inputs x y\n.outputs z\n.names x y z\n11 1\n.end\n"
+        )
+        b.write_text(
+            ".model m\n.inputs x y\n.outputs z\n.names x y z\n1- 1\n-1 1\n.end\n"
+        )
+        assert main(["verify", str(a), str(b)]) == 1
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["map", "x.blif", "-k", "5"])
+        assert args.k == 5
+
+
+class TestVerilogAndAnalyze:
+    def test_verilog_output(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        vfile = tmp_path / "out.v"
+        rc = main(
+            ["map", str(blif_file), "-k", "4", "-o", str(out),
+             "--verilog", str(vfile)]
+        )
+        assert rc == 0
+        text = vfile.read_text()
+        assert text.startswith("module ")
+        assert "endmodule" in text
+
+    def test_analyze(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        main(["map", str(blif_file), "-k", "4", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        assert "max fanout" in text
+
+    def test_minimize_flag(self, blif_file, tmp_path):
+        out = tmp_path / "out.blif"
+        rc = main(
+            ["map", str(blif_file), "--minimize", "--verify", "-o", str(out)]
+        )
+        assert rc == 0

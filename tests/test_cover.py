@@ -1,0 +1,61 @@
+"""Tests for cover-legality checking."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.core.cover import check_cover
+from repro.core.lut import LUTCircuit
+from repro.errors import VerificationError
+from repro.truth.truthtable import TruthTable
+
+
+class TestCheckCover:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_covers_pass(self, seed):
+        net = make_random_network(seed)
+        for k in (3, 4):
+            check_cover(net, ChortleMapper(k=k).map(net), k)
+
+    def test_k_violation_detected(self, fig1):
+        circuit = ChortleMapper(k=5).map(fig1)
+        with pytest.raises(Exception):
+            check_cover(fig1, circuit, 2)
+
+    def test_missing_output_detected(self, fig1):
+        circuit = ChortleMapper(k=3).map(fig1)
+        broken = LUTCircuit("broken")
+        for name in circuit.inputs:
+            broken.add_input(name)
+        for lut_name in circuit.topological_order():
+            lut = circuit.lut(lut_name)
+            broken.add_lut(lut.name, lut.inputs, lut.tt)
+        # Only wire one of the two outputs.
+        broken.set_output("z", circuit.outputs["z"])
+        with pytest.raises(VerificationError):
+            check_cover(fig1, broken, 3)
+
+    def test_wrong_function_detected(self, fig1):
+        circuit = ChortleMapper(k=3).map(fig1)
+        tampered = LUTCircuit("tampered")
+        for name in circuit.inputs:
+            tampered.add_input(name)
+        for lut_name in circuit.topological_order():
+            lut = circuit.lut(lut_name)
+            tt = ~lut.tt if lut_name == "g4" else lut.tt
+            tampered.add_lut(lut.name, lut.inputs, tt)
+        for port, sig in circuit.outputs.items():
+            tampered.set_output(port, sig)
+        with pytest.raises(VerificationError):
+            check_cover(fig1, tampered, 3)
+
+    def test_wrong_inputs_detected(self, fig1):
+        circuit = LUTCircuit("empty")
+        circuit.add_input("not_a_real_input")
+        with pytest.raises(VerificationError):
+            check_cover(fig1, circuit, 3)
+
+    def test_large_network_uses_random_vectors(self):
+        net = make_random_network(7, num_inputs=16, num_gates=25)
+        circuit = ChortleMapper(k=4).map(net)
+        check_cover(net, circuit, 4, vectors=128)

@@ -1,0 +1,55 @@
+"""Tests for depth tie-breaking inside the tree DP."""
+
+import pytest
+
+from tests.util import make_random_network, make_random_tree_network
+from repro.core.chortle import ChortleMapper
+from repro.core.forest import build_forest
+from repro.core.tree_mapper import TreeMapper, placement_depth
+from repro.extensions.flowmap import FlowMapper
+
+
+class TestDepthBookkeeping:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_candidate_depth_matches_emitted_circuit(self, seed, k):
+        """MapCand.depth must equal the real LUT depth of the tree."""
+        net = make_random_tree_network(seed, depth=3)
+        forest = build_forest(net)
+        cand = TreeMapper(k).map_tree(net, forest.trees[0])
+        circuit = ChortleMapper(k=k).map(net)
+        # Single tree: circuit depth equals the candidate's depth.
+        assert circuit.depth() == cand.depth
+
+    def test_placement_depth_rules(self):
+        from repro.core.tree_mapper import MapCand
+
+        leafy = MapCand(1, "and", (("ext", "a", False),), input_depth=0)
+        assert placement_depth(("ext", "x", False)) == 0
+        assert placement_depth(("wire", leafy, False)) == 1
+        assert placement_depth(("merged", leafy, False)) == 0
+
+
+class TestDepthQuality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_depth_bounded_by_flowmap_times_factor(self, seed):
+        """With tie-breaking, area-optimal mappings stay within a small
+        constant factor of the subject-graph depth optimum.  (Chortle may
+        even go *below* it by restructuring wide nodes, so only the upper
+        bound is asserted on the raw network.)"""
+        net = make_random_network(seed, num_gates=12)
+        chortle_depth = ChortleMapper(k=4).map(net).depth()
+        optimal = FlowMapper(k=4).optimal_depth(net)
+        assert chortle_depth <= 3 * optimal + 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_cost_unchanged_by_tiebreak(self, seed, k):
+        """Depth is strictly a tie-break: costs equal the exhaustive
+        oracle regardless."""
+        from repro.core.divisions import exhaustive_map_tree
+
+        net = make_random_tree_network(seed, depth=3, max_fanin=4)
+        forest = build_forest(net)
+        cand = TreeMapper(k).map_tree(net, forest.trees[0])
+        assert cand.cost == exhaustive_map_tree(net, forest.trees[0], k)

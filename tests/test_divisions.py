@@ -1,0 +1,53 @@
+"""Tests for the exhaustive reference implementation itself."""
+
+import pytest
+
+from repro.core.divisions import (
+    exhaustive_node_costs,
+    set_partitions,
+)
+from repro.errors import MappingError
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]
+    )
+    def test_bell_numbers(self, n, expected):
+        assert len(set_partitions(list(range(n)))) == expected
+
+    def test_partitions_cover_all_elements(self):
+        for partition in set_partitions([1, 2, 3, 4]):
+            flat = sorted(x for block in partition for x in block)
+            assert flat == [1, 2, 3, 4]
+
+    def test_empty(self):
+        assert set_partitions([]) == [[]]
+
+
+class TestExhaustiveNodeCosts:
+    def test_two_leaves(self):
+        table = exhaustive_node_costs("and", [("ext",), ("ext",)], 4)
+        assert table[2] == 1
+        assert table[4] == 1
+
+    def test_five_leaves_k4(self):
+        items = [("ext",)] * 5
+        table = exhaustive_node_costs("and", items, 4)
+        assert table[4] == 2  # one intermediate + root
+
+    def test_five_leaves_k2(self):
+        items = [("ext",)] * 5
+        table = exhaustive_node_costs("and", items, 2)
+        assert table[2] == 4  # binary tree of 4 gates
+
+    def test_child_table_merging(self):
+        # Child gate mappable at u=2 with 1 LUT; root can absorb it.
+        child = [None, None, 1, 1, 1]  # cost 1 at u in 2..4
+        table = exhaustive_node_costs("and", [("table", child), ("ext",)], 4)
+        # Merge child root LUT (u=2..), + ext leaf: a single LUT total.
+        assert table[3] == 1
+
+    def test_requires_two_fanins(self):
+        with pytest.raises(MappingError):
+            exhaustive_node_costs("and", [("ext",)], 4)

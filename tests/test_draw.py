@@ -1,0 +1,47 @@
+"""Tests for the plain-text circuit renderer."""
+
+import pytest
+
+from repro.core.chortle import ChortleMapper
+from repro.draw import draw_circuit, draw_network
+
+
+class TestDrawNetwork:
+    def test_fig1_listing(self, fig1):
+        text = draw_network(fig1)
+        assert "network fig1" in text
+        assert "level 0: inputs a, b, c, d, e" in text
+        assert "g1=AND(a, b)" in text
+        assert "g2=OR(g1, ~c)" in text
+        assert "-> y" in text and "-> z" in text
+
+    def test_levels_ordered(self, fig1):
+        text = draw_network(fig1)
+        lines = text.splitlines()
+        g1_line = next(i for i, l in enumerate(lines) if "g1=" in l)
+        g4_line = next(i for i, l in enumerate(lines) if "g4=" in l)
+        assert g1_line < g4_line
+
+
+class TestDrawCircuit:
+    def test_mapped_fig1(self, fig1):
+        circuit = ChortleMapper(k=3).map(fig1)
+        text = draw_circuit(circuit)
+        assert "3 LUTs" in text
+        assert "g2[" in text
+        assert "-> y" in text
+
+    def test_truth_tables_shown(self, fig1):
+        circuit = ChortleMapper(k=3).map(fig1)
+        text = draw_circuit(circuit)
+        g2 = circuit.lut("g2")
+        assert g2.tt.to_binary_string() in text
+
+    def test_empty_circuit(self):
+        from repro.core.lut import LUTCircuit
+
+        c = LUTCircuit("e")
+        c.add_input("a")
+        text = draw_circuit(c)
+        assert "0 LUTs" in text
+        assert "inputs a" in text

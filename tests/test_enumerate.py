@@ -1,0 +1,50 @@
+"""Class-enumeration tests, pinning the paper's Section 4.1 counts."""
+
+import pytest
+
+from repro.truth.enumerate import (
+    all_functions,
+    count_p_classes,
+    p_class_representatives,
+)
+from repro.truth.canonical import p_canonical
+
+
+class TestAllFunctions:
+    def test_counts(self):
+        assert sum(1 for _ in all_functions(0)) == 2
+        assert sum(1 for _ in all_functions(1)) == 4
+        assert sum(1 for _ in all_functions(2)) == 16
+        assert sum(1 for _ in all_functions(3)) == 256
+
+    def test_refuses_large(self):
+        with pytest.raises(ValueError):
+            list(all_functions(5))
+
+
+class TestPaperCounts:
+    def test_k2_has_10_unique_functions(self):
+        """Section 4.1: "For K=2 there are only 10 unique functions"."""
+        assert count_p_classes(2) == 10
+
+    def test_k3_has_78_unique_functions(self):
+        """Section 4.1: "for K=3 there are 78 unique functions"."""
+        assert count_p_classes(3) == 78
+
+    def test_constants_excluded_by_default(self):
+        assert count_p_classes(2, include_constants=True) == 12
+        assert count_p_classes(3, include_constants=True) == 80
+
+
+class TestRepresentatives:
+    def test_representatives_are_canonical(self):
+        for rep in p_class_representatives(2):
+            assert p_canonical(rep) == rep
+
+    def test_representatives_distinct(self):
+        reps = p_class_representatives(3)
+        assert len({r.bits for r in reps}) == len(reps)
+
+    def test_no_constants(self):
+        for rep in p_class_representatives(3):
+            assert not rep.is_constant()

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the API evolves.  Each script runs in-process via runpy with
+a controlled argv (quick variants where available).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", []),
+    ("examples/paper_walkthrough.py", []),
+    ("examples/blif_flow.py", ["-k", "4"]),
+    ("examples/compare_mappers.py", ["frg1", "-k", "4"]),
+    ("examples/map_mcnc_suite.py", ["--quick", "-k", "3"]),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES, ids=[p for p, _ in EXAMPLES])
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example produced no output"
+
+
+def test_export_results_example(tmp_path, capsys, monkeypatch):
+    stem = str(tmp_path / "results")
+    monkeypatch.setattr(
+        sys, "argv", ["export_results.py", "--quick", "-o", stem]
+    )
+    runpy.run_path("examples/export_results.py", run_name="__main__")
+    assert (tmp_path / "results.json").exists()
+    assert (tmp_path / "results.csv").exists()
+
+
+def test_quickstart_reports_three_luts(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "3 3-input lookup tables" in out
+    assert "verified on 32 input vectors" in out

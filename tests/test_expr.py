@@ -1,0 +1,80 @@
+"""Tests for LUT-content expression trees."""
+
+import pytest
+
+from repro.core.expr import (
+    Leaf,
+    NotExpr,
+    OpExpr,
+    count_leaf_refs,
+    evaluate,
+    iter_leaves,
+    leaf_keys,
+    to_truth_table,
+)
+from repro.network.network import AND, OR
+from repro.truth.truthtable import TruthTable
+
+
+def sample_expr():
+    # (a & ~b) | ~(c & a)
+    return OpExpr(
+        OR,
+        [
+            OpExpr(AND, [Leaf("a"), Leaf("b", inv=True)]),
+            NotExpr(OpExpr(AND, [Leaf("c"), Leaf("a")])),
+        ],
+    )
+
+
+class TestStructure:
+    def test_opexpr_validation(self):
+        with pytest.raises(ValueError):
+            OpExpr("xor", [Leaf("a")])
+        with pytest.raises(ValueError):
+            OpExpr(AND, [])
+
+    def test_iter_leaves_order(self):
+        leaves = list(iter_leaves(sample_expr()))
+        assert [l.key for l in leaves] == ["a", "b", "c", "a"]
+
+    def test_leaf_keys_dedup(self):
+        assert leaf_keys(sample_expr()) == ["a", "b", "c"]
+
+    def test_count_leaf_refs(self):
+        assert count_leaf_refs(sample_expr()) == 4
+
+    def test_reprs(self):
+        assert "Leaf" in repr(Leaf("a"))
+        assert "inv" in repr(Leaf("a", True))
+        assert "NotExpr" in repr(NotExpr(Leaf("a")))
+        assert "children" in repr(OpExpr(AND, [Leaf("a")]))
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ({"a": 1, "b": 0, "c": 0}, True),
+            ({"a": 1, "b": 1, "c": 1}, False),
+            ({"a": 0, "b": 0, "c": 1}, True),
+        ],
+    )
+    def test_evaluate(self, values, expected):
+        assert evaluate(sample_expr(), values) is expected
+
+    def test_to_truth_table(self):
+        tt = to_truth_table(sample_expr(), ["a", "b", "c"])
+        a, b, c = (TruthTable.var(j, 3) for j in range(3))
+        assert tt == (a & ~b) | ~(c & a)
+
+    def test_to_truth_table_respects_order(self):
+        expr = OpExpr(AND, [Leaf("x"), Leaf("y", inv=True)])
+        tt_xy = to_truth_table(expr, ["x", "y"])
+        tt_yx = to_truth_table(expr, ["y", "x"])
+        assert tt_xy == TruthTable.var(0, 2) & ~TruthTable.var(1, 2)
+        assert tt_yx == TruthTable.var(1, 2) & ~TruthTable.var(0, 2)
+
+    def test_single_leaf(self):
+        tt = to_truth_table(Leaf("a", inv=True), ["a"])
+        assert tt == ~TruthTable.var(0, 1)

@@ -1,0 +1,129 @@
+"""Tests for algebraic factoring."""
+
+import itertools
+
+import pytest
+
+from repro.blif.sop import SopCover
+from repro.opt.algebra import make_expr
+from repro.opt.factor import (
+    factor_cover,
+    factor_expr,
+    factored_literal_count,
+    tree_depth,
+)
+
+
+def E(*cubes):
+    return make_expr(*[c.split() for c in cubes])
+
+
+def eval_tree(tree, assignment):
+    tag = tree[0]
+    if tag == "lit":
+        var, positive = tree[1]
+        value = assignment[var]
+        return value if positive else not value
+    values = [eval_tree(child, assignment) for child in tree[1]]
+    return all(values) if tag == "and" else any(values)
+
+
+def eval_expr(expr, assignment):
+    return any(
+        all(
+            (assignment[v] if pos else not assignment[v])
+            for v, pos in cube
+        )
+        for cube in expr
+    )
+
+
+def assert_equivalent(expr, tree):
+    variables = sorted({v for cube in expr for v, _ in cube})
+    for values in itertools.product([0, 1], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        assert eval_tree(tree, assignment) == eval_expr(expr, assignment)
+
+
+class TestFactorExpr:
+    def test_single_cube(self):
+        tree = factor_expr(E("a b c"))
+        assert tree[0] == "and"
+        assert factored_literal_count(tree) == 3
+
+    def test_single_literal(self):
+        assert factor_expr(E("a")) == ("lit", ("a", True))
+
+    def test_common_cube_extraction(self):
+        expr = E("a b c", "a b d")
+        tree = factor_expr(expr)
+        assert_equivalent(expr, tree)
+        # ab(c+d): 4 literals instead of 6.
+        assert factored_literal_count(tree) == 4
+
+    def test_literal_factoring(self):
+        expr = E("a c", "a d", "b")
+        tree = factor_expr(expr)
+        assert_equivalent(expr, tree)
+        # a(c+d)+b: 4 literals instead of 5.
+        assert factored_literal_count(tree) == 4
+
+    def test_irreducible_sop(self):
+        expr = E("a b", "c d")
+        tree = factor_expr(expr)
+        assert_equivalent(expr, tree)
+        assert factored_literal_count(tree) == 4
+
+    @pytest.mark.parametrize(
+        "cubes",
+        [
+            ("a d f", "a e f", "b d f", "b e f", "c d f", "c e f", "g"),
+            ("a b", "a c", "a d", "e"),
+            ("a ~b", "~a b"),
+            ("a b c d e",),
+            ("a", "b", "c", "d"),
+        ],
+    )
+    def test_equivalence(self, cubes):
+        expr = E(*cubes)
+        tree = factor_expr(expr)
+        assert_equivalent(expr, tree)
+
+    def test_factoring_never_increases_literals(self):
+        for cubes in [
+            ("a c", "a d", "b c", "b d"),
+            ("a b", "a c"),
+            ("a d f", "a e f", "b d f", "b e f", "c d f", "c e f", "g"),
+        ]:
+            expr = E(*cubes)
+            flat = sum(len(c) for c in expr)
+            assert factored_literal_count(factor_expr(expr)) <= flat
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            factor_expr(frozenset())
+        with pytest.raises(ValueError):
+            factor_expr(frozenset([frozenset()]))
+
+    def test_tree_depth(self):
+        assert tree_depth(("lit", ("a", True))) == 0
+        tree = factor_expr(E("a c", "a d", "b"))
+        assert tree_depth(tree) >= 2
+
+
+class TestFactorCover:
+    def test_phase1_cover(self):
+        cover = SopCover(["a", "b", "c"], "y", ["11-", "--1"])
+        tree, inverted = factor_cover(cover)
+        assert not inverted
+        assert_equivalent(E("a b", "c"), tree)
+
+    def test_phase0_cover_reports_inversion(self):
+        cover = SopCover(["a", "b"], "y", ["11"], phase=0)
+        tree, inverted = factor_cover(cover)
+        assert inverted
+        assert_equivalent(E("a b"), tree)
+
+    def test_constant_cover_rejected(self):
+        with pytest.raises(ValueError):
+            factor_cover(SopCover.constant("y", 1))

@@ -1,0 +1,123 @@
+"""Fuzz tests: malformed inputs must fail cleanly, never crash oddly.
+
+Two layers: structured fuzz (hypothesis-generated BLIF-ish documents fed
+to the parser must either parse or raise BlifError) and full-pipeline
+fuzz (random valid models round-trip through every transformation with
+functions preserved).
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.blif.convert import blif_to_network
+from repro.blif.parser import parse_blif
+from repro.blif.sop import SopCover
+from repro.blif.writer import write_network
+from repro.errors import BlifError, ReproError
+from repro.network.simulate import output_truth_tables
+
+
+# -- layer 1: hostile text ---------------------------------------------------
+
+_token = st.text(alphabet=string.ascii_lowercase + "012-_.", min_size=1, max_size=6)
+_line = st.one_of(
+    st.just(".model m"),
+    st.just(".inputs a b"),
+    st.just(".outputs y"),
+    st.just(".end"),
+    st.builds(lambda ts: ".names " + " ".join(ts), st.lists(_token, max_size=4)),
+    st.builds(lambda ts: " ".join(ts), st.lists(_token, min_size=1, max_size=3)),
+    st.builds(lambda t: "." + t, _token),
+    st.just("11 1"),
+    st.just("0- 0"),
+    st.just("# comment"),
+    st.just("\\"),
+)
+
+
+@given(st.lists(_line, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes(lines):
+    text = "\n".join(lines)
+    try:
+        model = parse_blif(text)
+    except BlifError:
+        return
+    except RecursionError:  # pragma: no cover - would be a real bug
+        raise
+    # If it parsed, the model must be internally consistent enough to
+    # convert or to fail conversion with a clean error.
+    try:
+        blif_to_network(model)
+    except ReproError:
+        pass
+
+
+# -- layer 2: random valid models --------------------------------------------
+
+
+@st.composite
+def valid_models(draw):
+    num_inputs = draw(st.integers(1, 4))
+    inputs = ["i%d" % j for j in range(num_inputs)]
+    signals = list(inputs)
+    tables = []
+    for t in range(draw(st.integers(1, 4))):
+        name = "t%d" % t
+        width = draw(st.integers(0, min(3, len(signals))))
+        cols = draw(
+            st.lists(
+                st.sampled_from(signals), min_size=width, max_size=width, unique=True
+            )
+        )
+        n_cubes = draw(st.integers(0, 3))
+        cubes = [
+            "".join(draw(st.sampled_from("01-")) for _ in range(width))
+            for _ in range(n_cubes)
+        ]
+        phase = draw(st.integers(0, 1))
+        tables.append((cols, name, cubes, phase))
+        signals.append(name)
+    output = tables[-1][1]
+    lines = [".model fuzz", ".inputs " + " ".join(inputs), ".outputs " + output]
+    for cols, name, cubes, phase in tables:
+        lines.append(".names " + " ".join(list(cols) + [name]))
+        for cube in cubes:
+            lines.append(("%s %d" % (cube, phase)) if cube else str(phase))
+    lines.append(".end")
+    return "\n".join(lines)
+
+
+@given(valid_models())
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_valid_models_full_pipeline(text):
+    model = parse_blif(text)
+    net = blif_to_network(model)
+    # Round-trip through the writer.
+    back = blif_to_network(parse_blif(write_network(net)))
+    assert output_truth_tables(net) == output_truth_tables(back)
+    # And through the mapper.
+    from repro.core.chortle import ChortleMapper
+    from repro.verify import verify_equivalence
+
+    circuit = ChortleMapper(k=3).map(net)
+    verify_equivalence(net, circuit)
+
+
+@given(valid_models())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_valid_models_optimization_pipeline(text):
+    from repro.opt.refactor import refactor_network
+    from repro.opt.script import factored_network_from_blif
+
+    model = parse_blif(text)
+    baseline = output_truth_tables(blif_to_network(model))
+    factored = factored_network_from_blif(model, minimize=True)
+    assert output_truth_tables(factored) == baseline
+    refactored = refactor_network(factored)
+    assert output_truth_tables(refactored) == baseline

@@ -1,0 +1,70 @@
+"""Tests for the synthetic-network generator."""
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, random_network
+from repro.core.forest import build_forest
+from repro.network.simulate import simulate
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        cfg = GeneratorConfig(10, 4, 50, seed=7)
+        a = random_network(cfg)
+        b = random_network(cfg)
+        assert list(a.names()) == list(b.names())
+        assert [n.fanins for n in a.gates()] == [n.fanins for n in b.gates()]
+        assert a.outputs == b.outputs
+
+    def test_different_seeds_differ(self):
+        a = random_network(GeneratorConfig(10, 4, 50, seed=1))
+        b = random_network(GeneratorConfig(10, 4, 50, seed=2))
+        assert [n.fanins for n in a.gates()] != [n.fanins for n in b.gates()]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_and_swept(self, seed):
+        net = random_network(GeneratorConfig(12, 6, 80, seed=seed))
+        net.validate()
+        for gate in net.gates():
+            assert gate.fanin_count >= 2
+            names = [s.name for s in gate.fanins]
+            assert len(set(names)) == len(names)
+
+    def test_interface_counts(self):
+        net = random_network(GeneratorConfig(12, 6, 80, seed=3))
+        assert net.num_inputs == 12
+        assert net.num_outputs == 6
+
+    def test_gate_budget_roughly_met(self):
+        net = random_network(GeneratorConfig(12, 6, 200, seed=3))
+        assert 200 * 0.6 <= net.num_gates <= 200
+
+    def test_has_tree_structure(self):
+        """The generator must produce non-trivial fanout-free regions."""
+        net = random_network(GeneratorConfig(20, 10, 300, seed=5))
+        forest = build_forest(net)
+        sizes = [t.num_nodes for t in forest.trees]
+        assert max(sizes) >= 5
+        assert sum(sizes) / len(sizes) >= 2.0
+
+    def test_simulatable(self):
+        net = random_network(GeneratorConfig(8, 3, 40, seed=9))
+        values = simulate(net, {n: 0 for n in net.inputs}, 1)
+        assert all(v in (0, 1) for v in values.values())
+
+    def test_mixed_ops_present(self):
+        net = random_network(GeneratorConfig(12, 6, 100, seed=4))
+        ops = {g.op for g in net.gates()}
+        assert ops == {"and", "or"}
+
+    def test_inverted_edges_present(self):
+        net = random_network(GeneratorConfig(12, 6, 100, seed=4))
+        assert any(s.inv for g in net.gates() for s in g.fanins)
+
+    def test_wide_fanins_present(self):
+        """The default weights include occasional >K fanin nodes, which
+        exercise decomposition and node splitting."""
+        net = random_network(GeneratorConfig(20, 8, 400, seed=11))
+        assert max(g.fanin_count for g in net.gates()) >= 6

@@ -1,0 +1,70 @@
+"""Golden regression values: exact LUT counts on deterministic circuits.
+
+The synthetic MCNC stand-ins are generated from fixed seeds, so mapping
+results are exactly reproducible.  These tests pin the current numbers;
+any change to the generator, the sweep, the DP, or the baseline shows up
+here immediately.  If a change is *intentional* (e.g. a quality
+improvement), regenerate the table with the snippet in this docstring::
+
+    from repro.bench.mcnc import mcnc_circuit
+    from repro.core.chortle import ChortleMapper
+    from repro.baseline import MisMapper
+    for name in sorted({n for n, _ in GOLDEN}):
+        net = mcnc_circuit(name)
+        for k in (2, 3, 4, 5):
+            print(name, k, ChortleMapper(k).map(net).cost,
+                  MisMapper(k).map(net).cost)
+"""
+
+import pytest
+
+from repro.baseline.mis_mapper import MisMapper
+from repro.bench.mcnc import mcnc_circuit
+from repro.core.chortle import ChortleMapper
+
+# (circuit, k) -> (chortle LUTs, mis LUTs)
+GOLDEN = {
+    ("9symml", 2): (420, 419),
+    ("9symml", 3): (221, 244),
+    ("9symml", 4): (153, 162),
+    ("9symml", 5): (118, 128),
+    ("count", 2): (264, 264),
+    ("count", 3): (140, 150),
+    ("count", 4): (100, 106),
+    ("count", 5): (77, 83),
+    ("frg1", 2): (263, 260),
+    ("frg1", 3): (135, 148),
+    ("frg1", 4): (94, 101),
+    ("frg1", 5): (72, 79),
+    ("apex7", 2): (454, 451),
+    ("apex7", 3): (244, 257),
+    ("apex7", 4): (174, 183),
+    ("apex7", 5): (138, 145),
+}
+
+_NETS = {}
+
+
+def _net(name):
+    if name not in _NETS:
+        _NETS[name] = mcnc_circuit(name)
+    return _NETS[name]
+
+
+@pytest.mark.parametrize("name,k", sorted(GOLDEN))
+def test_chortle_golden(name, k):
+    assert ChortleMapper(k=k).map(_net(name)).cost == GOLDEN[(name, k)][0]
+
+
+@pytest.mark.parametrize("name,k", sorted(GOLDEN))
+def test_mis_golden(name, k):
+    assert MisMapper(k=k).map(_net(name)).cost == GOLDEN[(name, k)][1]
+
+
+def test_golden_shape():
+    """The pinned numbers themselves exhibit the paper's shape."""
+    for (name, k), (chortle, mis) in GOLDEN.items():
+        if k == 2:
+            assert abs(chortle - mis) <= max(3, mis // 50)
+        else:
+            assert chortle < mis

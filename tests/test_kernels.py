@@ -1,0 +1,81 @@
+"""Tests for kernel extraction and level-0 identification."""
+
+import pytest
+
+from repro.opt.algebra import make_expr
+from repro.opt.kernels import all_kernels, cokernels, is_level0_kernel, kernel_level
+
+
+def E(*cubes):
+    return make_expr(*[c.split() for c in cubes])
+
+
+class TestAllKernels:
+    def test_textbook_example(self):
+        """The classic (a+b+c)(d+e)f + g example from Brayton-McMullen."""
+        f = E("a d f", "a e f", "b d f", "b e f", "c d f", "c e f", "g")
+        kernels = all_kernels(f)
+        assert E("a", "b", "c") in kernels
+        assert E("d", "e") in kernels
+        # The product (a+b+c)(d+e) is a kernel with co-kernel f.
+        assert E("a d", "a e", "b d", "b e", "c d", "c e") in kernels
+        # f itself is cube-free (g shares nothing), hence a kernel.
+        assert f in kernels
+
+    def test_no_kernels_in_single_cube(self):
+        assert all_kernels(E("a b c")) == set()
+
+    def test_simple_sop(self):
+        f = E("a b", "a c")
+        kernels = all_kernels(f)
+        assert E("b", "c") in kernels
+        assert f not in kernels  # not cube-free (common literal a)
+
+    def test_include_self_flag(self):
+        f = E("a b", "c")
+        assert f in all_kernels(f, include_self=True)
+        assert f not in all_kernels(f, include_self=False)
+
+    def test_kernels_are_cube_free(self):
+        from repro.opt.algebra import is_cube_free
+
+        f = E("a d f", "a e f", "b d f", "b e f", "c d f", "c e f", "g")
+        for kernel in all_kernels(f):
+            assert is_cube_free(kernel)
+
+
+class TestLevel0:
+    def test_disjoint_sop_is_level0(self):
+        assert is_level0_kernel(E("a b", "c d"))
+        assert is_level0_kernel(E("a", "b", "c"))
+        assert is_level0_kernel(E("a b", "c"))
+
+    def test_repeated_literal_not_level0(self):
+        assert not is_level0_kernel(E("a b", "a c"))
+
+    def test_non_cube_free_not_level0(self):
+        assert not is_level0_kernel(E("a b"))
+
+    def test_opposite_polarities_are_distinct_literals(self):
+        # xor-shaped: a~b + ~ab — algebraically all four literals differ.
+        assert is_level0_kernel(E("a ~b", "~a b"))
+
+    def test_kernel_level(self):
+        assert kernel_level(E("a", "b")) == 0
+        # (a+b)(c) + d ... build a level-1 kernel: ac+bc+d has kernel a+b.
+        assert kernel_level(E("a c", "b c", "d")) == 1
+
+    def test_kernel_level_requires_cube_free(self):
+        with pytest.raises(ValueError):
+            kernel_level(E("a b"))
+
+
+class TestCokernels:
+    def test_cokernels_of_textbook(self):
+        f = E("a d f", "a e f", "b d f", "b e f", "c d f", "c e f", "g")
+        table = cokernels(f)
+        assert E("d", "e") in table
+        # d+e arises from co-kernels af, bf, cf.
+        cks = set(table[E("d", "e")])
+        assert make_expr(["a", "f"]).__class__  # sanity: frozenset cubes
+        assert frozenset([("a", True), ("f", True)]) in cks

@@ -1,0 +1,141 @@
+"""Tests for MIS baseline libraries (Section 4.1)."""
+
+import pytest
+
+from repro.baseline.library import (
+    Library,
+    complete_library,
+    kernel_library,
+    library_for,
+)
+from repro.errors import LibraryError
+from repro.opt.algebra import make_expr
+from repro.opt.kernels import is_level0_kernel
+from repro.truth.truthtable import TruthTable
+
+
+def v(j, n):
+    return TruthTable.var(j, n)
+
+
+class TestCompleteLibrary:
+    def test_k2_matches_everything_2var(self):
+        lib = complete_library(2)
+        for bits in range(16):
+            tt = TruthTable(2, bits)
+            assert lib.matches(tt)
+
+    def test_k3_matches_everything_3var(self):
+        lib = complete_library(3)
+        for bits in range(0, 256, 7):
+            assert lib.matches(TruthTable(3, bits))
+
+    def test_support_bound_enforced(self):
+        lib = complete_library(2)
+        f = v(0, 3) & v(1, 3) & v(2, 3)
+        assert not lib.matches(f)
+
+    def test_wide_support_function_with_small_support_ok(self):
+        lib = complete_library(2)
+        f = (v(0, 4) & v(3, 4))  # 4-var table, 2-var support
+        assert lib.matches(f)
+
+    def test_complete_k4_refused(self):
+        """The library-size problem that motivates Chortle."""
+        with pytest.raises(LibraryError):
+            complete_library(4)
+
+    def test_repr_mentions_complete(self):
+        assert "complete" in repr(complete_library(2))
+
+
+class TestKernelLibrary:
+    def test_basic_gates_present(self):
+        lib = kernel_library(4)
+        assert lib.matches(v(0, 2) & v(1, 2))  # AND2
+        assert lib.matches(v(0, 4) & v(1, 4) & v(2, 4) & v(3, 4))  # AND4
+        assert lib.matches(v(0, 3) | v(1, 3) | v(2, 3))  # OR3
+        assert lib.matches(v(0, 2) ^ v(1, 2))  # XOR2
+
+    def test_level0_kernel_shapes_present(self):
+        lib = kernel_library(4)
+        a, b, c, d = (v(j, 4) for j in range(4))
+        assert lib.matches((a & b) | c)  # ab+c
+        assert lib.matches((a & b) | (c & d))  # ab+cd
+        assert lib.matches((a & b & c) | d)  # abc+d
+        assert lib.matches((a | b) & (c | d))  # dual of ab+cd
+
+    def test_input_inversions_free(self):
+        lib = kernel_library(4)
+        a, b, c = (v(j, 3) for j in range(3))
+        assert lib.matches((~a & b) | ~c)
+
+    def test_complement_fallback(self):
+        lib = kernel_library(4)
+        a, b, c, d = (v(j, 4) for j in range(4))
+        aoi22 = ~((a & b) | (c & d))
+        assert lib.matches(aoi22)
+
+    def test_incompleteness_depth3_shapes_missing(self):
+        """The structural gap the paper measures: read-once depth-3 mixes
+        like a(b+cd) are not level-0 kernels and are absent."""
+        lib = kernel_library(4)
+        a, b, c, d = (v(j, 4) for j in range(4))
+        assert not lib.matches(a & (b | (c & d)))
+        assert not lib.matches((a & (b | c)) | d)
+
+    def test_k5_extends_coverage(self):
+        lib = kernel_library(5)
+        a, b, c, d, e = (v(j, 5) for j in range(5))
+        assert lib.matches((a & b) | (c & d) | e)  # ab+cd+e
+        assert lib.matches((a & b) | (c & d & e))  # ab+cde
+
+    def test_shapes_are_level0_kernels(self):
+        """The generator recipe really produces level-0 kernels."""
+        # ab+cd over distinct vars, algebraically:
+        assert is_level0_kernel(make_expr(["a", "b"], ["c", "d"]))
+        assert is_level0_kernel(make_expr(["a", "b"], ["c"], ["d"]))
+
+    def test_k_bound_validated(self):
+        with pytest.raises(LibraryError):
+            kernel_library(1)
+
+    def test_library_for_dispatch(self):
+        assert library_for(2).complete
+        assert library_for(3).complete
+        assert not library_for(4).complete
+        assert not library_for(5).complete
+
+    def test_cell_counts_small(self):
+        """The whole point: the K>=4 library is tiny vs 9014 classes."""
+        assert kernel_library(4).num_cells < 50
+        assert kernel_library(5).num_cells < 80
+
+
+class TestLibraryMechanics:
+    def test_add_oversupport_cell_rejected(self):
+        lib = Library("t", 2)
+        with pytest.raises(LibraryError):
+            lib.add(v(0, 3) & v(1, 3) & v(2, 3))
+
+    def test_free_inverters_flag(self):
+        a, b = v(0, 2), v(1, 2)
+        strict = Library("strict", 2, free_inverters=False)
+        strict.add(a & b)
+        assert strict.matches(a & ~b)  # input negation is still NP
+        assert not strict.matches(~(a & b))  # but output negation is not
+        lax = Library("lax", 2, free_inverters=True)
+        lax.add(a & b)
+        assert lax.matches(~(a & b))
+
+    def test_match_cache_consistency(self):
+        lib = kernel_library(4)
+        f = (v(0, 3) & v(1, 3)) | v(2, 3)
+        assert lib.matches(f)
+        assert lib.matches(f)  # cached path
+
+    def test_cells_by_support(self):
+        lib = kernel_library(4)
+        buckets = lib.cells_by_support()
+        assert set(buckets) <= {1, 2, 3, 4}
+        assert all(count > 0 for count in buckets.values())

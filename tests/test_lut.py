@@ -1,0 +1,131 @@
+"""Tests for the LUT circuit model."""
+
+import pytest
+
+from repro.core.lut import LUT, LUTCircuit
+from repro.errors import NetworkError
+from repro.truth.truthtable import TruthTable
+
+
+def xor_circuit():
+    c = LUTCircuit("xor")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_lut("g", ("a", "b"), TruthTable.var(0, 2) ^ TruthTable.var(1, 2))
+    c.set_output("y", "g")
+    return c
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = xor_circuit()
+        assert c.num_luts == 1
+        assert c.cost == 1
+        assert c.lut("g").utilization == 2
+        assert "g" in c and "a" in c and "zz" not in c
+
+    def test_duplicate_names_rejected(self):
+        c = xor_circuit()
+        with pytest.raises(NetworkError):
+            c.add_input("a")
+        with pytest.raises(NetworkError):
+            c.add_lut("g", ("a",), TruthTable.var(0, 1))
+
+    def test_arity_mismatch_rejected(self):
+        c = xor_circuit()
+        with pytest.raises(NetworkError):
+            c.add_lut("h", ("a", "b"), TruthTable.var(0, 1))
+
+    def test_duplicate_input_wires_rejected(self):
+        c = xor_circuit()
+        with pytest.raises(NetworkError):
+            c.add_lut("h", ("a", "a"), TruthTable.var(0, 2))
+
+    def test_unknown_lut_lookup(self):
+        with pytest.raises(NetworkError):
+            xor_circuit().lut("nope")
+
+    def test_empty_port_rejected(self):
+        with pytest.raises(NetworkError):
+            xor_circuit().set_output("", "g")
+
+    def test_fresh_name(self):
+        c = xor_circuit()
+        assert c.fresh_name("new") == "new"
+        assert c.fresh_name("g") == "g_0"
+
+
+class TestCostAccounting:
+    def test_inverters_not_counted(self):
+        """Single-input tables are free, per the paper's accounting."""
+        c = xor_circuit()
+        c.add_lut("inv", ("g",), ~TruthTable.var(0, 1))
+        c.set_output("ny", "inv")
+        assert c.num_luts == 2
+        assert c.cost == 1
+
+    def test_constants_not_counted(self):
+        c = xor_circuit()
+        c.add_lut("one", (), TruthTable.const(True, 0))
+        assert c.cost == 1
+
+    def test_utilization_histogram(self):
+        c = xor_circuit()
+        c.add_lut("inv", ("g",), ~TruthTable.var(0, 1))
+        assert c.utilization_histogram() == {2: 1, 1: 1}
+
+
+class TestStructure:
+    def test_topological_order(self):
+        c = xor_circuit()
+        c.add_lut("h", ("g", "a"), TruthTable.var(0, 2) & TruthTable.var(1, 2))
+        order = c.topological_order()
+        assert order.index("g") < order.index("h")
+
+    def test_depth(self):
+        c = xor_circuit()
+        c.add_lut("h", ("g", "a"), TruthTable.var(0, 2) & TruthTable.var(1, 2))
+        c.set_output("z", "h")
+        assert c.depth() == 2
+
+    def test_validate_k_bound(self):
+        c = xor_circuit()
+        c.validate(2)
+        with pytest.raises(NetworkError):
+            c.validate(1)
+
+    def test_validate_dangling_wire(self):
+        c = LUTCircuit()
+        c.add_lut("g", ("ghost",), TruthTable.var(0, 1))
+        with pytest.raises(NetworkError):
+            c.validate()
+
+    def test_validate_dangling_output(self):
+        c = LUTCircuit()
+        c.add_input("a")
+        c.set_output("y", "ghost")
+        with pytest.raises(NetworkError):
+            c.validate()
+
+
+class TestSimulation:
+    def test_xor_simulation(self):
+        c = xor_circuit()
+        vals = c.simulate({"a": 0b0011, "b": 0b0101}, 4)
+        assert vals["g"] == 0b0110
+
+    def test_constant_lut_simulation(self):
+        c = LUTCircuit()
+        c.add_input("a")
+        c.add_lut("one", (), TruthTable.const(True, 0))
+        c.add_lut("zero", (), TruthTable.const(False, 0))
+        vals = c.simulate({"a": 0}, 4)
+        assert vals["one"] == 0b1111
+        assert vals["zero"] == 0
+
+    def test_missing_input(self):
+        with pytest.raises(NetworkError):
+            xor_circuit().simulate({}, 4)
+
+    def test_repr(self):
+        assert "cost=1" in repr(xor_circuit())

@@ -1,0 +1,112 @@
+"""Tests for post-mapping LUT compaction."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.extensions.binpack import BinPackMapper
+from repro.extensions.flowmap import FlowMapper
+from repro.extensions.lutmerge import _merge_tables, merge_luts
+from repro.truth.truthtable import TruthTable
+from repro.verify import verify_equivalence
+
+
+def chain_circuit():
+    """inv -> and2 chain that is trivially mergeable at K>=3."""
+    c = LUTCircuit("chain")
+    for name in ("a", "b"):
+        c.add_input(name)
+    c.add_lut("inv", ("a",), ~TruthTable.var(0, 1))
+    c.add_lut("g", ("inv", "b"), TruthTable.var(0, 2) & TruthTable.var(1, 2))
+    c.set_output("y", "g")
+    return c
+
+
+class TestMergeTables:
+    def test_simple_fold(self):
+        c = chain_circuit()
+        merged = _merge_tables(c.lut("g"), c.lut("inv"), 4)
+        assert merged is not None
+        assert set(merged.inputs) == {"a", "b"}
+        # g = ~a & b, whatever input order the merge chose.
+        ai = merged.inputs.index("a")
+        bi = merged.inputs.index("b")
+        for a in (0, 1):
+            for b in (0, 1):
+                values = [0, 0]
+                values[ai] = a
+                values[bi] = b
+                assert merged.tt.evaluate(values) == ((not a) and b)
+
+    def test_overflow_returns_none(self):
+        c = LUTCircuit("wide")
+        for name in "abcdefgh":
+            c.add_input(name)
+        c.add_lut("v", tuple("abcd"), TruthTable.const(True, 4))
+        c.add_lut("w", ("v", "e", "f", "g"), TruthTable.const(True, 4))
+        assert _merge_tables(c.lut("w"), c.lut("v"), 4) is None
+        assert _merge_tables(c.lut("w"), c.lut("v"), 7) is not None
+
+    def test_shared_inputs_dedupe(self):
+        c = LUTCircuit("s")
+        for name in ("a", "b"):
+            c.add_input(name)
+        c.add_lut("v", ("a", "b"), TruthTable.var(0, 2) ^ TruthTable.var(1, 2))
+        c.add_lut("w", ("v", "a"), TruthTable.var(0, 2) | TruthTable.var(1, 2))
+        merged = _merge_tables(c.lut("w"), c.lut("v"), 2)
+        assert merged is not None
+        assert set(merged.inputs) == {"a", "b"}
+
+
+class TestMergeLuts:
+    def test_chain_collapses(self):
+        c = chain_circuit()
+        merged = merge_luts(c, 4)
+        assert merged.num_luts == 1
+        vals = merged.simulate({"a": 0b0011, "b": 0b0101}, 4)
+        assert vals[merged.outputs["y"]] == 0b0100
+
+    def test_output_wires_protected(self):
+        c = chain_circuit()
+        c.set_output("mid", "inv")  # inv now drives a port
+        merged = merge_luts(c, 4)
+        assert "inv" in merged
+        assert merged.num_luts == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("mapper_cls", [FlowMapper, BinPackMapper, ChortleMapper])
+    def test_equivalence_preserved(self, seed, mapper_cls):
+        net = make_random_network(seed, num_gates=15)
+        circuit = mapper_cls(k=4).map(net)
+        merged = merge_luts(circuit, 4)
+        verify_equivalence(net, merged)
+        assert merged.num_luts <= circuit.num_luts
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_increases_cost(self, seed):
+        net = make_random_network(seed, num_gates=15)
+        circuit = FlowMapper(k=4).map(net)
+        assert merge_luts(circuit, 4).cost <= circuit.cost
+
+    def test_recovers_flowmap_area(self):
+        """Aggregate: the pass must find real savings on FlowMap output."""
+        saved = 0
+        for seed in range(6):
+            net = make_random_network(seed, num_gates=15)
+            circuit = FlowMapper(k=4).map(net)
+            saved += circuit.cost - merge_luts(circuit, 4).cost
+        assert saved > 0
+
+    def test_k_bound_respected(self):
+        net = make_random_network(3, num_gates=15)
+        circuit = FlowMapper(k=4).map(net)
+        merged = merge_luts(circuit, 4)
+        assert all(len(l.inputs) <= 4 for l in merged.luts())
+
+    def test_idempotent(self):
+        net = make_random_network(4, num_gates=15)
+        circuit = FlowMapper(k=4).map(net)
+        once = merge_luts(circuit, 4)
+        twice = merge_luts(once, 4)
+        assert twice.num_luts == once.num_luts

@@ -1,0 +1,139 @@
+"""Edge-case matrix: every mapper against every degenerate input shape."""
+
+import pytest
+
+from repro.baseline.mis_mapper import MisMapper
+from repro.core.chortle import ChortleMapper
+from repro.extensions.binpack import BinPackMapper
+from repro.extensions.flowmap import FlowMapper
+from repro.extensions.pareto import DepthBoundedMapper
+from repro.network.builder import NetworkBuilder
+from repro.network.network import BooleanNetwork, Signal
+from repro.verify import verify_equivalence
+
+ALL_MAPPERS = [
+    pytest.param(lambda k: ChortleMapper(k=k), id="chortle"),
+    pytest.param(lambda k: MisMapper(k=k), id="mis"),
+    pytest.param(lambda k: FlowMapper(k=k), id="flowmap"),
+    pytest.param(lambda k: BinPackMapper(k=k), id="binpack"),
+    pytest.param(lambda k: DepthBoundedMapper(k=k), id="depthbounded"),
+]
+
+
+def empty_network():
+    net = BooleanNetwork("empty")
+    net.add_input("a")
+    return net
+
+
+def passthrough_network():
+    net = BooleanNetwork("pass")
+    net.add_input("a")
+    net.add_input("b")
+    net.set_output("y", "a")
+    net.set_output("ny", Signal("b", True))
+    return net
+
+
+def single_gate_network():
+    net = BooleanNetwork("one")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("g", "and", ["a", Signal("b", True)])
+    net.set_output("y", "g")
+    return net
+
+
+def constant_outputs_network():
+    net = BooleanNetwork("consts")
+    net.add_input("a")
+    net.add_gate("g", "or", [Signal("a"), Signal("a", True)])
+    net.add_gate("h", "and", [Signal("a"), Signal("a", True)])
+    net.set_output("one", "g")
+    net.set_output("zero", "h")
+    return net
+
+
+def duplicate_port_network():
+    net = BooleanNetwork("dup")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("g", "or", ["a", "b"])
+    net.set_output("y1", "g")
+    net.set_output("y2", "g")
+    net.set_output("y3", Signal("g", True))
+    return net
+
+
+SHAPES = [
+    pytest.param(empty_network, id="no-gates"),
+    pytest.param(passthrough_network, id="passthrough"),
+    pytest.param(single_gate_network, id="single-gate"),
+    pytest.param(constant_outputs_network, id="constant-outputs"),
+    pytest.param(duplicate_port_network, id="duplicate-ports"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_MAPPERS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_degenerate_shapes(factory, shape):
+    net = shape()
+    circuit = factory(3).map(net)
+    verify_equivalence(net, circuit)
+    circuit.validate(3)
+
+
+@pytest.mark.parametrize("factory", ALL_MAPPERS)
+def test_k_wider_than_any_node(factory, fig1):
+    # The MIS baseline is library-bound to the paper's K range (<=5);
+    # the library-free mappers take any K.
+    k = 5 if isinstance(factory(2), MisMapper) else 8
+    circuit = factory(k).map(fig1)
+    verify_equivalence(fig1, circuit)
+    circuit.validate(k)
+
+
+def test_kernel_library_k_capped():
+    from repro.errors import LibraryError
+
+    with pytest.raises(LibraryError):
+        MisMapper(k=8)
+
+
+@pytest.mark.parametrize("factory", ALL_MAPPERS)
+def test_figure1_all_mappers(factory, fig1):
+    for k in (2, 3, 4, 5):
+        circuit = factory(k).map(fig1)
+        verify_equivalence(fig1, circuit)
+
+
+def test_whole_network_is_single_wide_gate():
+    b = NetworkBuilder("wide")
+    xs = b.inputs(*["x%d" % i for i in range(12)])
+    b.output("y", b.or_(*xs, name="g"))
+    net = b.network()
+    for factory in (
+        lambda k: ChortleMapper(k=k),
+        lambda k: MisMapper(k=k),
+        lambda k: BinPackMapper(k=k),
+        lambda k: DepthBoundedMapper(k=k),
+    ):
+        circuit = factory(4).map(net)
+        verify_equivalence(net, circuit)
+
+
+def test_deep_chain_network():
+    """A 60-level chain: recursion limits and deep trees."""
+    b = NetworkBuilder("chain")
+    a = b.input("a")
+    cur = a
+    for i in range(60):
+        other = b.input("x%d" % i)
+        cur = b.and_(cur, other, name="c%d" % i) if i % 2 else b.or_(
+            cur, ~other, name="c%d" % i
+        )
+    b.output("y", cur)
+    net = b.network()
+    for k in (2, 5):
+        circuit = ChortleMapper(k=k).map(net)
+        verify_equivalence(net, circuit, vectors=512)

@@ -1,0 +1,67 @@
+"""Tests for the MCNC-89 stand-in suite."""
+
+import pytest
+
+from repro.bench.mcnc import MCNC_PROFILES, TABLE_CIRCUITS, mcnc_circuit, mcnc_suite
+
+
+class TestProfiles:
+    def test_all_paper_circuits_present(self):
+        expected = {
+            "9symml", "alu2", "alu4", "apex6", "apex7", "count",
+            "des", "frg1", "frg2", "k2", "pair", "rot",
+        }
+        assert set(TABLE_CIRCUITS) == expected
+        assert expected <= set(MCNC_PROFILES)
+
+    @pytest.mark.parametrize(
+        "name,pis,pos",
+        [
+            ("9symml", 9, 1),
+            ("alu2", 10, 6),
+            ("count", 35, 16),
+            ("frg1", 28, 3),
+            ("k2", 45, 45),
+        ],
+    )
+    def test_published_interfaces(self, name, pis, pos):
+        """The stand-ins carry the real benchmarks' interfaces."""
+        net = mcnc_circuit(name)
+        assert net.num_inputs == pis
+        assert net.num_outputs == pos
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            mcnc_circuit("bogus")
+
+    def test_deterministic(self):
+        a = mcnc_circuit("count")
+        b = mcnc_circuit("count")
+        assert list(a.names()) == list(b.names())
+
+    def test_named_after_benchmark(self):
+        assert mcnc_circuit("alu2").name == "alu2"
+
+    def test_suite_order(self):
+        suite = mcnc_suite(("9symml", "alu2"))
+        assert [n.name for n in suite] == ["9symml", "alu2"]
+
+    @pytest.mark.parametrize("name", ["9symml", "count", "frg1", "apex7"])
+    def test_valid_networks(self, name):
+        net = mcnc_circuit(name)
+        net.validate()
+        assert net.num_gates > 30
+
+    @pytest.mark.parametrize("name", ["c432", "c880", "t481"])
+    def test_extra_profiles_usable(self, name):
+        """The beyond-the-paper profiles generate and map cleanly."""
+        from repro.core.chortle import ChortleMapper
+        from repro.verify import verify_equivalence
+
+        net = mcnc_circuit(name)
+        net.validate()
+        circuit = ChortleMapper(k=4).map(net)
+        verify_equivalence(net, circuit, vectors=256)
+
+    def test_extra_profiles_not_in_table_suite(self):
+        assert "c432" not in TABLE_CIRCUITS

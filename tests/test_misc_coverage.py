@@ -1,0 +1,145 @@
+"""Small-surface tests for corners not covered elsewhere."""
+
+import pytest
+
+from repro.errors import (
+    BlifError,
+    LibraryError,
+    MappingError,
+    NetworkError,
+    ReproError,
+    VerificationError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [NetworkError, BlifError, MappingError, LibraryError, VerificationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestStatsDisplay:
+    def test_str_contains_key_fields(self, fig1):
+        from repro.network.stats import network_stats
+
+        text = str(network_stats(fig1))
+        assert "5 in / 2 out" in text
+        assert "4 gates" in text
+
+    def test_histogram_counts(self, fig1):
+        from repro.network.stats import network_stats
+
+        stats = network_stats(fig1)
+        assert stats.fanin_histogram == {2: 3, 3: 1}
+        assert stats.num_inverted_edges == 1
+
+
+class TestTruthTableCorners:
+    def test_compose_zero_vars(self):
+        from repro.truth.truthtable import TruthTable
+
+        one = TruthTable.const(True, 0)
+        assert one.compose([]) == one
+
+    def test_shrink_constant(self):
+        from repro.truth.truthtable import TruthTable
+
+        tt = TruthTable.const(True, 3).shrink_to_support()
+        assert tt.nvars == 0
+        assert tt.bits == 1
+
+    def test_all_permutations_helper(self):
+        from repro.truth.truthtable import all_permutations
+
+        assert len(list(all_permutations(3))) == 6
+
+
+class TestForestRepr:
+    def test_tree_repr(self, fig1):
+        from repro.core.forest import build_forest
+
+        forest = build_forest(fig1)
+        text = repr(forest.trees[0])
+        assert "root=" in text
+        assert forest.num_trees == 2
+
+
+class TestLibraryRepr:
+    def test_kernel_repr(self):
+        from repro.baseline.library import kernel_library
+
+        assert "kernel-k4" in repr(kernel_library(4))
+
+
+class TestReportCorners:
+    def test_average_utilization_empty(self):
+        from repro.report import MappingReport
+
+        report = MappingReport(
+            circuit_name="x", k=4, mapper="chortle", num_inputs=0,
+            num_outputs=0, source_gates=0, source_edges=0, source_depth=0,
+            luts=0, luts_total=0, depth=0,
+        )
+        assert report.average_utilization == 0.0
+        assert "0 LUTs" in report.to_text()
+
+
+class TestBlifModelHelpers:
+    def test_table_map(self):
+        from repro.blif.parser import parse_blif
+
+        model = parse_blif(
+            ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+        )
+        assert set(model.table_map()) == {"y"}
+
+
+class TestClbPackingProperties:
+    def test_packing_ratio_empty(self):
+        from repro.extensions.clb import ClbPacking
+
+        assert ClbPacking().packing_ratio == 0.0
+
+
+class TestSuiteResultCorners:
+    def test_comparison_missing_baseline(self):
+        from repro.bench.runner import SuiteResult
+        from repro.report import MappingReport
+
+        result = SuiteResult(
+            reports=[
+                MappingReport(
+                    circuit_name="x", k=4, mapper="chortle", num_inputs=1,
+                    num_outputs=1, source_gates=1, source_edges=2,
+                    source_depth=1, luts=1, luts_total=1, depth=1,
+                )
+            ]
+        )
+        assert result.comparison(4, "mis", "chortle") == {}
+
+
+class TestCokernelsCoverage:
+    def test_cokernel_includes_common_cube(self):
+        from repro.opt.algebra import make_expr
+        from repro.opt.kernels import cokernels
+
+        # f = abc + abd: kernel c+d with co-kernel ab.
+        f = make_expr(["a", "b", "c"], ["a", "b", "d"])
+        table = cokernels(f)
+        kernel = make_expr(["c"], ["d"])
+        assert kernel in table
+        assert frozenset({("a", True), ("b", True)}) in set(table[kernel])
+
+
+class TestDivisionsCorners:
+    def test_infeasible_small_k_entries(self):
+        from repro.core.divisions import exhaustive_node_costs
+
+        table = exhaustive_node_costs("and", [("ext",)] * 3, 2)
+        # u=0,1 infeasible; u=2 costs 2 LUTs for a 3-input gate at K=2.
+        assert table[0] is None and table[1] is None
+        assert table[2] == 2

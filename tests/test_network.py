@@ -1,0 +1,196 @@
+"""Tests for the boolean-network DAG model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.network import (
+    AND,
+    OR,
+    BooleanNetwork,
+    Node,
+    Signal,
+    as_signal,
+)
+
+
+def small_net():
+    net = BooleanNetwork("t")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_input("c")
+    net.add_gate("g1", AND, ["a", "b"])
+    net.add_gate("g2", OR, [Signal("g1"), Signal("c", True)])
+    net.set_output("y", "g2")
+    return net
+
+
+class TestSignal:
+    def test_invert(self):
+        s = Signal("x")
+        assert (~s).inv is True
+        assert (~~s) == s
+
+    def test_str(self):
+        assert str(Signal("x")) == "x"
+        assert str(Signal("x", True)) == "~x"
+
+    def test_as_signal_coercions(self):
+        assert as_signal("x") == Signal("x", False)
+        assert as_signal(("x", True)) == Signal("x", True)
+        assert as_signal(Signal("y")) == Signal("y")
+
+    def test_as_signal_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_signal(42)
+
+
+class TestConstruction:
+    def test_build_and_query(self):
+        net = small_net()
+        assert net.num_inputs == 3
+        assert net.num_gates == 2
+        assert net.num_outputs == 1
+        assert net.node("g1").op == AND
+        assert net.node("g2").fanins == (Signal("g1"), Signal("c", True))
+        assert "g1" in net
+        assert "nope" not in net
+
+    def test_duplicate_name_rejected(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_gate("a", AND, ["a"])
+
+    def test_empty_name_rejected(self):
+        net = BooleanNetwork()
+        with pytest.raises(NetworkError):
+            net.add_input("")
+
+    def test_bad_op_rejected(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_gate("g", "xor", ["a"])
+
+    def test_gate_needs_fanins(self):
+        net = BooleanNetwork()
+        with pytest.raises(NetworkError):
+            net.add_gate("g", AND, [])
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(NetworkError):
+            BooleanNetwork().node("missing")
+
+    def test_fresh_name(self):
+        net = small_net()
+        assert net.fresh_name("new") == "new"
+        assert net.fresh_name("g1") == "g1_0"
+
+    def test_replace_node(self):
+        net = small_net()
+        net.replace_node("g2", AND, ["a", "c"])
+        assert net.node("g2").op == AND
+        with pytest.raises(NetworkError):
+            net.replace_node("missing", AND, ["a"])
+
+    def test_remove_node(self):
+        net = small_net()
+        net.remove_node("g2")
+        assert "g2" not in net
+        net.remove_node("c")
+        assert net.num_inputs == 2
+
+    def test_const_nodes(self):
+        net = BooleanNetwork()
+        net.add_const("one", True)
+        net.add_const("zero", False)
+        assert net.node("one").op == "const1"
+        assert net.node("zero").op == "const0"
+
+    def test_set_output_inverted(self):
+        net = small_net()
+        net.set_output("z", "g1", inv=True)
+        assert net.outputs["z"] == Signal("g1", True)
+
+
+class TestStructureQueries:
+    def test_fanout_counts(self):
+        net = small_net()
+        counts = net.fanout_counts()
+        assert counts["a"] == 1
+        assert counts["g1"] == 1
+        assert counts["g2"] == 1  # output use counts
+        assert counts["c"] == 1
+
+    def test_consumers(self):
+        net = small_net()
+        consumers = net.consumers()
+        assert consumers["g1"] == ["g2"]
+        assert consumers["g2"] == []
+
+    def test_topological_order(self):
+        net = small_net()
+        order = net.topological_order()
+        assert order.index("g1") < order.index("g2")
+        assert order.index("a") < order.index("g1")
+
+    def test_cycle_detected(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_gate("g1", AND, ["a", "g2"]) if False else None
+        # Build the cycle through replace_node to bypass ordering.
+        net.add_gate("g1", AND, ["a", "a"])
+        net.add_gate("g2", AND, ["g1", "a"])
+        net.replace_node("g1", AND, ["a", "g2"])
+        with pytest.raises(NetworkError):
+            net.topological_order()
+
+    def test_depth(self):
+        net = small_net()
+        assert net.depth() == 2
+
+    def test_depth_empty_outputs(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        assert net.depth() == 0
+
+    def test_transitive_fanin(self):
+        net = small_net()
+        cone = net.transitive_fanin("g2")
+        assert set(cone) == {"a", "b", "c", "g1", "g2"}
+
+    def test_num_edges_and_literals(self):
+        net = small_net()
+        assert net.num_edges == 4
+
+
+class TestValidate:
+    def test_valid_network_passes(self):
+        small_net().validate()
+
+    def test_dangling_reference(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_gate("g", AND, ["a", "a"])
+        net.replace_node("g", AND, [Signal("ghost"), Signal("a")])
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_dangling_output(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.set_output("y", "ghost")
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_copy_is_independent(self):
+        net = small_net()
+        dup = net.copy("dup")
+        dup.add_input("extra")
+        assert "extra" not in net
+        assert dup.name == "dup"
+
+    def test_repr(self):
+        assert "inputs=3" in repr(small_net())

@@ -1,0 +1,79 @@
+"""Tests for the collapse-minimize-refactor pass."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.util import make_random_network, make_random_tree_network
+from repro.core.chortle import ChortleMapper
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import output_truth_tables
+from repro.opt.refactor import refactor_network
+from repro.verify import verify_equivalence
+
+
+def redundant_tree_network():
+    """y = (a&b) | (a&b&c) | (a&~a&d): absorbable and contradictory terms."""
+    b = NetworkBuilder("red")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    t1 = b.and_(a, bb, name="t1")
+    t2 = b.and_(a, bb, c, name="t2")
+    t3a = b.and_(a, d, name="t3a")
+    t3 = b.and_(t3a, ~a, name="t3")
+    b.output("y", b.or_(t1, t2, t3, name="root"))
+    return b.network()
+
+
+class TestRefactor:
+    def test_redundancy_removed(self):
+        net = redundant_tree_network()
+        refactored = refactor_network(net)
+        assert output_truth_tables(net) == output_truth_tables(refactored)
+        # y collapses to a&b: two literals, one gate.
+        assert refactored.num_gates <= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_function_preserved_random(self, seed):
+        net = make_random_network(seed, num_gates=12)
+        refactored = refactor_network(net)
+        assert output_truth_tables(net) == output_truth_tables(refactored)
+        refactored.validate()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_trees_preserved(self, seed):
+        net = make_random_tree_network(seed)
+        refactored = refactor_network(net)
+        assert output_truth_tables(net) == output_truth_tables(refactored)
+
+    def test_wide_trees_skipped(self):
+        # 16 distinct leaves > max_leaves: must pass through untouched.
+        from repro.bench.circuits import wide_and
+
+        net = wide_and(16)
+        refactored = refactor_network(net, max_leaves=10)
+        assert refactored.num_gates == net.num_gates
+
+    def test_constant_cone_folds(self):
+        b = NetworkBuilder("c")
+        a, c = b.inputs("a", "c")
+        t = b.and_(a, ~a, name="t")
+        b.output("y", b.or_(t, b.and_(c, ~c, name="u"), name="root"))
+        refactored = refactor_network(b.network())
+        tts = output_truth_tables(refactored)
+        assert tts["y"].is_constant()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mapping_after_refactor_never_worse_much(self, seed):
+        """Refactoring is meant to help (or at least not hurt badly)."""
+        net = make_random_network(seed, num_gates=15)
+        plain = ChortleMapper(k=4).map(net).cost
+        refactored_net = refactor_network(net)
+        refd = ChortleMapper(k=4).map(refactored_net).cost
+        verify_equivalence(refactored_net, ChortleMapper(k=4).map(refactored_net))
+        assert refd <= plain + 2
+
+    def test_idempotent_semantics(self):
+        net = make_random_network(3)
+        once = refactor_network(net)
+        twice = refactor_network(once)
+        assert output_truth_tables(once) == output_truth_tables(twice)

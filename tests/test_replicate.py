@@ -1,0 +1,143 @@
+"""Tests for fanout-node replication."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.extensions.replicate import replicate_fanout_nodes
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import output_truth_tables
+from repro.verify import verify_equivalence
+
+
+def shared_gate_network():
+    """g is shared by two consumers and drives no port."""
+    b = NetworkBuilder("shared")
+    a, c, d, e = b.inputs("a", "c", "d", "e")
+    g = b.and_(a, c, name="g")
+    b.output("y1", b.or_(g, d, name="u1"))
+    b.output("y2", b.or_(g, e, name="u2"))
+    return b.network()
+
+
+class TestReplication:
+    def test_duplicates_shared_gate(self):
+        net = shared_gate_network()
+        rep = replicate_fanout_nodes(net)
+        # g is gone (not port-driven); two copies exist.
+        assert "g" not in rep
+        dups = [n for n in rep.names() if n.startswith("g_dup")]
+        assert len(dups) == 2
+
+    def test_functions_preserved(self):
+        net = shared_gate_network()
+        rep = replicate_fanout_nodes(net)
+        assert output_truth_tables(net) == output_truth_tables(rep)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks_preserved(self, seed):
+        net = make_random_network(seed, num_gates=12)
+        rep = replicate_fanout_nodes(net)
+        assert output_truth_tables(net) == output_truth_tables(rep)
+        rep.validate()
+
+    def test_port_driven_gate_kept(self):
+        b = NetworkBuilder()
+        a, c, d = b.inputs("a", "c", "d")
+        g = b.and_(a, c, name="g")
+        b.output("direct", g)
+        b.output("other", b.or_(g, d, name="u"))
+        rep = replicate_fanout_nodes(b.network())
+        assert "g" in rep  # still drives the port
+        assert output_truth_tables(b.network()) == output_truth_tables(rep)
+
+    def test_wide_gates_not_duplicated(self):
+        b = NetworkBuilder()
+        xs = b.inputs(*["x%d" % i for i in range(6)])
+        g = b.and_(*xs, name="g")
+        b.output("y1", b.or_(g, xs[0], name="u1"))
+        b.output("y2", b.or_(g, xs[1], name="u2"))
+        rep = replicate_fanout_nodes(b.network(), max_fanin=4)
+        assert "g" in rep  # fanin 6 > max_fanin, untouched
+
+    def test_multiple_rounds(self):
+        net = shared_gate_network()
+        rep = replicate_fanout_nodes(net, rounds=2)
+        assert output_truth_tables(net) == output_truth_tables(rep)
+
+    def test_no_op_when_nothing_shared(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("y", b.and_(a, c, name="g"))
+        net = b.network()
+        rep = replicate_fanout_nodes(net)
+        assert sorted(rep.names()) == sorted(net.names())
+
+
+class TestReplicateUntilTree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_functions_preserved(self, seed):
+        from repro.extensions.replicate import replicate_until_tree
+
+        net = make_random_network(seed, num_gates=12)
+        dup = replicate_until_tree(net)
+        assert output_truth_tables(net) == output_truth_tables(dup)
+        dup.validate()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduces_tree_count(self, seed):
+        from repro.core.forest import build_forest
+        from repro.extensions.replicate import replicate_until_tree
+
+        net = make_random_network(seed, num_gates=12)
+        dup = replicate_until_tree(net)
+        assert build_forest(dup).num_trees <= build_forest(net).num_trees + 1
+
+    def test_growth_budget_respected(self):
+        from repro.extensions.replicate import replicate_until_tree
+
+        net = make_random_network(2, num_gates=12)
+        dup = replicate_until_tree(net, max_growth=1.5)
+        # One more round may land just past the budget, never runaway.
+        assert dup.num_gates <= net.num_gates * 1.5 * 3
+
+    def test_bad_growth_rejected(self):
+        from repro.extensions.replicate import replicate_until_tree
+
+        with pytest.raises(ValueError):
+            replicate_until_tree(shared_gate_network(), max_growth=0.5)
+
+    def test_duplication_usually_costs_area(self):
+        """The paper: "it is difficult to realize any savings by this
+        greedy approach" — full duplication inflates LUT counts."""
+        from repro.extensions.replicate import replicate_until_tree
+
+        worse = 0
+        for seed in range(5):
+            net = make_random_network(seed, num_gates=12)
+            plain = ChortleMapper(k=4).map(net).cost
+            dup = ChortleMapper(k=4).map(replicate_until_tree(net)).cost
+            if dup >= plain:
+                worse += 1
+        assert worse >= 4
+
+
+class TestMappingInteraction:
+    def test_replication_helps_absorption(self):
+        """The textbook win: the duplicated AND2 folds into each consumer's
+        LUT, eliminating its own table."""
+        net = shared_gate_network()
+        plain = ChortleMapper(k=3).map(net)
+        rep_net = replicate_fanout_nodes(net)
+        replicated = ChortleMapper(k=3).map(rep_net)
+        verify_equivalence(net, plain)
+        verify_equivalence(rep_net, replicated)
+        assert plain.cost == 3  # g + two consumers
+        assert replicated.cost == 2  # each consumer absorbs its copy
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mapped_results_equivalent(self, seed):
+        net = make_random_network(seed, num_gates=10)
+        rep = replicate_fanout_nodes(net)
+        circuit = ChortleMapper(k=4).map(rep)
+        verify_equivalence(net, circuit)

@@ -1,0 +1,97 @@
+"""Tests for structured mapping reports."""
+
+import json
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.report import MappingReport, build_report
+
+
+@pytest.fixture
+def mapped(fig1):
+    circuit = ChortleMapper(k=3).map(fig1)
+    return fig1, circuit
+
+
+class TestBuildReport:
+    def test_basic_fields(self, mapped):
+        net, circuit = mapped
+        report = build_report(net, circuit, 3, seconds=0.01)
+        assert report.circuit_name == "fig1"
+        assert report.k == 3
+        assert report.luts == 3
+        assert report.num_inputs == 5
+        assert report.num_outputs == 2
+        assert report.depth == circuit.depth()
+        assert report.seconds == 0.01
+
+    def test_utilization(self, mapped):
+        net, circuit = mapped
+        report = build_report(net, circuit, 3)
+        assert sum(report.utilization_histogram.values()) == circuit.num_luts
+        assert 1.0 <= report.average_utilization <= 3.0
+
+    def test_clb_packing_included(self, mapped):
+        net, circuit = mapped
+        report = build_report(net, circuit, 3, pack_blocks=True)
+        assert report.clbs is not None
+        assert report.clbs <= circuit.num_luts
+        assert report.clb_packing_ratio >= 1.0
+
+    def test_clb_omitted_by_default(self, mapped):
+        net, circuit = mapped
+        report = build_report(net, circuit, 3)
+        assert report.clbs is None
+
+
+class TestSerialization:
+    def test_to_text(self, mapped):
+        net, circuit = mapped
+        text = build_report(net, circuit, 3, seconds=0.5).to_text()
+        assert "fig1" in text
+        assert "3 LUTs" in text
+        assert "0.500s" in text
+
+    def test_to_json_round_trip(self, mapped):
+        net, circuit = mapped
+        report = build_report(net, circuit, 3, pack_blocks=True)
+        data = json.loads(report.to_json())
+        assert data["luts"] == 3
+        assert data["clbs"] == report.clbs
+        assert "average_utilization" in data
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_networks(self, seed):
+        net = make_random_network(seed)
+        circuit = ChortleMapper(k=4).map(net)
+        report = build_report(net, circuit, 4, mapper="chortle")
+        assert report.luts == circuit.cost
+        assert report.luts_total == circuit.num_luts
+
+
+class TestCliIntegration:
+    def test_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "c.blif"
+        main(["generate", "count", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["map", str(path), "-k", "4", "--report", "--clb",
+                     "-o", str(tmp_path / "out.blif")]) == 0
+        err = capsys.readouterr().err
+        assert "mapping report" in err
+        assert "CLBs" in err
+
+    def test_json_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "c.blif"
+        main(["generate", "frg1", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["map", str(path), "--json-report",
+                     "-o", str(tmp_path / "out.blif")]) == 0
+        err = capsys.readouterr().err
+        data = json.loads(err[err.index("{"):])
+        assert data["mapper"] == "chortle"

@@ -1,0 +1,56 @@
+"""Tests for the programmatic experiment runner."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from tests.util import make_random_network
+from repro.bench.runner import MAPPER_FACTORIES, SuiteResult, run_suite
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    nets = [make_random_network(s, num_gates=10) for s in range(2)]
+    return run_suite(nets, mappers=("chortle", "mis"), ks=(2, 4), verify=True)
+
+
+class TestRunSuite:
+    def test_report_count(self, small_sweep):
+        assert len(small_sweep.reports) == 2 * 2 * 2
+
+    def test_filter(self, small_sweep):
+        chortle_k4 = small_sweep.filter(mapper="chortle", k=4)
+        assert len(chortle_k4) == 2
+        assert all(r.k == 4 for r in chortle_k4)
+
+    def test_profile_names_accepted(self):
+        result = run_suite(["frg1"], mappers=("chortle",), ks=(4,))
+        assert result.reports[0].circuit_name == "frg1"
+
+    def test_all_mappers_registered(self):
+        result = run_suite(
+            [make_random_network(1, num_gates=8)],
+            mappers=tuple(MAPPER_FACTORIES),
+            ks=(3,),
+            verify=True,
+        )
+        assert {r.mapper for r in result.reports} == set(MAPPER_FACTORIES)
+
+
+class TestExports:
+    def test_json(self, small_sweep):
+        data = json.loads(small_sweep.to_json())
+        assert len(data) == len(small_sweep.reports)
+        assert {"luts", "depth", "mapper"} <= set(data[0])
+
+    def test_csv(self, small_sweep):
+        rows = list(csv.DictReader(io.StringIO(small_sweep.to_csv())))
+        assert len(rows) == len(small_sweep.reports)
+        assert int(rows[0]["luts"]) > 0
+
+    def test_comparison(self, small_sweep):
+        gains = small_sweep.comparison(4, baseline="mis", challenger="chortle")
+        assert len(gains) == 2
+        assert all(g >= -10.0 for g in gains.values())

@@ -1,0 +1,81 @@
+"""Tests for the MIS-script-like preparation pipeline."""
+
+import pytest
+
+from repro.blif.convert import blif_to_network
+from repro.blif.parser import parse_blif
+from repro.network.simulate import output_truth_tables
+from repro.opt.script import factored_network_from_blif, mis_script
+
+WIDE_SOP = """
+.model wide
+.inputs a b c d e f g
+.outputs y z
+.names a d f t1
+111 1
+.names a b c d e f y
+11---- 1
+--11-- 1
+----11 1
+.names t1 g z
+11 0
+.end
+"""
+
+
+class TestFactoredNetwork:
+    def test_functions_match_two_level_conversion(self):
+        model = parse_blif(WIDE_SOP)
+        direct = blif_to_network(model)
+        factored = factored_network_from_blif(model)
+        assert output_truth_tables(direct) == output_truth_tables(factored)
+
+    def test_factored_network_is_multi_level(self):
+        model = parse_blif(WIDE_SOP)
+        factored = mis_script(factored_network_from_blif(model))
+        # ab+cd+ef factors to at least two levels of AND/OR.
+        assert factored.depth() >= 2
+
+    def test_phase0_table_inversion_carried(self):
+        model = parse_blif(WIDE_SOP)
+        factored = factored_network_from_blif(model)
+        tts = output_truth_tables(factored)
+        direct_tts = output_truth_tables(blif_to_network(model))
+        assert tts["z"] == direct_tts["z"]
+
+    def test_constant_tables(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        net = factored_network_from_blif(parse_blif(text))
+        tts = output_truth_tables(net)
+        assert tts["y"].is_constant()
+
+    def test_out_of_order_tables(self):
+        text = """
+.model m
+.inputs a b
+.outputs y
+.names t b y
+11 1
+.names a b t
+-1 1
+.end
+"""
+        net = factored_network_from_blif(parse_blif(text))
+        assert "t" in net
+
+
+class TestMisScript:
+    def test_sweeps_buffers(self):
+        model = parse_blif(WIDE_SOP)
+        net = mis_script(factored_network_from_blif(model))
+        for gate in net.gates():
+            assert gate.fanin_count >= 2
+
+    def test_mappable_after_script(self):
+        from repro.core import ChortleMapper
+        from repro.verify import verify_equivalence
+
+        model = parse_blif(WIDE_SOP)
+        net = mis_script(factored_network_from_blif(model))
+        circuit = ChortleMapper(k=4).map(net)
+        verify_equivalence(net, circuit)

@@ -1,0 +1,101 @@
+"""Tests for bit-parallel network simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.util import make_random_network
+from repro.errors import NetworkError
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import (
+    exhaustive_input_words,
+    network_truth_tables,
+    output_truth_tables,
+    simulate,
+)
+from repro.truth.truthtable import TruthTable
+
+
+class TestSimulate:
+    def test_and_with_inversion(self, fig1):
+        words = exhaustive_input_words(fig1.inputs)
+        values = simulate(fig1, words, 32)
+        tts = {n: TruthTable(5, v) for n, v in values.items()}
+        a, b, c, d, e = (TruthTable.var(j, 5) for j in range(5))
+        assert tts["g1"] == a & b
+        assert tts["g2"] == (a & b) | ~c
+        assert tts["g3"] == c & d & e
+        assert tts["g4"] == tts["g2"] | tts["g3"]
+
+    def test_missing_input_raises(self, fig1):
+        with pytest.raises(NetworkError):
+            simulate(fig1, {"a": 0}, 4)
+
+    def test_bad_width(self, fig1):
+        with pytest.raises(ValueError):
+            simulate(fig1, {}, 0)
+
+    def test_constants(self):
+        b = NetworkBuilder()
+        a = b.input("a")
+        net = b.network(validate=False)
+        net.add_const("one", True)
+        net.add_const("zero", False)
+        vals = simulate(net, {"a": 0b1010}, 4)
+        assert vals["one"] == 0b1111
+        assert vals["zero"] == 0
+
+    def test_word_masking(self):
+        b = NetworkBuilder()
+        a = b.input("a")
+        b.output("y", b.and_(a, a)) if False else None
+        net = b.network(validate=False)
+        vals = simulate(net, {"a": 0xFFFF}, 4)
+        assert vals["a"] == 0xF
+
+
+class TestExhaustivePatterns:
+    def test_patterns_cover_all_assignments(self):
+        words = exhaustive_input_words(["a", "b", "c"])
+        for m in range(8):
+            got = tuple((words[n] >> m) & 1 for n in ("a", "b", "c"))
+            expected = tuple((m >> j) & 1 for j in range(3))
+            assert got == expected
+
+    def test_too_many_inputs(self):
+        with pytest.raises(ValueError):
+            exhaustive_input_words(["i%d" % i for i in range(21)])
+
+
+class TestTruthTables:
+    def test_network_truth_tables(self, tiny_and_or):
+        tts = network_truth_tables(tiny_and_or)
+        a, b, c = (TruthTable.var(j, 3) for j in range(3))
+        assert tts[tiny_and_or.outputs["y"].name] == (a & b) | c
+
+    def test_output_truth_tables_with_inversion(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        g = b.and_(a, c)
+        b.output("y", ~g)
+        tts = output_truth_tables(b.network())
+        assert tts["y"] == ~(TruthTable.var(0, 2) & TruthTable.var(1, 2))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_vectors_match_exhaustive(self, seed):
+        """Random-word simulation agrees with the exhaustive truth tables."""
+        net = make_random_network(seed)
+        tts = network_truth_tables(net)
+        rng = random.Random(seed)
+        width = 64
+        words = {n: rng.getrandbits(width) for n in net.inputs}
+        vals = simulate(net, words, width)
+        for name, tt in tts.items():
+            for v in range(width):
+                assignment = 0
+                for j, inp in enumerate(net.inputs):
+                    if (words[inp] >> v) & 1:
+                        assignment |= 1 << j
+                assert (vals[name] >> v) & 1 == tt.value(assignment)

@@ -1,0 +1,86 @@
+"""Tests for structural hashing."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import output_truth_tables
+from repro.network.transform import strash
+from repro.verify import verify_equivalence
+
+
+class TestStrash:
+    def test_commutative_duplicates_shared(self):
+        b = NetworkBuilder("s")
+        a, c, d = b.inputs("a", "c", "d")
+        g1 = b.and_(a, ~c, name="g1")
+        g2 = b.and_(~c, a, name="g2")
+        b.output("y1", b.or_(g1, d))
+        b.output("y2", b.or_(g2, ~d))
+        net = b.network()
+        shared = strash(net)
+        assert shared.num_gates == net.num_gates - 1
+        assert output_truth_tables(net) == output_truth_tables(shared)
+
+    def test_different_polarity_not_shared(self):
+        b = NetworkBuilder("p")
+        a, c = b.inputs("a", "c")
+        g1 = b.and_(a, c, name="g1")
+        g2 = b.and_(a, ~c, name="g2")
+        b.output("y", b.or_(g1, g2))
+        shared = strash(b.network())
+        assert shared.num_gates == 3
+
+    def test_cascaded_sharing(self):
+        """Sharing one level exposes sharing at the next."""
+        b = NetworkBuilder("c")
+        a, c, d = b.inputs("a", "c", "d")
+        g1 = b.and_(a, c, name="g1")
+        g2 = b.and_(c, a, name="g2")
+        h1 = b.or_(g1, d, name="h1")
+        h2 = b.or_(g2, d, name="h2")
+        b.output("y1", b.and_(h1, a))
+        b.output("y2", b.and_(h2, ~a))
+        shared = strash(b.network())
+        # g2 folds into g1, then h2 into h1.
+        assert shared.num_gates == 4
+
+    def test_op_distinguishes(self):
+        b = NetworkBuilder("o")
+        a, c = b.inputs("a", "c")
+        b.output("y1", b.and_(a, c))
+        b.output("y2", b.or_(a, c))
+        shared = strash(b.network())
+        assert shared.num_gates == 2
+
+    def test_outputs_rewired(self):
+        b = NetworkBuilder("w")
+        a, c = b.inputs("a", "c")
+        g1 = b.and_(a, c, name="g1")
+        g2 = b.and_(c, a, name="g2")
+        b.output("y1", g1)
+        b.output("y2", ~g2)
+        shared = strash(b.network())
+        assert shared.outputs["y2"].name == shared.outputs["y1"].name
+        assert shared.outputs["y2"].inv != shared.outputs["y1"].inv
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_function_preserved_random(self, seed):
+        net = make_random_network(seed, num_gates=15)
+        shared = strash(net)
+        assert output_truth_tables(net) == output_truth_tables(shared)
+        assert shared.num_gates <= net.num_gates
+        shared.validate()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mappable_after_strash(self, seed):
+        net = strash(make_random_network(seed, num_gates=15))
+        circuit = ChortleMapper(k=4).map(net)
+        verify_equivalence(net, circuit)
+
+    def test_idempotent(self):
+        net = make_random_network(2, num_gates=15)
+        once = strash(net)
+        twice = strash(once)
+        assert sorted(twice.names()) == sorted(once.names())

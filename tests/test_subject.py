@@ -1,0 +1,47 @@
+"""Tests for subject-graph (binary) decomposition."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.baseline.subject import decompose_to_binary
+from repro.network.builder import NetworkBuilder
+from repro.network.simulate import output_truth_tables
+
+
+class TestDecomposeToBinary:
+    def test_wide_gate_becomes_binary_tree(self):
+        b = NetworkBuilder()
+        xs = b.inputs(*["x%d" % i for i in range(7)])
+        b.output("y", b.and_(*xs, name="g"))
+        net = decompose_to_binary(b.network())
+        assert all(n.fanin_count <= 2 for n in net.gates())
+        assert net.num_gates == 6  # f-1 binary gates
+        assert "g" in net  # root keeps its name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_functions_preserved(self, seed):
+        net = make_random_network(seed)
+        binary = decompose_to_binary(net)
+        assert output_truth_tables(net) == output_truth_tables(binary)
+        assert all(n.fanin_count <= 2 for n in binary.gates())
+
+    def test_two_input_gates_untouched(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("y", b.and_(a, c, name="g"))
+        net = decompose_to_binary(b.network())
+        assert net.num_gates == 1
+
+    def test_edge_polarities_preserved(self):
+        b = NetworkBuilder()
+        a, c, d = b.inputs("a", "c", "d")
+        b.output("y", b.or_(~a, c, ~d, name="g"))
+        net = decompose_to_binary(b.network())
+        assert output_truth_tables(b.network()) == output_truth_tables(net)
+
+    def test_balanced_shape(self):
+        b = NetworkBuilder()
+        xs = b.inputs(*["x%d" % i for i in range(8)])
+        b.output("y", b.or_(*xs, name="g"))
+        net = decompose_to_binary(b.network())
+        assert net.depth() == 3  # perfectly balanced over 8 leaves

@@ -1,0 +1,161 @@
+"""Tests for network cleanup passes (sweep & friends)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.util import make_random_network
+from repro.network.builder import NetworkBuilder
+from repro.network.network import AND, OR, BooleanNetwork, Signal
+from repro.network.simulate import output_truth_tables
+from repro.network.transform import remove_unreachable, sweep
+
+
+def equivalent(net_a, net_b):
+    return output_truth_tables(net_a) == output_truth_tables(net_b)
+
+
+class TestConstantPropagation:
+    def test_and_with_zero(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_const("z", False)
+        net.add_gate("g", AND, ["a", "z"])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        # Output collapses to constant 0, carried by a const node.
+        out = swept.outputs["y"]
+        assert swept.node(out.name).op == "const0"
+        assert swept.num_gates == 0
+
+    def test_and_with_one_drops_input(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_const("one", True)
+        net.add_gate("g", AND, ["a", "b", "one"])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        assert swept.node("g").fanins == (Signal("a"), Signal("b"))
+
+    def test_or_with_one(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_const("one", True)
+        net.add_gate("g", OR, ["a", "one"])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        assert swept.node(swept.outputs["y"].name).op == "const1"
+
+    def test_inverted_constant_edge(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_const("one", True)
+        net.add_gate("g", AND, [Signal("a"), Signal("one", True)])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        assert swept.node(swept.outputs["y"].name).op == "const0"
+
+
+class TestBufferCollapse:
+    def test_single_fanin_chain(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("g", AND, ["a", "b"])
+        net.add_gate("buf", AND, ["g"])
+        net.add_gate("inv", OR, [Signal("buf", True)])
+        net.set_output("y", "inv")
+        swept = sweep(net)
+        assert swept.outputs["y"] == Signal("g", True)
+        assert swept.num_gates == 1
+
+    def test_inverter_pairs_cancel(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("g", AND, ["a", "b"])
+        net.add_gate("n1", AND, [Signal("g", True)])
+        net.add_gate("n2", AND, [Signal("n1", True)])
+        net.set_output("y", "n2")
+        swept = sweep(net)
+        assert swept.outputs["y"] == Signal("g", False)
+
+
+class TestDuplicateFanins:
+    def test_duplicate_literal_removed(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("pre", AND, ["a"])  # alias of a
+        net.add_gate("g", AND, ["a", "pre", "b"])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        assert swept.node("g").fanins == (Signal("a"), Signal("b"))
+
+    def test_complementary_pair_and(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("g", AND, [Signal("a"), Signal("a", True), Signal("b")])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        assert swept.node(swept.outputs["y"].name).op == "const0"
+
+    def test_complementary_pair_or(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_gate("g", OR, [Signal("a"), Signal("a", True)])
+        net.set_output("y", "g")
+        swept = sweep(net)
+        assert swept.node(swept.outputs["y"].name).op == "const1"
+
+
+class TestUnreachable:
+    def test_dead_logic_removed(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("used", AND, ["a", "b"])
+        net.add_gate("dead", OR, ["a", "b"])
+        net.set_output("y", "used")
+        swept = sweep(net)
+        assert "dead" not in swept
+        assert "used" in swept
+
+    def test_inputs_preserved(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("unused")
+        net.add_gate("g", AND, ["a", "a"]) if False else None
+        net.set_output("y", "a")
+        swept = remove_unreachable(net)
+        assert "unused" in swept
+        assert tuple(swept.inputs) == ("a", "unused")
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sweep_preserves_output_functions(self, seed):
+        net = make_random_network(seed, num_gates=12)
+        # make_random_network already sweeps; sweep again must be a no-op
+        # semantically (and idempotent structurally).
+        swept = sweep(net)
+        assert equivalent(net, swept)
+        again = sweep(swept)
+        assert sorted(again.names()) == sorted(swept.names())
+
+    def test_gates_have_two_plus_fanins_after_sweep(self):
+        for seed in range(6):
+            net = make_random_network(seed)
+            for gate in net.gates():
+                assert gate.fanin_count >= 2
+                names = [s.name for s in gate.fanins]
+                assert len(set(names)) == len(names)
+
+    def test_output_port_to_input(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.set_output("y", Signal("a", True))
+        swept = sweep(net)
+        assert swept.outputs["y"] == Signal("a", True)

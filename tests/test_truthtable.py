@@ -1,0 +1,260 @@
+"""Unit and property tests for repro.truth.truthtable."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.truth.truthtable import TruthTable, _full_mask
+
+
+def tables(max_vars=4):
+    """Hypothesis strategy: a random truth table of 0..max_vars variables."""
+    return st.integers(min_value=0, max_value=max_vars).flatmap(
+        lambda n: st.integers(min_value=0, max_value=_full_mask(n)).map(
+            lambda bits: TruthTable(n, bits)
+        )
+    )
+
+
+class TestConstruction:
+    def test_const_false(self):
+        tt = TruthTable.const(False, 3)
+        assert tt.bits == 0
+        assert all(tt.value(m) == 0 for m in range(8))
+
+    def test_const_true(self):
+        tt = TruthTable.const(True, 3)
+        assert all(tt.value(m) == 1 for m in range(8))
+
+    def test_const_zero_vars(self):
+        assert TruthTable.const(True, 0).bits == 1
+        assert TruthTable.const(False, 0).bits == 0
+
+    @pytest.mark.parametrize("j,n", [(0, 1), (0, 3), (1, 3), (2, 3), (4, 5)])
+    def test_var_projection(self, j, n):
+        tt = TruthTable.var(j, n)
+        for m in range(1 << n):
+            assert tt.value(m) == (m >> j) & 1
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(3, 3)
+        with pytest.raises(ValueError):
+            TruthTable.var(-1, 2)
+
+    def test_negative_nvars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 0)
+
+    def test_oversized_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 16)
+
+    def test_huge_nvars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(25, 0)
+
+    def test_from_values(self):
+        tt = TruthTable.from_values([0, 1, 1, 0])
+        assert tt.nvars == 2
+        assert tt == TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+    def test_from_values_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([0, 1, 1])
+
+    def test_from_values_bad_entry(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([0, 2])
+
+    def test_from_callable_majority(self):
+        maj = TruthTable.from_callable(lambda a, b, c: a + b + c >= 2, 3)
+        assert maj.count_ones() == 4
+        assert maj.evaluate([1, 1, 0]) == 1
+        assert maj.evaluate([1, 0, 0]) == 0
+
+
+class TestEvaluation:
+    def test_evaluate_matches_value(self):
+        tt = TruthTable(3, 0b10110010)
+        for m in range(8):
+            bits = [(m >> j) & 1 for j in range(3)]
+            assert tt.evaluate(bits) == tt.value(m)
+
+    def test_evaluate_wrong_arity(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).evaluate([1])
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).value(4)
+
+    def test_minterms(self):
+        tt = TruthTable(2, 0b0110)
+        assert list(tt.minterms()) == [1, 2]
+
+    def test_count_ones(self):
+        assert TruthTable(2, 0b0110).count_ones() == 2
+
+
+class TestLogicalOps:
+    def test_and_or_xor_not(self):
+        a = TruthTable.var(0, 2)
+        b = TruthTable.var(1, 2)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+        assert (~a).bits == 0b0101
+
+    def test_de_morgan(self):
+        a, b = TruthTable.var(0, 3), TruthTable.var(2, 3)
+        assert ~(a & b) == (~a) | (~b)
+        assert ~(a | b) == (~a) & (~b)
+
+    def test_mismatched_arity(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2) & TruthTable.var(0, 3)
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            TruthTable.var(0, 2) & 3
+
+    @given(tables(3), tables(3))
+    def test_commutativity(self, x, y):
+        if x.nvars != y.nvars:
+            return
+        assert (x & y) == (y & x)
+        assert (x | y) == (y | x)
+        assert (x ^ y) == (y ^ x)
+
+    @given(tables(3))
+    def test_double_negation(self, x):
+        assert ~~x == x
+
+
+class TestCofactorsAndSupport:
+    def test_cofactor_of_var(self):
+        a = TruthTable.var(0, 2)
+        assert a.cofactor(0, 1) == TruthTable.const(True, 2)
+        assert a.cofactor(0, 0) == TruthTable.const(False, 2)
+
+    def test_shannon_expansion(self):
+        tt = TruthTable(3, 0b11010010)
+        x = TruthTable.var(1, 3)
+        rebuilt = (x & tt.cofactor(1, 1)) | (~x & tt.cofactor(1, 0))
+        assert rebuilt == tt
+
+    @given(tables(4), st.integers(0, 3), st.integers(0, 1))
+    def test_cofactor_idempotent(self, tt, j, v):
+        if j >= tt.nvars:
+            return
+        once = tt.cofactor(j, v)
+        assert once.cofactor(j, v) == once
+        assert not once.depends_on(j)
+
+    def test_support(self):
+        a = TruthTable.var(0, 3)
+        c = TruthTable.var(2, 3)
+        assert (a & c).support() == (0, 2)
+        assert TruthTable.const(True, 3).support() == ()
+
+    def test_support_size(self):
+        assert (TruthTable.var(0, 4) ^ TruthTable.var(3, 4)).support_size() == 2
+
+    def test_is_constant(self):
+        assert TruthTable.const(False, 2).is_constant()
+        assert TruthTable.const(True, 2).is_constant()
+        assert not TruthTable.var(0, 2).is_constant()
+
+
+class TestStructuralOps:
+    def test_permute_identity(self):
+        tt = TruthTable(3, 0b10110100)
+        assert tt.permute([0, 1, 2]) == tt
+
+    def test_permute_swap(self):
+        a, b = TruthTable.var(0, 2), TruthTable.var(1, 2)
+        f = a & ~b
+        g = f.permute([1, 0])
+        assert g == b & ~a
+
+    def test_permute_invalid(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).permute([0, 0])
+
+    @given(tables(4), st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_permute_composition(self, tt, rnd):
+        n = tt.nvars
+        p1 = list(range(n))
+        p2 = list(range(n))
+        rnd.shuffle(p1)
+        rnd.shuffle(p2)
+        # permute(p1) then permute(p2) == permute(p2 o p1) with our convention
+        composed = [p2[p1[i]] for i in range(n)]
+        assert tt.permute(p1).permute(p2) == tt.permute(composed)
+
+    def test_negate_inputs(self):
+        a = TruthTable.var(0, 2)
+        assert a.negate_inputs(0b01) == ~a
+        assert a.negate_inputs(0b10) == a
+
+    @given(tables(4), st.integers(0, 15))
+    def test_negate_inputs_involution(self, tt, mask):
+        mask &= (1 << tt.nvars) - 1
+        assert tt.negate_inputs(mask).negate_inputs(mask) == tt
+
+    def test_extend(self):
+        a = TruthTable.var(0, 1)
+        ext = a.extend(3)
+        assert ext == TruthTable.var(0, 3)
+        assert ext.support() == (0,)
+
+    def test_extend_smaller_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 3).extend(2)
+
+    def test_shrink_to_support(self):
+        f = TruthTable.var(1, 4) & TruthTable.var(3, 4)
+        small = f.shrink_to_support()
+        assert small.nvars == 2
+        assert small == TruthTable.var(0, 2) & TruthTable.var(1, 2)
+
+    @given(tables(4))
+    def test_shrink_preserves_function(self, tt):
+        small = tt.shrink_to_support()
+        sup = tt.support()
+        for m in range(1 << tt.nvars):
+            small_m = 0
+            for i, j in enumerate(sup):
+                if (m >> j) & 1:
+                    small_m |= 1 << i
+            assert tt.value(m) == small.value(small_m)
+
+    def test_compose(self):
+        mux = TruthTable.from_callable(lambda s, a, b: a if s else b, 3)
+        x = TruthTable.var(0, 2)
+        y = TruthTable.var(1, 2)
+        f = mux.compose([x, y, ~y])
+        # s=x selects between y and ~y: f = x ? y : ~y == xnor? no: x&y | ~x&~y
+        assert f == (x & y) | (~x & ~y)
+
+    def test_compose_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable.var(0, 2).compose([TruthTable.var(0, 1)])
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = TruthTable(2, 0b0110)
+        b = TruthTable(2, 0b0110)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TruthTable(3, 0b0110)
+
+    def test_repr_and_binary_string(self):
+        tt = TruthTable(2, 0b0110)
+        assert "0110" in repr(tt)
+        assert tt.to_binary_string() == "0110"

@@ -1,0 +1,65 @@
+"""Tests for the equivalence verifier."""
+
+import pytest
+
+from tests.util import make_random_network
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.errors import VerificationError
+from repro.truth.truthtable import TruthTable
+from repro.verify import equivalent, verify_equivalence
+
+
+class TestVerify:
+    def test_exhaustive_on_small(self, fig1):
+        circuit = ChortleMapper(k=4).map(fig1)
+        assert verify_equivalence(fig1, circuit) == 32  # 2**5 vectors
+
+    def test_random_on_large(self):
+        net = make_random_network(5, num_inputs=16, num_gates=20)
+        circuit = ChortleMapper(k=4).map(net)
+        assert verify_equivalence(net, circuit, vectors=512) == 512
+
+    def test_detects_wrong_function(self, fig1):
+        circuit = ChortleMapper(k=4).map(fig1)
+        tampered = LUTCircuit("bad")
+        for name in circuit.inputs:
+            tampered.add_input(name)
+        for lut_name in circuit.topological_order():
+            lut = circuit.lut(lut_name)
+            tampered.add_lut(lut.name, lut.inputs, ~lut.tt)
+        for port, sig in circuit.outputs.items():
+            tampered.set_output(port, sig)
+        with pytest.raises(VerificationError):
+            verify_equivalence(fig1, tampered)
+        assert not equivalent(fig1, tampered)
+
+    def test_detects_missing_port(self, fig1):
+        incomplete = LUTCircuit("inc")
+        for name in fig1.inputs:
+            incomplete.add_input(name)
+        with pytest.raises(VerificationError):
+            verify_equivalence(fig1, incomplete)
+
+    def test_detects_input_mismatch(self, fig1):
+        wrong = LUTCircuit("w")
+        wrong.add_input("zz")
+        with pytest.raises(VerificationError):
+            verify_equivalence(fig1, wrong)
+
+    def test_equivalent_true_path(self, fig1):
+        assert equivalent(fig1, ChortleMapper(k=3).map(fig1))
+
+    def test_error_message_counts_vectors(self, fig1):
+        circuit = ChortleMapper(k=4).map(fig1)
+        tampered = LUTCircuit("bad")
+        for name in circuit.inputs:
+            tampered.add_input(name)
+        for lut_name in circuit.topological_order():
+            lut = circuit.lut(lut_name)
+            tt = ~lut.tt if lut_name == "g4" else lut.tt
+            tampered.add_lut(lut.name, lut.inputs, tt)
+        for port, sig in circuit.outputs.items():
+            tampered.set_output(port, sig)
+        with pytest.raises(VerificationError, match="of 32 vectors"):
+            verify_equivalence(fig1, tampered)
