@@ -56,6 +56,7 @@ from repro.verilog import write_verilog
 from repro.report import MappingReport, build_report
 from repro.analysis import analyze_timing, analyze_wiring
 from repro.draw import draw_circuit, draw_network
+from repro.obs import capture, get_metrics, get_tracer, span
 from repro.pipeline import map_area, map_delay
 
 __version__ = "1.0.0"
@@ -94,5 +95,9 @@ __all__ = [
     "draw_circuit",
     "map_area",
     "map_delay",
+    "span",
+    "capture",
+    "get_tracer",
+    "get_metrics",
     "__version__",
 ]

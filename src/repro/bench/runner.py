@@ -11,7 +11,6 @@ from __future__ import annotations
 import csv
 import io
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -22,6 +21,7 @@ from repro.extensions.binpack import BinPackMapper
 from repro.extensions.flowmap import FlowMapper
 from repro.extensions.pareto import DepthBoundedMapper
 from repro.network.network import BooleanNetwork
+from repro.obs import capture, metrics, span
 from repro.report import MappingReport, build_report
 from repro.verify import verify_equivalence
 
@@ -112,9 +112,22 @@ def run_suite(
             for mapper_name in mappers:
                 factory = MAPPER_FACTORIES[mapper_name]
                 mapper = factory(k)
-                start = time.perf_counter()
-                circuit = mapper.map(net)
-                seconds = time.perf_counter() - start
+                # Each run is timed through the tracer (one span per run)
+                # and attributed a counter delta, so the export carries a
+                # per-stage perf trajectory alongside the LUT counts.
+                counters_before = metrics.counters()
+                with capture() as sink:
+                    with span(
+                        "bench.run", circuit=net.name, k=k, mapper=mapper_name
+                    ):
+                        circuit = mapper.map(net)
+                run_span = sink.by_name("bench.run")[0]
+                seconds = run_span.duration
+                timings = {
+                    name: round(total, 6)
+                    for name, total in sink.stage_timings().items()
+                    if name not in ("bench.run", "chortle.map_tree")
+                }
                 if verify:
                     verify_equivalence(net, circuit, vectors=256)
                 result.reports.append(
@@ -124,6 +137,8 @@ def run_suite(
                         k,
                         mapper=mapper_name,
                         seconds=round(seconds, 4),
+                        timings=timings,
+                        counters=metrics.counter_delta(counters_before),
                     )
                 )
     return result

@@ -6,6 +6,9 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle map in.blif -k 4 --mapper mis         # MIS-style baseline
     chortle map in.blif -k 4 --mapper flowmap     # depth-optimal mapping
     chortle map in.blif -k 4 --mapper binpack     # fast bin-packing mapper
+    chortle map in.blif --trace trace.jsonl       # machine-readable spans
+    chortle map in.blif --profile                 # stage timings on stderr
+    chortle profile in.blif -k 4                  # span tree + counters
     chortle stats in.blif                         # network statistics
     chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
     chortle verify in.blif mapped.blif            # equivalence check
@@ -14,8 +17,8 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-import time
 from typing import Optional, Sequence
 
 from repro.blif import (
@@ -31,6 +34,14 @@ from repro.errors import ReproError
 from repro.extensions import BinPackMapper, DepthBoundedMapper, FlowMapper
 from repro.network import network_stats
 from repro.network.simulate import exhaustive_input_words, simulate
+from repro.obs import (
+    JsonLinesSink,
+    capture,
+    get_metrics,
+    get_tracer,
+    render_span_tree,
+    span,
+)
 from repro.opt import factored_network_from_blif
 from repro.verify import verify_equivalence
 
@@ -68,17 +79,56 @@ _MAPPERS = {
 }
 
 
+@contextlib.contextmanager
+def _trace_sink(path: Optional[str]):
+    """Attach a JSON-lines sink to the global tracer for the duration."""
+    if not path:
+        yield None
+        return
+    try:
+        sink = JsonLinesSink(path)
+    except OSError as exc:
+        raise ReproError("cannot write trace file %r: %s" % (path, exc))
+    tracer = get_tracer()
+    tracer.add_sink(sink)
+    try:
+        yield sink
+    finally:
+        tracer.remove_sink(sink)
+        sink.close()
+
+
+def _print_stage_table(sink, stream=None) -> None:
+    """Per-stage timing table (total seconds per span name)."""
+    stream = stream if stream is not None else sys.stderr
+    timings = sink.stage_timings()
+    if not timings:
+        print("no spans recorded", file=stream)
+        return
+    width = max(len(name) for name in timings)
+    print("%-*s %10s" % (width, "stage", "total"), file=stream)
+    for name, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        print("%-*s %8.3fms" % (width, name, seconds * 1e3), file=stream)
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
     mapper = _MAPPERS[args.mapper](args.k)
-    start = time.perf_counter()
-    circuit = mapper.map(net)
-    elapsed = time.perf_counter() - start
-    if args.verify:
-        vectors = verify_equivalence(net, circuit)
-        print(
-            "verified against %d input vectors" % vectors, file=sys.stderr
-        )
+    # Timing is routed through the tracer: the run is wrapped in one
+    # span and the elapsed time read back from the captured record.
+    with _trace_sink(args.trace):
+        with capture() as sink:
+            with span("cli.map", mapper=args.mapper, k=args.k):
+                circuit = mapper.map(net)
+            if args.verify:
+                vectors = verify_equivalence(net, circuit)
+                print(
+                    "verified against %d input vectors" % vectors,
+                    file=sys.stderr,
+                )
+    elapsed = sink.by_name("cli.map")[0].duration
+    if args.profile:
+        _print_stage_table(sink)
     text = write_lut_circuit(circuit)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -117,6 +167,36 @@ def _cmd_map(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Map with tracing on and print the span tree + counter summary."""
+    net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
+    mapper = _MAPPERS[args.mapper](args.k)
+    registry = get_metrics()
+    counters_before = registry.counters()
+    with _trace_sink(args.trace):
+        with capture() as sink:
+            with span("cli.profile", mapper=args.mapper, k=args.k):
+                circuit = mapper.map(net)
+    print(
+        "%s: %d LUTs (K=%d), depth %d"
+        % (args.mapper, circuit.cost, args.k, circuit.depth())
+    )
+    print()
+    print("span tree:")
+    records = sink.records
+    if not args.trees:
+        records = [r for r in records if r.name != "chortle.map_tree"]
+    print(render_span_tree(records))
+    print()
+    print("counters:")
+    delta = registry.counter_delta(counters_before)
+    if not delta:
+        print("  (none)")
+    for name, value in sorted(delta.items()):
+        print("  %-32s %d" % (name, value))
     return 0
 
 
@@ -254,7 +334,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include XC3000-style CLB packing figures in the report",
     )
+    p_map.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSON-lines trace of mapping spans to FILE",
+    )
+    p_map.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing table to stderr",
+    )
     p_map.set_defaults(func=_cmd_map)
+
+    p_profile = sub.add_parser(
+        "profile", help="map with tracing on; print span tree and counters"
+    )
+    p_profile.add_argument("input", help="input BLIF file")
+    p_profile.add_argument(
+        "-k", type=int, default=4, help="LUT input count (default 4)"
+    )
+    p_profile.add_argument(
+        "--mapper",
+        choices=sorted(_MAPPERS),
+        default="area",
+        help="mapping flow to profile (default: the composed area flow)",
+    )
+    p_profile.add_argument("--factor", action="store_true")
+    p_profile.add_argument("--minimize", action="store_true")
+    p_profile.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also write the JSON-lines trace to FILE",
+    )
+    p_profile.add_argument(
+        "--trees",
+        action="store_true",
+        help="include one span per mapped tree (verbose)",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_analyze = sub.add_parser(
         "analyze", help="timing/wiring analysis of a mapped BLIF circuit"

@@ -8,7 +8,6 @@ verification.
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, Tuple
 
 from repro.errors import MappingError
@@ -18,6 +17,7 @@ from repro.core.lut import LUTCircuit
 from repro.core.tree_mapper import MapCand, TreeMapper
 from repro.network.network import CONST0, CONST1, BooleanNetwork
 from repro.network.transform import sweep
+from repro.obs import metrics, recursion_limit, span
 from repro.truth.truthtable import TruthTable
 
 
@@ -32,34 +32,46 @@ class ChortleMapper:
 
     def map(self, network: BooleanNetwork) -> LUTCircuit:
         """Map the network into a circuit of K-input lookup tables."""
-        net = sweep(network) if self.preprocess else network
-        net.validate()
-        for node in net.gates():
-            if node.fanin_count < 2:
-                raise MappingError(
-                    "gate %r has fanin %d; run sweep() or enable preprocess"
-                    % (node.name, node.fanin_count)
-                )
+        with span("chortle.map", network=network.name, k=self.k) as sp:
+            net = sweep(network) if self.preprocess else network
+            net.validate()
+            for node in net.gates():
+                if node.fanin_count < 2:
+                    raise MappingError(
+                        "gate %r has fanin %d; run sweep() or enable preprocess"
+                        % (node.name, node.fanin_count)
+                    )
 
-        # Emission recurses along tree depth; be generous for deep chains.
-        limit = max(sys.getrecursionlimit(), 4 * len(net) + 1000)
-        sys.setrecursionlimit(limit)
+            # Emission recurses along tree depth; be generous for deep
+            # chains, and restore the interpreter-wide limit afterwards.
+            with recursion_limit(4 * len(net) + 1000):
+                circuit = self._map_swept(net)
+            sp.set("luts", circuit.cost)
+            return circuit
 
+    def _map_swept(self, net: BooleanNetwork) -> LUTCircuit:
         forest = build_forest(net)
         check_forest(forest)
+        metrics.count("chortle.trees_mapped", len(forest.trees))
 
         circuit = LUTCircuit("%s_k%d" % (net.name, self.k))
         for name in net.inputs:
             circuit.add_input(name)
 
         for tree in forest.trees:
-            cand = self._tree_mapper.map_tree(net, tree)
-            emitted = _emit_candidate(cand, circuit, tree.root)
-            if emitted != cand.cost:
-                raise MappingError(
-                    "internal accounting error in tree %r: predicted %d LUTs, "
-                    "emitted %d" % (tree.root, cand.cost, emitted)
-                )
+            with span(
+                "chortle.map_tree", tree=tree.root, nodes=tree.num_nodes
+            ) as tree_sp:
+                cand = self._tree_mapper.map_tree(net, tree)
+                emitted = _emit_candidate(cand, circuit, tree.root)
+                if emitted != cand.cost:
+                    raise MappingError(
+                        "internal accounting error in tree %r: predicted %d "
+                        "LUTs, emitted %d" % (tree.root, cand.cost, emitted)
+                    )
+                tree_sp.set("luts", emitted)
+            metrics.count("chortle.luts_emitted", emitted)
+            metrics.observe("chortle.luts_per_tree", emitted)
 
         wire_outputs(net, circuit)
         circuit.validate(self.k)

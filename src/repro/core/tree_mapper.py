@@ -41,6 +41,7 @@ from repro.errors import MappingError
 from repro.core.expr import Leaf, NotExpr, OpExpr
 from repro.core.forest import Tree
 from repro.network.network import BooleanNetwork
+from repro.obs import metrics
 
 
 class MapCand:
@@ -191,6 +192,7 @@ class TreeMapper:
 
     def _split_and_map(self, op: str, items: List[FaninItem]) -> NodeTable:
         """Section 3.1.4: split a wide node into two roughly equal halves."""
+        metrics.count("chortle.node_splits")
         half = len(items) // 2
         left = self._table_or_passthrough(op, items[:half])
         right = self._table_or_passthrough(op, items[half:])
@@ -214,6 +216,9 @@ class TreeMapper:
         F[0] = [(0, 0, None)] + [None] * k
         # sub[mask] : NodeTable for the virtual node op(items in mask).
         sub: Dict[int, NodeTable] = {}
+        # [candidates considered, minmap entries]; flushed to the metrics
+        # registry once per node so the per-mask loops stay dict-free.
+        acc = [0, 0]
 
         masks_by_popcount: List[List[int]] = [[] for _ in range(n + 1)]
         for mask in range(1, full + 1):
@@ -222,9 +227,11 @@ class TreeMapper:
         for p in range(1, n + 1):
             for mask in masks_by_popcount[p]:
                 if p >= 2:
-                    sub[mask] = self._make_table(op, items, mask, F, sub)
-                F[mask] = self._make_f(op, items, mask, F, sub)
+                    sub[mask] = self._make_table(op, items, mask, F, sub, acc)
+                F[mask] = self._make_f(op, items, mask, F, sub, acc)
 
+        metrics.count("chortle.decomp_candidates", acc[0])
+        metrics.count("chortle.minmap_entries", acc[1])
         return sub[full]
 
     def _singleton_options(self, item: FaninItem) -> List[Tuple[int, int, tuple]]:
@@ -253,6 +260,7 @@ class TreeMapper:
         F: Dict[int, List],
         sub: Dict[int, NodeTable],
         allow_whole_block: bool,
+        acc: List[int],
     ) -> List[Optional[Tuple[int, _Chain]]]:
         """Best distributions of ``mask``'s items over at most u root inputs.
 
@@ -283,8 +291,10 @@ class TreeMapper:
                 if cur is None or (total, depth) < (cur[0], cur[1]):
                     best[u] = (total, depth, (placement, rest_entry[2]))
 
+        considered = 0
         for consumed, cost, placement in self._singleton_options(items[first_idx]):
             consider(consumed, cost, placement, rest0)
+            considered += 1
 
         # Non-singleton blocks: intermediate nodes over subsets containing
         # the first item (Section 3.1.3: an intermediate node provides a
@@ -296,7 +306,9 @@ class TreeMapper:
                 cand = sub[block][k]
                 if cand is not None:
                     consider(1, cand.cost, ("wire", cand, False), mask ^ block)
+                    considered += 1
             t = (t - 1) & rest0
+        acc[0] += considered
 
         # Monotonize: entry at u is the best using at most u inputs.
         for u in range(1, k + 1):
@@ -314,9 +326,11 @@ class TreeMapper:
         mask: int,
         F: Dict[int, List],
         sub: Dict[int, NodeTable],
+        acc: List[int],
     ) -> NodeTable:
-        dist = self._combine(op, items, mask, F, sub, allow_whole_block=False)
+        dist = self._combine(op, items, mask, F, sub, False, acc)
         table: NodeTable = [None] * (self.k + 1)
+        entries = 0
         for u in range(2, self.k + 1):
             entry = dist[u]
             if entry is None:
@@ -325,6 +339,8 @@ class TreeMapper:
             table[u] = MapCand(
                 cost + 1, op, _chain_to_tuple(chain), input_depth=depth
             )
+            entries += 1
+        acc[1] += entries
         return table
 
     def _make_f(
@@ -334,5 +350,6 @@ class TreeMapper:
         mask: int,
         F: Dict[int, List],
         sub: Dict[int, NodeTable],
+        acc: List[int],
     ) -> List[Optional[Tuple[int, _Chain]]]:
-        return self._combine(op, items, mask, F, sub, allow_whole_block=True)
+        return self._combine(op, items, mask, F, sub, True, acc)

@@ -21,6 +21,7 @@ from repro.network.network import (
     BooleanNetwork,
     Signal,
 )
+from repro.obs import metrics, span
 
 # A resolution is either a constant value or an equivalent signal.
 _Res = Tuple[str, Union[bool, Signal]]
@@ -68,6 +69,18 @@ def sweep(network: BooleanNetwork) -> BooleanNetwork:
     the outputs.  Primary inputs are always preserved to keep the external
     interface stable.
     """
+    with span("transform.sweep", network=network.name) as sp:
+        out = _sweep_impl(network)
+        removed = len(network) - len(out)
+        metrics.count("sweep.runs")
+        if removed > 0:
+            metrics.count("sweep.nodes_removed", removed)
+        sp.set("nodes_in", len(network))
+        sp.set("nodes_out", len(out))
+    return out
+
+
+def _sweep_impl(network: BooleanNetwork) -> BooleanNetwork:
     out = BooleanNetwork(network.name)
     res: Dict[str, _Res] = {}
     for name in network.topological_order():
@@ -140,6 +153,18 @@ def strash(network: BooleanNetwork) -> BooleanNetwork:
     mapper's forest partition is a measurable trade-off, not a free win.
     The pass runs on swept networks and sweeps afterwards.
     """
+    with span("transform.strash", network=network.name) as sp:
+        out, merged = _strash_impl(network)
+        metrics.count("strash.runs")
+        if merged > 0:
+            metrics.count("strash.nodes_merged", merged)
+        sp.set("nodes_in", len(network))
+        sp.set("nodes_out", len(out))
+        sp.set("merged", merged)
+    return out
+
+
+def _strash_impl(network: BooleanNetwork) -> Tuple[BooleanNetwork, int]:
     net = sweep(network)
     canonical: Dict[Tuple, str] = {}
     replacement: Dict[str, Signal] = {}
@@ -169,7 +194,7 @@ def strash(network: BooleanNetwork) -> BooleanNetwork:
         out.add_gate(name, node.op, fanins)
     for port, sig in net.outputs.items():
         out.set_output(port, resolve(sig))
-    return sweep(out)
+    return sweep(out), len(replacement)
 
 
 def propagate_constants(network: BooleanNetwork) -> BooleanNetwork:

@@ -1,0 +1,44 @@
+"""Observability subsystem: tracing spans, mapper metrics, profiling.
+
+Two process-wide singletons back the instrumentation woven through the
+mapping pipeline:
+
+* the **tracer** (:func:`get_tracer`) — hierarchical spans with
+  pluggable sinks; zero-cost no-op when no sink is attached;
+* the **metrics registry** (:data:`metrics`) — counters, gauges, and
+  running histograms written by the passes unconditionally.
+
+See ``docs/OBSERVABILITY.md`` for the span-name and counter catalogue.
+"""
+
+from repro.obs.metrics import MetricsRegistry, get_metrics, metrics
+from repro.obs.tracer import (
+    JsonLinesSink,
+    MemorySink,
+    Sink,
+    SpanRecord,
+    StderrSink,
+    Tracer,
+    capture,
+    get_tracer,
+    render_span_tree,
+    span,
+)
+from repro.obs.util import recursion_limit
+
+__all__ = [
+    "JsonLinesSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "Sink",
+    "SpanRecord",
+    "StderrSink",
+    "Tracer",
+    "capture",
+    "get_metrics",
+    "get_tracer",
+    "metrics",
+    "recursion_limit",
+    "render_span_tree",
+    "span",
+]

@@ -1,0 +1,24 @@
+"""Small observability-adjacent utilities shared by the instrumented passes."""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def recursion_limit(limit: int) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit.
+
+    The limit is only ever raised (never lowered below the current
+    setting) and is restored on exit, so library callers are not left
+    with a mutated interpreter-wide setting.
+    """
+    previous = sys.getrecursionlimit()
+    target = max(previous, limit)
+    sys.setrecursionlimit(target)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

@@ -20,14 +20,20 @@ from repro.extensions.lutmerge import merge_luts
 from repro.extensions.pareto import DepthBoundedMapper
 from repro.network.network import BooleanNetwork
 from repro.network.transform import strash, sweep
+from repro.obs import span
 from repro.opt.refactor import refactor_network
 
 
 def _front_end(network: BooleanNetwork, refactor: bool) -> BooleanNetwork:
-    net = strash(sweep(network))
-    if refactor:
-        net = refactor_network(net)
+    with span("pipeline.sweep"):
+        net = sweep(network)
+    with span("pipeline.strash"):
         net = strash(net)
+    if refactor:
+        with span("pipeline.refactor"):
+            net = refactor_network(net)
+        with span("pipeline.strash"):
+            net = strash(net)
     return net
 
 
@@ -38,11 +44,15 @@ def map_area(
     merge: bool = True,
 ) -> LUTCircuit:
     """Area-focused composed flow; minimum LUTs this package can reach."""
-    net = _front_end(network, refactor)
-    circuit = ChortleMapper(k=k).map(net)
-    if merge:
-        circuit = merge_luts(circuit, k)
-    return circuit
+    with span("pipeline.map_area", network=network.name, k=k) as sp:
+        net = _front_end(network, refactor)
+        with span("pipeline.chortle"):
+            circuit = ChortleMapper(k=k).map(net)
+        if merge:
+            with span("pipeline.merge"):
+                circuit = merge_luts(circuit, k)
+        sp.set("luts", circuit.cost)
+        return circuit
 
 
 def map_delay(
@@ -53,13 +63,19 @@ def map_delay(
     merge: bool = True,
 ) -> LUTCircuit:
     """Delay-focused composed flow: minimum depth, area recovered."""
-    net = _front_end(network, refactor)
-    circuit = DepthBoundedMapper(k=k, slack=slack).map(net)
-    if merge:
-        before = circuit.depth()
-        merged = merge_luts(circuit, k)
-        # Folding a single-fanout table into its reader keeps the reader's
-        # level, so depth cannot grow; assert the invariant anyway.
-        if merged.depth() <= before:
-            circuit = merged
-    return circuit
+    with span("pipeline.map_delay", network=network.name, k=k) as sp:
+        net = _front_end(network, refactor)
+        with span("pipeline.depthbounded"):
+            circuit = DepthBoundedMapper(k=k, slack=slack).map(net)
+        if merge:
+            before = circuit.depth()
+            with span("pipeline.merge"):
+                merged = merge_luts(circuit, k)
+            # Folding a single-fanout table into its reader keeps the
+            # reader's level, so depth cannot grow; assert the invariant
+            # anyway.
+            if merged.depth() <= before:
+                circuit = merged
+        sp.set("luts", circuit.cost)
+        sp.set("depth", circuit.depth())
+        return circuit

@@ -36,6 +36,10 @@ class MappingReport:
     seconds: Optional[float] = None
     clbs: Optional[int] = None
     clb_packing_ratio: Optional[float] = None
+    # Per-stage wall time (span name -> seconds) and mapper counters
+    # attributed to this run, when the harness traced it (see repro.obs).
+    timings: Optional[Dict[str, float]] = None
+    counters: Optional[Dict[str, int]] = None
 
     @property
     def average_utilization(self) -> float:
@@ -77,6 +81,16 @@ class MappingReport:
                 "  XC3000-style CLBs: %d (%.2f LUTs per block)"
                 % (self.clbs, self.clb_packing_ratio or 0.0)
             )
+        if self.timings:
+            lines.append("  stage timings:")
+            for name, seconds in sorted(
+                self.timings.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append("    %-32s %8.3fms" % (name, seconds * 1e3))
+        if self.counters:
+            lines.append("  counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append("    %-32s %d" % (name, value))
         return "\n".join(lines)
 
 
@@ -87,6 +101,8 @@ def build_report(
     mapper: str = "chortle",
     seconds: Optional[float] = None,
     pack_blocks: bool = False,
+    timings: Optional[Dict[str, float]] = None,
+    counters: Optional[Dict[str, int]] = None,
 ) -> MappingReport:
     """Assemble a :class:`MappingReport` for a mapped circuit."""
     stats = network_stats(network)
@@ -114,4 +130,6 @@ def build_report(
         seconds=seconds,
         clbs=clbs,
         clb_packing_ratio=ratio,
+        timings=timings,
+        counters=counters,
     )

@@ -15,6 +15,7 @@ from repro.errors import VerificationError
 from repro.core.lut import LUTCircuit
 from repro.network.network import BooleanNetwork
 from repro.network.simulate import exhaustive_input_words, simulate
+from repro.obs import metrics, span
 
 
 def verify_equivalence(
@@ -28,39 +29,47 @@ def verify_equivalence(
 
     Raises :class:`VerificationError` on the first mismatching port.
     """
-    inputs = network.inputs
-    if set(circuit.inputs) != set(inputs):
-        raise VerificationError(
-            "input sets differ: %s vs %s" % (sorted(inputs), sorted(circuit.inputs))
-        )
-    if set(network.outputs) - set(circuit.outputs):
-        raise VerificationError(
-            "missing output ports: %s"
-            % sorted(set(network.outputs) - set(circuit.outputs))
-        )
-
-    if len(inputs) <= exhaustive_limit:
-        words: Dict[str, int] = exhaustive_input_words(inputs)
-        width = 1 << len(inputs)
-    else:
-        rng = random.Random(seed)
-        width = vectors
-        words = {name: rng.getrandbits(width) for name in inputs}
-
-    mask = (1 << width) - 1
-    net_values = simulate(network, words, width)
-    ckt_values = circuit.simulate(words, width)
-    for port, sig in network.outputs.items():
-        expected = net_values[sig.name]
-        if sig.inv:
-            expected = ~expected
-        actual = ckt_values[circuit.outputs[port]]
-        if (expected ^ actual) & mask:
-            diff = bin((expected ^ actual) & mask).count("1")
+    with span("verify.equivalence", network=network.name) as sp:
+        inputs = network.inputs
+        if set(circuit.inputs) != set(inputs):
             raise VerificationError(
-                "output %r differs on %d of %d vectors" % (port, diff, width)
+                "input sets differ: %s vs %s"
+                % (sorted(inputs), sorted(circuit.inputs))
             )
-    return width
+        if set(network.outputs) - set(circuit.outputs):
+            raise VerificationError(
+                "missing output ports: %s"
+                % sorted(set(network.outputs) - set(circuit.outputs))
+            )
+
+        if len(inputs) <= exhaustive_limit:
+            words: Dict[str, int] = exhaustive_input_words(inputs)
+            width = 1 << len(inputs)
+            sp.set("mode", "exhaustive")
+        else:
+            rng = random.Random(seed)
+            width = vectors
+            words = {name: rng.getrandbits(width) for name in inputs}
+            sp.set("mode", "random")
+        sp.set("vectors", width)
+
+        mask = (1 << width) - 1
+        net_values = simulate(network, words, width)
+        ckt_values = circuit.simulate(words, width)
+        for port, sig in network.outputs.items():
+            expected = net_values[sig.name]
+            if sig.inv:
+                expected = ~expected
+            actual = ckt_values[circuit.outputs[port]]
+            if (expected ^ actual) & mask:
+                diff = bin((expected ^ actual) & mask).count("1")
+                raise VerificationError(
+                    "output %r differs on %d of %d vectors" % (port, diff, width)
+                )
+        metrics.count("verify.runs")
+        metrics.count("verify.vectors", width)
+        metrics.count("verify.ports_checked", len(network.outputs))
+        return width
 
 
 def equivalent(network: BooleanNetwork, circuit: LUTCircuit, **kwargs) -> bool:

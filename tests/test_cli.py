@@ -116,3 +116,56 @@ class TestVerilogAndAnalyze:
             ["map", str(blif_file), "--minimize", "--verify", "-o", str(out)]
         )
         assert rc == 0
+
+
+class TestTracingAndProfile:
+    def test_map_trace_writes_jsonl(self, blif_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            ["map", str(blif_file), "-k", "4", "--trace", str(trace)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records, "trace file is empty"
+        names = {r["name"] for r in records}
+        assert "cli.map" in names
+        assert "chortle.map" in names
+
+    def test_map_profile_prints_stage_table(self, blif_file, capsys):
+        rc = main(["map", str(blif_file), "-k", "4", "--profile"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "stage" in err
+        assert "cli.map" in err
+
+    def test_map_leaves_tracer_clean(self, blif_file, tmp_path, capsys):
+        from repro.obs import get_tracer
+
+        trace = tmp_path / "trace.jsonl"
+        main(["map", str(blif_file), "--trace", str(trace), "--profile"])
+        capsys.readouterr()
+        assert not get_tracer().enabled
+
+    def test_profile_subcommand(self, blif_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            ["profile", str(blif_file), "-k", "4", "--mapper", "chortle",
+             "--trace", str(trace)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out
+        assert "chortle.map" in out
+        assert "counters:" in out
+        assert "chortle.minmap_entries" in out
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert {r["name"] for r in records} >= {"cli.profile", "chortle.map"}

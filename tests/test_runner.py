@@ -54,3 +54,32 @@ class TestExports:
         gains = small_sweep.comparison(4, baseline="mis", challenger="chortle")
         assert len(gains) == 2
         assert all(g >= -10.0 for g in gains.values())
+
+
+class TestPerfTrajectory:
+    def test_json_includes_timings_and_counters(self, small_sweep):
+        data = json.loads(small_sweep.to_json())
+        assert all("timings" in d and "counters" in d for d in data)
+        chortle = [d for d in data if d["mapper"] == "chortle"][0]
+        assert chortle["counters"]["chortle.minmap_entries"] > 0
+        assert chortle["counters"]["chortle.decomp_candidates"] > 0
+        assert "chortle.map" in chortle["timings"]
+        assert all(t >= 0.0 for t in chortle["timings"].values())
+
+    def test_per_tree_spans_not_exported(self, small_sweep):
+        for report in small_sweep.reports:
+            assert "chortle.map_tree" not in (report.timings or {})
+            assert "bench.run" not in (report.timings or {})
+
+    def test_csv_fields_backward_compatible(self, small_sweep):
+        from repro.bench.runner import _CSV_FIELDS
+
+        rows = list(csv.DictReader(io.StringIO(small_sweep.to_csv())))
+        assert set(rows[0]) == set(_CSV_FIELDS)
+        assert "timings" not in rows[0] and "counters" not in rows[0]
+
+    def test_seconds_matches_run_span(self, small_sweep):
+        # seconds is now derived from the bench.run span, so it bounds
+        # the per-stage totals for single-mapper stage names.
+        for report in small_sweep.reports:
+            assert report.seconds is not None and report.seconds >= 0.0
