@@ -17,6 +17,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from repro.baseline.mis_mapper import MisMapper
 from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
 from repro.core.chortle import ChortleMapper
+from repro.errors import BenchError
 from repro.extensions.binpack import BinPackMapper
 from repro.extensions.flowmap import FlowMapper
 from repro.extensions.pareto import DepthBoundedMapper
@@ -32,6 +33,17 @@ MAPPER_FACTORIES: Dict[str, Callable[[int], object]] = {
     "binpack": lambda k: BinPackMapper(k=k),
     "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
 }
+
+def mapper_factory(name: str) -> Callable[[int], object]:
+    """The factory for ``name``, or a clean error naming the valid mappers."""
+    try:
+        return MAPPER_FACTORIES[name]
+    except KeyError:
+        raise BenchError(
+            "unknown mapper %r; valid mappers: %s"
+            % (name, ", ".join(sorted(MAPPER_FACTORIES)))
+        ) from None
+
 
 _CSV_FIELDS = [
     "circuit_name",
@@ -74,6 +86,27 @@ class SuiteResult:
             writer.writerow(row)
         return buffer.getvalue()
 
+    def to_records(
+        self,
+        created_at: str,
+        label: str = "",
+        environment: Optional[Dict[str, str]] = None,
+    ) -> "RunRecord":
+        """Bundle the reports into a persistent QoR run record.
+
+        ``created_at`` is caller-supplied (ISO-8601 by convention);
+        ``environment`` defaults to the live git sha / python / platform.
+        """
+        from repro.obs.qor import RunRecord, collect_environment
+
+        env = dict(environment) if environment is not None else collect_environment()
+        return RunRecord(
+            reports=list(self.reports),
+            created_at=created_at,
+            environment=env,
+            label=label,
+        )
+
     def comparison(self, k: int, baseline: str, challenger: str) -> Dict[str, float]:
         """Per-circuit % improvement of challenger over baseline LUTs."""
         gains: Dict[str, float] = {}
@@ -99,6 +132,8 @@ def run_suite(
     """
     if circuits is None:
         circuits = TABLE_CIRCUITS
+    # Fail fast on bad mapper names, before any (expensive) mapping runs.
+    factories = {name: mapper_factory(name) for name in mappers}
     networks: List[BooleanNetwork] = []
     for entry in circuits:
         if isinstance(entry, BooleanNetwork):
@@ -110,8 +145,7 @@ def run_suite(
     for net in networks:
         for k in ks:
             for mapper_name in mappers:
-                factory = MAPPER_FACTORIES[mapper_name]
-                mapper = factory(k)
+                mapper = factories[mapper_name](k)
                 # Each run is timed through the tracer (one span per run)
                 # and attributed a counter delta, so the export carries a
                 # per-stage perf trajectory alongside the LUT counts.

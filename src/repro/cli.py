@@ -12,6 +12,10 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle stats in.blif                         # network statistics
     chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
     chortle verify in.blif mapped.blif            # equivalence check
+    chortle qor record -o run.json                # persist a QoR sweep
+    chortle qor diff base.json run.json           # classify QoR changes
+    chortle qor gate base.json                    # re-run suite, fail on regress
+    chortle qor report run.json                   # markdown QoR table
 """
 
 from __future__ import annotations
@@ -197,6 +201,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("  (none)")
     for name, value in sorted(delta.items()):
         print("  %-32s %d" % (name, value))
+    profile = circuit.tree_profile()
+    if profile:
+        print()
+        print("largest trees (cost-counted LUTs, from per-LUT provenance):")
+        worst = sorted(profile.items(), key=lambda kv: (-kv[1], kv[0]))
+        for tree, luts in worst[:10]:
+            print("  %-32s %d" % (tree, luts))
     return 0
 
 
@@ -279,6 +290,103 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             ok = False
     print("equivalent" if ok else "NOT equivalent")
     return 0 if ok else 1
+
+
+def _utc_timestamp() -> str:
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _record_suite(args: argparse.Namespace):
+    """Run the benchmark sweep described by the qor suite options."""
+    from repro.bench.runner import run_suite
+
+    result = run_suite(
+        circuits=args.circuits or None,
+        mappers=tuple(args.mappers),
+        ks=tuple(args.ks),
+        verify=args.verify,
+    )
+    return result.to_records(
+        created_at=args.timestamp or _utc_timestamp(), label=args.label
+    )
+
+
+def _write_text(path: Optional[str], text: str) -> None:
+    if not path:
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as exc:
+        raise ReproError("cannot write %r: %s" % (path, exc))
+
+
+def _finish_diff(diff, args: argparse.Namespace) -> int:
+    """Print/record a QoR diff and turn it into an exit status."""
+    _write_text(getattr(args, "markdown", None), diff.to_markdown())
+    for cell in diff.regressions:
+        print("REGRESSED %s" % cell.describe())
+    for cell in diff.improvements:
+        print("improved  %s" % cell.describe())
+    for key in diff.removed:
+        print("MISSING   (%s, K=%d, %s): cell absent from current run" % key)
+    n_reg = len(diff.regressions)
+    n_imp = len(diff.improvements)
+    print(
+        "qor diff: %d regressed, %d improved, %d unchanged (%d cells); gate %s"
+        % (
+            n_reg,
+            n_imp,
+            len(diff.cells) - n_reg - n_imp,
+            len(diff.cells),
+            "PASS" if diff.passes_gate() else "FAIL",
+        )
+    )
+    return 0 if diff.passes_gate() else 1
+
+
+def _cmd_qor_record(args: argparse.Namespace) -> int:
+    record = _record_suite(args)
+    record.save(args.output)
+    print("wrote %s: %s" % (args.output, record.describe()), file=sys.stderr)
+    return 0
+
+
+def _cmd_qor_diff(args: argparse.Namespace) -> int:
+    from repro.obs.qor import RunRecord
+    from repro.obs.qordiff import diff_records
+
+    baseline = RunRecord.load(args.baseline)
+    current = RunRecord.load(args.current)
+    return _finish_diff(diff_records(baseline, current), args)
+
+
+def _cmd_qor_gate(args: argparse.Namespace) -> int:
+    from repro.obs.qor import RunRecord
+    from repro.obs.qordiff import diff_records
+
+    baseline = RunRecord.load(args.baseline)
+    current = _record_suite(args)
+    if args.output:
+        current.save(args.output)
+        print(
+            "wrote %s: %s" % (args.output, current.describe()), file=sys.stderr
+        )
+    return _finish_diff(diff_records(baseline, current), args)
+
+
+def _cmd_qor_report(args: argparse.Namespace) -> int:
+    from repro.obs.qor import RunRecord
+    from repro.obs.qordiff import render_record
+
+    text = render_record(RunRecord.load(args.record))
+    if args.output:
+        _write_text(args.output, text)
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,6 +507,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("golden", help="reference BLIF file")
     p_verify.add_argument("mapped", help="candidate BLIF file")
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_qor = sub.add_parser(
+        "qor", help="persistent QoR run records, baseline diffing, gating"
+    )
+    qor_sub = p_qor.add_subparsers(dest="qor_command", required=True)
+
+    def add_suite_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--circuits",
+            nargs="*",
+            default=None,
+            metavar="NAME",
+            help="MCNC profile names (default: the Table 1-4 suite)",
+        )
+        p.add_argument(
+            "--mappers",
+            nargs="+",
+            default=["chortle", "mis"],
+            metavar="MAPPER",
+            help="mappers to sweep (default: chortle mis)",
+        )
+        p.add_argument(
+            "--ks",
+            nargs="+",
+            type=int,
+            default=[2, 3, 4, 5],
+            metavar="K",
+            help="LUT input counts to sweep (default: 2 3 4 5)",
+        )
+        p.add_argument(
+            "--verify",
+            action="store_true",
+            help="simulate every mapped circuit against its source",
+        )
+        p.add_argument("--label", default="", help="free-form record label")
+        p.add_argument(
+            "--timestamp",
+            default=None,
+            help="created_at stamp for the record (default: now, UTC ISO-8601)",
+        )
+
+    q_record = qor_sub.add_parser(
+        "record", help="run the suite and save a QoR run record"
+    )
+    add_suite_options(q_record)
+    q_record.add_argument(
+        "-o", "--output", required=True, help="output run-record JSON file"
+    )
+    q_record.set_defaults(func=_cmd_qor_record)
+
+    q_diff = qor_sub.add_parser(
+        "diff", help="diff two run records; nonzero exit on gated regressions"
+    )
+    q_diff.add_argument("baseline", help="baseline run-record JSON file")
+    q_diff.add_argument("current", help="current run-record JSON file")
+    q_diff.add_argument(
+        "--markdown", metavar="FILE", help="also write the markdown dashboard"
+    )
+    q_diff.set_defaults(func=_cmd_qor_diff)
+
+    q_gate = qor_sub.add_parser(
+        "gate", help="re-run the suite and diff it against a baseline record"
+    )
+    q_gate.add_argument("baseline", help="baseline run-record JSON file")
+    add_suite_options(q_gate)
+    q_gate.add_argument(
+        "-o", "--output", help="also save the fresh run record to this file"
+    )
+    q_gate.add_argument(
+        "--markdown", metavar="FILE", help="also write the markdown dashboard"
+    )
+    q_gate.set_defaults(func=_cmd_qor_gate)
+
+    q_report = qor_sub.add_parser(
+        "report", help="render one run record as a markdown QoR table"
+    )
+    q_report.add_argument("record", help="run-record JSON file")
+    q_report.add_argument(
+        "-o", "--output", help="write the markdown to this file (default stdout)"
+    )
+    q_report.set_defaults(func=_cmd_qor_report)
 
     return parser
 

@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 from repro.errors import MappingError
 from repro.core.expr import Leaf, NotExpr, OpExpr, leaf_keys, to_truth_table
 from repro.core.forest import build_forest, check_forest
-from repro.core.lut import LUTCircuit
+from repro.core.lut import LUTCircuit, LUTProvenance
 from repro.core.tree_mapper import MapCand, TreeMapper
 from repro.network.network import CONST0, CONST1, BooleanNetwork
 from repro.network.transform import sweep
@@ -86,7 +86,13 @@ def map_network(
 
 
 def _emit_candidate(cand: MapCand, circuit: LUTCircuit, wire_name: str) -> int:
-    """Materialize a candidate as LUTs; returns the number emitted."""
+    """Materialize a candidate as LUTs; returns the number emitted.
+
+    Every emitted table is stamped with a :class:`LUTProvenance` naming
+    the tree root (``wire_name``) and the placement shape of the
+    candidate that produced it, so downstream QoR tooling can attribute
+    per-tree area.
+    """
     counter = [0]
     emitted = [0]
 
@@ -113,7 +119,17 @@ def _emit_candidate(cand: MapCand, circuit: LUTCircuit, wire_name: str) -> int:
         expr = resolve(c)
         keys = leaf_keys(expr)
         tt = to_truth_table(expr, keys)
-        circuit.add_lut(name, keys, tt)
+        circuit.add_lut(
+            name,
+            keys,
+            tt,
+            provenance=LUTProvenance(
+                tree=wire_name,
+                op=c.op,
+                placements=c.placement_kinds(),
+                root=name == wire_name,
+            ),
+        )
         emitted[0] += 1
 
     emit(cand, wire_name)

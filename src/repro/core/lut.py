@@ -9,10 +9,32 @@ are plain names.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, NamedTuple, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.truth.truthtable import TruthTable
+
+
+class LUTProvenance(NamedTuple):
+    """Where a lookup table came from: the mapping decision that emitted it.
+
+    ``tree`` is the root node of the fanout-free tree whose decomposition
+    produced this table; ``op`` is the operation of the (possibly virtual)
+    node the table realizes; ``placements`` are the placement kinds of the
+    root table's inputs (``ext`` / ``wire`` / ``merged``), i.e. the shape
+    of the winning utilization division; ``root`` marks the tree-root
+    table itself.
+    """
+
+    tree: str
+    op: str
+    placements: Tuple[str, ...]
+    root: bool
+
+    @property
+    def merged(self) -> int:
+        """Child root tables absorbed into this table by the decomposition."""
+        return sum(1 for kind in self.placements if kind == "merged")
 
 
 class LUT(NamedTuple):
@@ -21,6 +43,7 @@ class LUT(NamedTuple):
     name: str
     inputs: Tuple[str, ...]
     tt: TruthTable
+    provenance: Optional[LUTProvenance] = None
 
     @property
     def utilization(self) -> int:
@@ -45,7 +68,13 @@ class LUTCircuit:
         self._inputs.append(name)
         return name
 
-    def add_lut(self, name: str, inputs: Iterable[str], tt: TruthTable) -> str:
+    def add_lut(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        tt: TruthTable,
+        provenance: Optional[LUTProvenance] = None,
+    ) -> str:
         if name in self._luts or name in self._inputs:
             raise NetworkError("duplicate signal name %r" % name)
         inputs = tuple(inputs)
@@ -56,7 +85,7 @@ class LUTCircuit:
             )
         if len(set(inputs)) != len(inputs):
             raise NetworkError("LUT %r has duplicate input wires" % name)
-        self._luts[name] = LUT(name, inputs, tt)
+        self._luts[name] = LUT(name, inputs, tt, provenance)
         return name
 
     def set_output(self, port: str, signal: str) -> None:
@@ -118,6 +147,22 @@ class LUTCircuit:
             u = lut.utilization
             hist[u] = hist.get(u, 0) + 1
         return hist
+
+    def tree_profile(self) -> Dict[str, int]:
+        """Cost-counted LUTs per source tree, from per-LUT provenance.
+
+        Only tables carrying provenance (i.e. emitted by a tree
+        decomposition) contribute, under the same >=2-input accounting as
+        :attr:`cost` — so ``sum(tree_profile().values()) == cost`` for a
+        circuit mapped entirely by the Chortle flow, and the dict is empty
+        for mappers that do not record provenance.
+        """
+        profile: Dict[str, int] = {}
+        for lut in self._luts.values():
+            if lut.provenance is not None and len(lut.inputs) >= 2:
+                tree = lut.provenance.tree
+                profile[tree] = profile.get(tree, 0) + 1
+        return profile
 
     # -- structure ------------------------------------------------------------
 

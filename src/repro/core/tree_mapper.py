@@ -68,6 +68,15 @@ class MapCand:
         """LUT levels from the tree's leaves through this root table."""
         return self.input_depth + 1
 
+    def placement_kinds(self) -> Tuple[str, ...]:
+        """The root table's input placement kinds (``ext``/``wire``/``merged``).
+
+        This is the shape of the winning utilization division — the
+        provenance recorded on each emitted LUT so a QoR diff can
+        attribute area changes to individual tree decompositions.
+        """
+        return tuple(placement[0] for placement in self.placements)
+
     def expr(self):
         """The root lookup table's function as an expression tree."""
         children = []

@@ -21,5 +21,13 @@ class LibraryError(ReproError):
     """Problem constructing or querying a technology library."""
 
 
+class BenchError(ReproError):
+    """Invalid benchmark-suite configuration (unknown mapper, circuit...)."""
+
+
+class QorError(ReproError):
+    """Malformed or incompatible QoR run record / baseline file."""
+
+
 class VerificationError(ReproError):
     """A mapped circuit is not functionally equivalent to its source."""

@@ -8,7 +8,17 @@ mapping pipeline:
 * the **metrics registry** (:data:`metrics`) — counters, gauges, and
   running histograms written by the passes unconditionally.
 
-See ``docs/OBSERVABILITY.md`` for the span-name and counter catalogue.
+Persistent QoR tooling lives in the sibling modules
+:mod:`repro.obs.qor` (versioned run records) and
+:mod:`repro.obs.qordiff` (baseline diffing and regression gating).
+They are *not* re-exported here: they depend on :mod:`repro.report`,
+which transitively imports this package, so import them explicitly::
+
+    from repro.obs.qor import RunRecord
+    from repro.obs.qordiff import diff_records
+
+See ``docs/OBSERVABILITY.md`` for the span-name and counter catalogue
+and the QoR record schema.
 """
 
 from repro.obs.metrics import MetricsRegistry, get_metrics, metrics

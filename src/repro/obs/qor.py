@@ -1,0 +1,164 @@
+"""Persistent QoR run records: the durable half of the observatory.
+
+A :class:`RunRecord` freezes the outcome of one benchmark sweep — the
+full :class:`~repro.report.MappingReport` per (circuit, K, mapper) cell,
+including the per-stage timings, counter deltas, and per-tree LUT
+provenance the tracer attributes to each run — together with enough
+environment metadata (git sha, python, platform, caller-supplied
+timestamp) to interpret the numbers later.  Records round-trip through a
+versioned JSON file format, so a committed baseline snapshot can be
+diffed against any fresh run (see :mod:`repro.obs.qordiff`) and a CI
+gate can refuse regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import QorError
+from repro.report import MappingReport
+
+SCHEMA_VERSION = 1
+
+# A cell key: one (circuit, K, mapper) combination in a sweep.
+CellKey = Tuple[str, int, str]
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The current git commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def collect_environment(cwd: Optional[str] = None) -> Dict[str, str]:
+    """Environment metadata stamped into every record."""
+    return {
+        "git_sha": git_revision(cwd),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "platform": platform.platform(),
+    }
+
+
+@dataclass
+class RunRecord:
+    """One sweep's reports plus the context needed to compare them later.
+
+    ``created_at`` is caller-supplied (an ISO-8601 string by convention)
+    rather than read from the clock here, so records are reproducible and
+    the harness controls the notion of "when".
+    """
+
+    reports: List[MappingReport]
+    created_at: str
+    environment: Dict[str, str] = field(default_factory=dict)
+    label: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def cells(self) -> Dict[CellKey, MappingReport]:
+        """Reports indexed by (circuit, K, mapper).
+
+        Duplicate cells are rejected — a sweep maps each combination
+        once, and a record with two reports for one cell cannot be
+        diffed meaningfully.
+        """
+        out: Dict[CellKey, MappingReport] = {}
+        for report in self.reports:
+            key = (report.circuit_name, report.k, report.mapper)
+            if key in out:
+                raise QorError(
+                    "duplicate cell %r in run record %r" % (key, self.label)
+                )
+            out[key] = report
+        return out
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "label": self.label,
+            "environment": dict(self.environment),
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        if not isinstance(data, Mapping):
+            raise QorError(
+                "run record must be a JSON object, got %s" % type(data).__name__
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise QorError(
+                "unsupported run-record schema version %r (this build reads "
+                "version %d)" % (version, SCHEMA_VERSION)
+            )
+        raw_reports = data.get("reports")
+        if not isinstance(raw_reports, list):
+            raise QorError("run record has no 'reports' list")
+        try:
+            reports = [MappingReport.from_dict(entry) for entry in raw_reports]
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise QorError("malformed report in run record: %s" % exc) from None
+        return cls(
+            reports=reports,
+            created_at=str(data.get("created_at", "")),
+            environment=dict(data.get("environment") or {}),
+            label=str(data.get("label", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise QorError("run record is not valid JSON: %s" % exc) from None
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+                handle.write("\n")
+        except OSError as exc:
+            raise QorError("cannot write run record %r: %s" % (path, exc))
+
+    @classmethod
+    def load(cls, path: str) -> "RunRecord":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise QorError("cannot read run record %r: %s" % (path, exc))
+        return cls.from_json(text)
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and diff headers."""
+        sha = self.environment.get("git_sha", "unknown")
+        label = self.label or "(unlabeled)"
+        return "%s @ %s (%s, %d reports)" % (
+            label,
+            self.created_at or "?",
+            sha[:12],
+            len(self.reports),
+        )

@@ -1,0 +1,319 @@
+"""QoR diffing: per-metric regression policies and markdown dashboards.
+
+Compares two :class:`~repro.obs.qor.RunRecord` snapshots cell by cell
+((circuit, K, mapper) x metric) under explicit :class:`MetricPolicy`
+rules:
+
+* **hard** metrics (LUT count, depth) — the mapper is deterministic, so
+  *any* worsening is a regression and any improvement counts;
+* **soft** metrics (wall time) — noisy by nature, so a change only
+  registers beyond a relative-plus-absolute tolerance band
+  (``base * rel_tol + abs_tol``).
+
+Each cell/metric pair is classified ``improved`` / ``unchanged`` /
+``regressed``; LUT regressions are additionally attributed to the
+individual source trees that got worse, using the per-tree provenance
+profile carried in each report.  The result renders as a markdown
+dashboard and drives the ``chortle qor diff``/``gate`` exit status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.qor import CellKey, RunRecord
+from repro.report import MappingReport
+
+IMPROVED = "improved"
+UNCHANGED = "unchanged"
+REGRESSED = "regressed"
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one report metric is compared and gated.
+
+    ``hard`` policies treat any increase as a regression; soft policies
+    tolerate noise up to ``base * rel_tol + abs_tol`` in either
+    direction.  ``gate=False`` metrics are classified and shown on the
+    dashboard but never fail the gate.
+    """
+
+    metric: str
+    hard: bool = True
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+    gate: bool = True
+
+    def tolerance(self, base: float) -> float:
+        return abs(base) * self.rel_tol + self.abs_tol
+
+    def classify(self, base: float, current: float) -> str:
+        delta = current - base
+        if self.hard:
+            if delta > 0:
+                return REGRESSED
+            if delta < 0:
+                return IMPROVED
+            return UNCHANGED
+        tol = self.tolerance(base)
+        if delta > tol:
+            return REGRESSED
+        if delta < -tol:
+            return IMPROVED
+        return UNCHANGED
+
+
+# LUT count and depth regress hard; wall time only beyond 50% + 250ms of
+# noise headroom.  Shared CI runners routinely jitter individual sub-second
+# cells by 1.5x, so the band is wide; a genuine systematic slowdown (2x on
+# the multi-second circuits) still fails the gate.
+DEFAULT_POLICIES: Tuple[MetricPolicy, ...] = (
+    MetricPolicy("luts", hard=True),
+    MetricPolicy("depth", hard=True),
+    MetricPolicy("seconds", hard=False, rel_tol=0.50, abs_tol=0.25),
+)
+
+
+@dataclass
+class TreeDelta:
+    """One source tree whose cost-counted LUTs changed between runs."""
+
+    tree: str
+    baseline: int
+    current: int
+
+    @property
+    def delta(self) -> int:
+        return self.current - self.baseline
+
+
+@dataclass
+class CellDiff:
+    """One (circuit, K, mapper, metric) comparison."""
+
+    circuit: str
+    k: int
+    mapper: str
+    metric: str
+    baseline: float
+    current: float
+    status: str
+    gated: bool
+    tree_deltas: List[TreeDelta] = field(default_factory=list)
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    def cell_name(self) -> str:
+        return "(%s, K=%d, %s, %s)" % (self.circuit, self.k, self.mapper, self.metric)
+
+    def describe(self) -> str:
+        line = "%s: %s %g -> %g (%+g)" % (
+            self.cell_name(),
+            self.status,
+            self.baseline,
+            self.current,
+            self.delta,
+        )
+        worse = [t for t in self.tree_deltas if t.delta > 0]
+        if worse:
+            line += " [worse trees: %s]" % ", ".join(
+                "%s %d->%d" % (t.tree, t.baseline, t.current) for t in worse[:5]
+            )
+        return line
+
+
+def _tree_deltas(
+    base: Optional[Dict[str, int]], cur: Optional[Dict[str, int]]
+) -> List[TreeDelta]:
+    """Per-tree LUT changes, worst first (provenance-carrying runs only)."""
+    if not base or not cur:
+        return []
+    deltas = []
+    for tree in set(base) | set(cur):
+        b, c = base.get(tree, 0), cur.get(tree, 0)
+        if b != c:
+            deltas.append(TreeDelta(tree=tree, baseline=b, current=c))
+    deltas.sort(key=lambda t: (-t.delta, t.tree))
+    return deltas
+
+
+@dataclass
+class QorDiff:
+    """Every classified cell plus suite-membership changes."""
+
+    cells: List[CellDiff]
+    added: List[CellKey] = field(default_factory=list)
+    removed: List[CellKey] = field(default_factory=list)
+    baseline_summary: str = ""
+    current_summary: str = ""
+
+    @property
+    def regressions(self) -> List[CellDiff]:
+        return [c for c in self.cells if c.status == REGRESSED]
+
+    @property
+    def improvements(self) -> List[CellDiff]:
+        return [c for c in self.cells if c.status == IMPROVED]
+
+    @property
+    def gate_failures(self) -> List[CellDiff]:
+        return [c for c in self.cells if c.status == REGRESSED and c.gated]
+
+    def passes_gate(self) -> bool:
+        """True when nothing gated regressed and no baseline cell vanished."""
+        return not self.gate_failures and not self.removed
+
+    def to_markdown(self) -> str:
+        """Render the diff as a markdown dashboard."""
+        lines = ["# QoR diff"]
+        if self.baseline_summary or self.current_summary:
+            lines.append("")
+            lines.append("- baseline: %s" % (self.baseline_summary or "?"))
+            lines.append("- current:  %s" % (self.current_summary or "?"))
+        n_reg = len(self.regressions)
+        n_imp = len(self.improvements)
+        n_unc = len(self.cells) - n_reg - n_imp
+        lines.append("")
+        lines.append(
+            "**%d regressed / %d improved / %d unchanged** across %d "
+            "cell-metric comparisons.  Gate: **%s**."
+            % (
+                n_reg,
+                n_imp,
+                n_unc,
+                len(self.cells),
+                "PASS" if self.passes_gate() else "FAIL",
+            )
+        )
+        if self.removed:
+            lines.append("")
+            lines.append("## Cells missing from the current run")
+            lines.append("")
+            for circuit, k, mapper in self.removed:
+                lines.append("- (%s, K=%d, %s)" % (circuit, k, mapper))
+        if self.added:
+            lines.append("")
+            lines.append("## Cells new in the current run")
+            lines.append("")
+            for circuit, k, mapper in self.added:
+                lines.append("- (%s, K=%d, %s)" % (circuit, k, mapper))
+
+        def table(title: str, rows: Sequence[CellDiff]) -> None:
+            lines.append("")
+            lines.append("## %s" % title)
+            lines.append("")
+            if not rows:
+                lines.append("(none)")
+                return
+            lines.append("| circuit | K | mapper | metric | baseline | current | delta |")
+            lines.append("|---|---|---|---|---|---|---|")
+            for cell in rows:
+                lines.append(
+                    "| %s | %d | %s | %s | %g | %g | %+g |"
+                    % (
+                        cell.circuit,
+                        cell.k,
+                        cell.mapper,
+                        cell.metric,
+                        cell.baseline,
+                        cell.current,
+                        cell.delta,
+                    )
+                )
+
+        table("Regressions", self.regressions)
+        culprits = [c for c in self.regressions if c.tree_deltas]
+        if culprits:
+            lines.append("")
+            lines.append("### Worsened trees")
+            lines.append("")
+            for cell in culprits:
+                worse = [t for t in cell.tree_deltas if t.delta > 0]
+                for t in worse[:5]:
+                    lines.append(
+                        "- %s, K=%d, %s: tree `%s` %d -> %d LUTs (%+d)"
+                        % (cell.circuit, cell.k, cell.mapper,
+                           t.tree, t.baseline, t.current, t.delta)
+                    )
+        table("Improvements", self.improvements)
+        lines.append("")
+        return "\n".join(lines)
+
+
+def diff_records(
+    baseline: RunRecord,
+    current: RunRecord,
+    policies: Sequence[MetricPolicy] = DEFAULT_POLICIES,
+) -> QorDiff:
+    """Classify every shared cell of two records under the policies."""
+    base_cells = baseline.cells()
+    cur_cells = current.cells()
+    shared = sorted(set(base_cells) & set(cur_cells))
+    diff = QorDiff(
+        cells=[],
+        added=sorted(set(cur_cells) - set(base_cells)),
+        removed=sorted(set(base_cells) - set(cur_cells)),
+        baseline_summary=baseline.describe(),
+        current_summary=current.describe(),
+    )
+    for key in shared:
+        circuit, k, mapper = key
+        base_report = base_cells[key]
+        cur_report = cur_cells[key]
+        for policy in policies:
+            base_value = getattr(base_report, policy.metric, None)
+            cur_value = getattr(cur_report, policy.metric, None)
+            if base_value is None or cur_value is None:
+                continue
+            status = policy.classify(base_value, cur_value)
+            cell = CellDiff(
+                circuit=circuit,
+                k=k,
+                mapper=mapper,
+                metric=policy.metric,
+                baseline=base_value,
+                current=cur_value,
+                status=status,
+                gated=policy.gate,
+            )
+            if policy.metric == "luts" and status != UNCHANGED:
+                cell.tree_deltas = _tree_deltas(
+                    base_report.tree_luts, cur_report.tree_luts
+                )
+            diff.cells.append(cell)
+    return diff
+
+
+def render_record(record: RunRecord) -> str:
+    """Render one record as a markdown QoR table (``chortle qor report``)."""
+    lines = ["# QoR record"]
+    lines.append("")
+    lines.append("- run: %s" % record.describe())
+    for key in ("git_sha", "python", "platform"):
+        value = record.environment.get(key)
+        if value:
+            lines.append("- %s: %s" % (key, value))
+    lines.append("")
+    lines.append("| circuit | K | mapper | LUTs | total | depth | seconds |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for report in sorted(
+        record.reports, key=lambda r: (r.circuit_name, r.k, r.mapper)
+    ):
+        lines.append(
+            "| %s | %d | %s | %d | %d | %d | %s |"
+            % (
+                report.circuit_name,
+                report.k,
+                report.mapper,
+                report.luts,
+                report.luts_total,
+                report.depth,
+                "%.3f" % report.seconds if report.seconds is not None else "-",
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)

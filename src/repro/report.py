@@ -9,8 +9,8 @@ figures — suitable for printing, regression-diffing, or CI dashboards.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Mapping, Optional
 
 from repro.core.lut import LUTCircuit
 from repro.network.network import BooleanNetwork
@@ -40,6 +40,9 @@ class MappingReport:
     # attributed to this run, when the harness traced it (see repro.obs).
     timings: Optional[Dict[str, float]] = None
     counters: Optional[Dict[str, int]] = None
+    # Cost-counted LUTs per source tree, from per-LUT provenance; None for
+    # mappers that do not record provenance (see LUTCircuit.tree_profile).
+    tree_luts: Optional[Dict[str, int]] = None
 
     @property
     def average_utilization(self) -> float:
@@ -54,6 +57,24 @@ class MappingReport:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MappingReport":
+        """Rebuild a report from its :meth:`to_dict` / JSON form.
+
+        JSON object keys are always strings, so the integer keys of
+        ``utilization_histogram`` come back as ``"2"``/``"3"``/... after a
+        ``to_json``/``json.loads`` round trip; they are restored to ints
+        here.  Derived keys (``average_utilization``) and any unknown
+        future fields are ignored.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        histogram = kwargs.get("utilization_histogram") or {}
+        kwargs["utilization_histogram"] = {
+            int(u): int(n) for u, n in histogram.items()
+        }
+        return cls(**kwargs)
 
     def to_text(self) -> str:
         lines = [
@@ -91,6 +112,12 @@ class MappingReport:
             lines.append("  counters:")
             for name, value in sorted(self.counters.items()):
                 lines.append("    %-32s %d" % (name, value))
+        if self.tree_luts:
+            worst = sorted(self.tree_luts.items(), key=lambda kv: (-kv[1], kv[0]))
+            lines.append(
+                "  largest trees: %s"
+                % ", ".join("%s=%d" % (tree, n) for tree, n in worst[:5])
+            )
         return "\n".join(lines)
 
 
@@ -114,6 +141,7 @@ def build_report(
         packing = pack_clbs(circuit)
         clbs = packing.num_clbs
         ratio = round(packing.packing_ratio, 3)
+    tree_luts = circuit.tree_profile() or None
     return MappingReport(
         circuit_name=network.name,
         k=k,
@@ -132,4 +160,5 @@ def build_report(
         clb_packing_ratio=ratio,
         timings=timings,
         counters=counters,
+        tree_luts=tree_luts,
     )

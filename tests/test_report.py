@@ -15,6 +15,11 @@ def mapped(fig1):
     return fig1, circuit
 
 
+def _tiny_mapped():
+    net = make_random_network(0, num_gates=6)
+    return net, ChortleMapper(k=3).map(net)
+
+
 class TestBuildReport:
     def test_basic_fields(self, mapped):
         net, circuit = mapped
@@ -61,6 +66,39 @@ class TestSerialization:
         assert data["luts"] == 3
         assert data["clbs"] == report.clbs
         assert "average_utilization" in data
+
+    def test_from_dict_restores_histogram_int_keys(self, mapped):
+        # JSON stringifies the utilization histogram's int keys; from_dict
+        # must restore them so average_utilization and diffing keep working.
+        net, circuit = mapped
+        report = build_report(net, circuit, 3, seconds=0.25, pack_blocks=True)
+        restored = MappingReport.from_dict(json.loads(report.to_json()))
+        assert restored == report
+        assert all(isinstance(u, int) for u in restored.utilization_histogram)
+        assert restored.average_utilization == report.average_utilization
+
+    def test_from_dict_ignores_derived_and_unknown_keys(self, mapped):
+        net, circuit = mapped
+        data = json.loads(build_report(net, circuit, 3).to_json())
+        assert "average_utilization" in data  # derived key present in JSON
+        data["some_future_field"] = 42
+        restored = MappingReport.from_dict(data)
+        assert restored.circuit_name == "fig1"
+
+    def test_from_dict_tolerates_missing_histogram(self):
+        data = json.loads(build_report(*_tiny_mapped(), 3).to_json())
+        del data["utilization_histogram"]
+        restored = MappingReport.from_dict(data)
+        assert restored.utilization_histogram == {}
+        assert restored.average_utilization == 0.0
+
+    def test_tree_luts_round_trip(self, mapped):
+        net, circuit = mapped
+        report = build_report(net, circuit, 3)
+        assert report.tree_luts
+        assert sum(report.tree_luts.values()) == report.luts
+        restored = MappingReport.from_dict(json.loads(report.to_json()))
+        assert restored.tree_luts == report.tree_luts
 
     @pytest.mark.parametrize("seed", range(3))
     def test_random_networks(self, seed):

@@ -7,7 +7,15 @@ import json
 import pytest
 
 from tests.util import make_random_network
-from repro.bench.runner import MAPPER_FACTORIES, SuiteResult, run_suite
+from repro.bench.runner import (
+    _CSV_FIELDS,
+    MAPPER_FACTORIES,
+    SuiteResult,
+    mapper_factory,
+    run_suite,
+)
+from repro.errors import BenchError
+from repro.report import MappingReport
 
 
 @pytest.fixture(scope="module")
@@ -38,6 +46,78 @@ class TestRunSuite:
         )
         assert {r.mapper for r in result.reports} == set(MAPPER_FACTORIES)
 
+    def test_unknown_mapper_clean_error(self):
+        with pytest.raises(BenchError) as excinfo:
+            run_suite(
+                [make_random_network(1, num_gates=8)],
+                mappers=("chortle", "bogus"),
+                ks=(3,),
+            )
+        message = str(excinfo.value)
+        assert "unknown mapper 'bogus'" in message
+        for name in sorted(MAPPER_FACTORIES):
+            assert name in message
+
+    def test_mapper_factory_valid_name(self):
+        factory = mapper_factory("chortle")
+        assert factory is MAPPER_FACTORIES["chortle"]
+
+
+def synthetic_report(circuit="c0", k=4, mapper="chortle", luts=10):
+    return MappingReport(
+        circuit_name=circuit,
+        k=k,
+        mapper=mapper,
+        num_inputs=4,
+        num_outputs=1,
+        source_gates=8,
+        source_edges=14,
+        source_depth=4,
+        luts=luts,
+        luts_total=luts,
+        depth=3,
+        utilization_histogram={4: luts},
+        seconds=0.01,
+    )
+
+
+class TestSuiteResultHelpers:
+    def test_filter_multiple_criteria(self):
+        result = SuiteResult(reports=[
+            synthetic_report("c0", k=2),
+            synthetic_report("c0", k=4),
+            synthetic_report("c1", k=4, mapper="mis"),
+        ])
+        assert [r.k for r in result.filter(circuit_name="c0")] == [2, 4]
+        assert result.filter(circuit_name="c1", mapper="mis", k=4)
+        assert result.filter(circuit_name="c1", mapper="chortle") == []
+
+    def test_comparison_gains(self):
+        result = SuiteResult(reports=[
+            synthetic_report("c0", mapper="mis", luts=10),
+            synthetic_report("c0", mapper="chortle", luts=8),
+        ])
+        gains = result.comparison(4, baseline="mis", challenger="chortle")
+        assert gains == {"c0": pytest.approx(20.0)}
+
+    def test_comparison_skips_zero_lut_baseline(self):
+        result = SuiteResult(reports=[
+            synthetic_report("c0", mapper="mis", luts=0),
+            synthetic_report("c0", mapper="chortle", luts=5),
+            synthetic_report("c1", mapper="chortle", luts=5),  # no baseline
+        ])
+        gains = result.comparison(4, baseline="mis", challenger="chortle")
+        assert gains == {}
+
+    def test_comparison_respects_k(self):
+        result = SuiteResult(reports=[
+            synthetic_report("c0", k=2, mapper="mis", luts=10),
+            synthetic_report("c0", k=2, mapper="chortle", luts=9),
+            synthetic_report("c0", k=4, mapper="mis", luts=10),
+        ])
+        assert "c0" in result.comparison(2, "mis", "chortle")
+        assert result.comparison(4, "mis", "chortle") == {}
+
 
 class TestExports:
     def test_json(self, small_sweep):
@@ -54,6 +134,23 @@ class TestExports:
         gains = small_sweep.comparison(4, baseline="mis", challenger="chortle")
         assert len(gains) == 2
         assert all(g >= -10.0 for g in gains.values())
+
+    def test_csv_column_order_stable(self, small_sweep):
+        # The CSV header is a public interface for downstream tooling:
+        # exact names, exact order.
+        header = small_sweep.to_csv().splitlines()[0]
+        assert header.split(",") == _CSV_FIELDS == [
+            "circuit_name", "k", "mapper", "num_inputs", "num_outputs",
+            "source_gates", "luts", "luts_total", "depth", "seconds",
+        ]
+
+    def test_to_records_bundles_reports(self, small_sweep):
+        record = small_sweep.to_records(
+            created_at="2026-08-06T00:00:00Z", label="sweep"
+        )
+        assert record.reports == small_sweep.reports
+        assert record.created_at == "2026-08-06T00:00:00Z"
+        assert "git_sha" in record.environment
 
 
 class TestPerfTrajectory:
