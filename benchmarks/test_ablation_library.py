@@ -7,12 +7,11 @@ and shows cost rising as coverage drops — and Chortle, which needs no
 library at all, sitting at or below the richest library's results.
 """
 
-import time
 
 import pytest
 
 from benchmarks.common import get_network, run_mapper
-from repro.baseline.library import Library, kernel_library
+from repro.baseline.library import Library
 from repro.baseline.mis_mapper import MisMapper
 from repro.truth.truthtable import TruthTable
 

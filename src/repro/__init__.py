@@ -23,6 +23,7 @@ Quickstart::
 
 from repro.errors import (
     BlifError,
+    FlowError,
     LibraryError,
     MappingError,
     NetworkError,
@@ -51,12 +52,17 @@ from repro.blif import (
     write_lut_circuit,
     write_network,
 )
-from repro.verify import equivalent, verify_equivalence
+from repro.verify import (
+    equivalent,
+    verify_equivalence,
+    verify_network_equivalence,
+)
 from repro.verilog import write_verilog
 from repro.report import MappingReport, build_report
 from repro.analysis import analyze_timing, analyze_wiring
 from repro.draw import draw_circuit, draw_network
 from repro.obs import capture, get_metrics, get_tracer, span
+from repro.flow import Flow, FlowContext, get_registry, resolve_mapper
 from repro.pipeline import map_area, map_delay
 
 __version__ = "1.0.0"
@@ -67,6 +73,7 @@ __all__ = [
     "BlifError",
     "MappingError",
     "LibraryError",
+    "FlowError",
     "VerificationError",
     "TruthTable",
     "Signal",
@@ -85,6 +92,7 @@ __all__ = [
     "write_network",
     "write_lut_circuit",
     "verify_equivalence",
+    "verify_network_equivalence",
     "equivalent",
     "write_verilog",
     "MappingReport",
@@ -93,6 +101,10 @@ __all__ = [
     "analyze_wiring",
     "draw_network",
     "draw_circuit",
+    "Flow",
+    "FlowContext",
+    "get_registry",
+    "resolve_mapper",
     "map_area",
     "map_delay",
     "span",

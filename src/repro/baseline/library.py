@@ -20,9 +20,8 @@ inverters.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from repro.errors import LibraryError
 from repro.truth.canonical import np_canonical

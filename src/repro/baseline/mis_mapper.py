@@ -26,7 +26,7 @@ from repro.baseline.subject import decompose_to_binary
 from repro.core.chortle import wire_outputs
 from repro.core.forest import Tree, build_forest, check_forest
 from repro.core.lut import LUTCircuit
-from repro.network.network import AND, BooleanNetwork, Signal
+from repro.network.network import AND, BooleanNetwork
 from repro.network.transform import sweep
 from repro.truth.truthtable import TruthTable
 
@@ -58,6 +58,8 @@ class Cut(NamedTuple):
 
 class MisMapper:
     """Library-based technology mapper in the style of MIS II / DAGON."""
+
+    name = "mis"  # spec name under the common Mapper protocol
 
     def __init__(
         self,

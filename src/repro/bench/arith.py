@@ -106,7 +106,6 @@ def shift_add_multiplier(width: int = 4) -> BooleanNetwork:
 
 def popcount(width: int = 8) -> BooleanNetwork:
     """Population count via a tree of small adders."""
-    import math
 
     b = NetworkBuilder("popcount%d" % width)
     bits = [[b.input("x%d" % i)] for i in range(width)]

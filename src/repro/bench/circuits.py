@@ -163,7 +163,6 @@ def barrel_shifter(width: int = 8) -> BooleanNetwork:
     stages = max(1, int(math.log2(width)))
     sels = [b.input("s%d" % i) for i in range(stages)]
     level: List[Signal] = [b.input("d%d" % i) for i in range(width)]
-    zero_needed = [False]
     zero_sig: List[Signal] = []
 
     def zero() -> Signal:

@@ -14,7 +14,7 @@ partition feeds on.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.network.network import AND, OR, BooleanNetwork, Signal

@@ -12,37 +12,48 @@ import csv
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.baseline.mis_mapper import MisMapper
 from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
-from repro.core.chortle import ChortleMapper
-from repro.errors import BenchError
-from repro.extensions.binpack import BinPackMapper
-from repro.extensions.flowmap import FlowMapper
-from repro.extensions.pareto import DepthBoundedMapper
+from repro.errors import BenchError, FlowError
+from repro.flow.mappers import mapper_names, resolve_mapper
 from repro.network.network import BooleanNetwork
 from repro.obs import capture, metrics, span
 from repro.report import MappingReport, build_report
 from repro.verify import verify_equivalence
 
+
+def _factory(name: str) -> Callable[[int], object]:
+    return lambda k: resolve_mapper(name, k)
+
+
+#: Every mapper the suite can sweep — the raw algorithmic mappers plus the
+#: registered flows — resolved through the flow engine's common protocol.
 MAPPER_FACTORIES: Dict[str, Callable[[int], object]] = {
-    "chortle": lambda k: ChortleMapper(k=k),
-    "mis": lambda k: MisMapper(k=k),
-    "flowmap": lambda k: FlowMapper(k=k),
-    "binpack": lambda k: BinPackMapper(k=k),
-    "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
+    name: _factory(name) for name in mapper_names()
 }
 
+
 def mapper_factory(name: str) -> Callable[[int], object]:
-    """The factory for ``name``, or a clean error naming the valid mappers."""
+    """The factory for ``name`` — a known mapper, a registered flow, or a
+    comma-separated flow spec — or a clean error naming the valid names."""
     try:
         return MAPPER_FACTORIES[name]
     except KeyError:
+        pass
+    from repro.flow.registry import get_registry
+
+    try:
+        flow = get_registry().resolve(name)
+        if not flow.is_mapping_flow:
+            raise FlowError("flow %r does not produce a LUT circuit" % name)
+    except FlowError:
         raise BenchError(
-            "unknown mapper %r; valid mappers: %s"
+            "unknown mapper %r; valid mappers: %s (or a flow spec such as "
+            "'sweep,strash,chortle,merge')"
             % (name, ", ".join(sorted(MAPPER_FACTORIES)))
         ) from None
+    return _factory(name)
 
 
 _CSV_FIELDS = [

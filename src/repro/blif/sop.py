@@ -8,7 +8,7 @@ BLIF semantics.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import BlifError
 from repro.truth.truthtable import TruthTable

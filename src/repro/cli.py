@@ -6,6 +6,10 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle map in.blif -k 4 --mapper mis         # MIS-style baseline
     chortle map in.blif -k 4 --mapper flowmap     # depth-optimal mapping
     chortle map in.blif -k 4 --mapper binpack     # fast bin-packing mapper
+    chortle map in.blif --flow delay              # a registered flow
+    chortle map in.blif --flow sweep,strash,chortle,merge   # custom flow
+    chortle map in.blif --flow area --checked     # per-pass verification
+    chortle flows                                 # registered flows + passes
     chortle map in.blif --trace trace.jsonl       # machine-readable spans
     chortle map in.blif --profile                 # stage timings on stderr
     chortle profile in.blif -k 4                  # span tree + counters
@@ -31,11 +35,9 @@ from repro.blif import (
     write_lut_circuit,
     write_network,
 )
-from repro.baseline import MisMapper
 from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit
-from repro.core import ChortleMapper
 from repro.errors import ReproError
-from repro.extensions import BinPackMapper, DepthBoundedMapper, FlowMapper
+from repro.flow import get_registry, mapper_names, resolve_mapper
 from repro.network import network_stats
 from repro.network.simulate import exhaustive_input_words, simulate
 from repro.obs import (
@@ -57,30 +59,27 @@ def _load_network(path: str, factor: bool, minimize: bool = False):
     return blif_to_network(model)
 
 
-class _Pipeline:
-    """Adapter exposing the composed flows through the mapper interface."""
+def _resolve_cli_mapper(args: argparse.Namespace):
+    """Resolve the mapper named by --flow / --mapper; returns (name, mapper).
 
-    def __init__(self, k: int, delay: bool):
-        self._k = k
-        self._delay = delay
+    ``--flow`` takes a registered flow name or a comma-separated pass
+    spec and wins over ``--mapper``; ``--checked`` turns on per-pass
+    equivalence verification and therefore needs a flow (the registered
+    ``area`` / ``delay`` mappers count).
+    """
+    flow_spec = getattr(args, "flow", None)
+    checked = bool(getattr(args, "checked", False))
+    if flow_spec:
+        from repro.flow import FlowMapperAdapter
 
-    def map(self, net):
-        from repro.pipeline import map_area, map_delay
-
-        if self._delay:
-            return map_delay(net, k=self._k, slack=0)
-        return map_area(net, k=self._k)
-
-
-_MAPPERS = {
-    "chortle": lambda k: ChortleMapper(k=k),
-    "area": lambda k: _Pipeline(k, delay=False),
-    "delay": lambda k: _Pipeline(k, delay=True),
-    "mis": lambda k: MisMapper(k=k),
-    "flowmap": lambda k: FlowMapper(k=k),
-    "binpack": lambda k: BinPackMapper(k=k),
-    "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
-}
+        flow = get_registry().resolve(flow_spec)
+        return flow.name, FlowMapperAdapter(flow, k=args.k, checked=checked)
+    if checked and args.mapper not in get_registry():
+        raise ReproError(
+            "--checked requires a flow; use --flow, or a flow mapper (%s)"
+            % ", ".join(get_registry().names())
+        )
+    return args.mapper, resolve_mapper(args.mapper, args.k, checked=checked)
 
 
 @contextlib.contextmanager
@@ -117,12 +116,13 @@ def _print_stage_table(sink, stream=None) -> None:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
-    mapper = _MAPPERS[args.mapper](args.k)
+    mapper_name, mapper = _resolve_cli_mapper(args)
+    counters_before = get_metrics().counters()
     # Timing is routed through the tracer: the run is wrapped in one
     # span and the elapsed time read back from the captured record.
     with _trace_sink(args.trace):
         with capture() as sink:
-            with span("cli.map", mapper=args.mapper, k=args.k):
+            with span("cli.map", mapper=mapper_name, k=args.k):
                 circuit = mapper.map(net)
             if args.verify:
                 vectors = verify_equivalence(net, circuit)
@@ -150,9 +150,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
             net,
             circuit,
             args.k,
-            mapper=args.mapper,
+            mapper=mapper_name,
             seconds=elapsed,
             pack_blocks=args.clb,
+            counters=get_metrics().counter_delta(counters_before) or None,
         )
         print(
             report.to_json() if args.json_report else report.to_text(),
@@ -162,7 +163,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         print(
             "%s: %d LUTs (K=%d, %d counting inverters), depth %d, %.3fs"
             % (
-                args.mapper,
+                mapper_name,
                 circuit.cost,
                 args.k,
                 circuit.num_luts,
@@ -177,16 +178,16 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Map with tracing on and print the span tree + counter summary."""
     net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
-    mapper = _MAPPERS[args.mapper](args.k)
+    mapper_name, mapper = _resolve_cli_mapper(args)
     registry = get_metrics()
     counters_before = registry.counters()
     with _trace_sink(args.trace):
         with capture() as sink:
-            with span("cli.profile", mapper=args.mapper, k=args.k):
+            with span("cli.profile", mapper=mapper_name, k=args.k):
                 circuit = mapper.map(net)
     print(
         "%s: %d LUTs (K=%d), depth %d"
-        % (args.mapper, circuit.cost, args.k, circuit.depth())
+        % (mapper_name, circuit.cost, args.k, circuit.depth())
     )
     print()
     print("span tree:")
@@ -208,6 +209,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         worst = sorted(profile.items(), key=lambda kv: (-kv[1], kv[0]))
         for tree, luts in worst[:10]:
             print("  %-32s %d" % (tree, luts))
+    return 0
+
+
+def _cmd_flows(args: argparse.Namespace) -> int:
+    """List the registered flows and the passes a custom spec can use."""
+    from repro.flow import PASSES
+
+    registry = get_registry()
+    width = max(len(name) for name in registry.names())
+    print("registered flows:")
+    for flow in registry.flows():
+        print("  %-*s  %s" % (width, flow.name, flow.spec))
+        if flow.description:
+            print("  %-*s    %s" % (width, "", flow.description))
+    print()
+    print("passes for custom --flow specs (comma-separated):")
+    for name in sorted(PASSES):
+        p = PASSES[name]
+        print(
+            "  %-14s %s -> %s" % (name, p.input_domain, p.output_domain)
+        )
     return 0
 
 
@@ -403,9 +425,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("-o", "--output", help="output BLIF file (default stdout)")
     p_map.add_argument(
         "--mapper",
-        choices=sorted(_MAPPERS),
+        choices=mapper_names(),
         default="chortle",
-        help="mapping algorithm (default chortle)",
+        help="mapping algorithm or registered flow (default chortle)",
+    )
+    p_map.add_argument(
+        "--flow",
+        metavar="NAME_OR_SPEC",
+        help="map with a registered flow or a comma-separated pass spec "
+        "(e.g. 'sweep,strash,chortle,merge'); overrides --mapper",
+    )
+    p_map.add_argument(
+        "--checked",
+        action="store_true",
+        help="verify functional equivalence after every flow pass "
+        "(requires a flow)",
     )
     p_map.add_argument(
         "--factor",
@@ -463,9 +497,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument(
         "--mapper",
-        choices=sorted(_MAPPERS),
+        choices=mapper_names(),
         default="area",
         help="mapping flow to profile (default: the composed area flow)",
+    )
+    p_profile.add_argument(
+        "--flow",
+        metavar="NAME_OR_SPEC",
+        help="profile a registered flow or comma-separated pass spec",
+    )
+    p_profile.add_argument(
+        "--checked",
+        action="store_true",
+        help="verify functional equivalence after every flow pass",
     )
     p_profile.add_argument("--factor", action="store_true")
     p_profile.add_argument("--minimize", action="store_true")
@@ -480,6 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="include one span per mapped tree (verbose)",
     )
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_flows = sub.add_parser(
+        "flows", help="list registered mapping flows and available passes"
+    )
+    p_flows.set_defaults(func=_cmd_flows)
 
     p_analyze = sub.add_parser(
         "analyze", help="timing/wiring analysis of a mapped BLIF circuit"

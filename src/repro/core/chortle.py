@@ -24,6 +24,8 @@ from repro.truth.truthtable import TruthTable
 class ChortleMapper:
     """Area-minimizing technology mapper for K-input lookup tables."""
 
+    name = "chortle"  # spec name under the common Mapper protocol
+
     def __init__(self, k: int = 4, split_threshold: int = 10, preprocess: bool = True):
         self.k = k
         self.split_threshold = split_threshold

@@ -17,7 +17,6 @@ construction makes observable:
 from __future__ import annotations
 
 import random
-from typing import Dict
 
 from repro.errors import VerificationError
 from repro.core.lut import LUTCircuit

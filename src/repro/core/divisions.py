@@ -12,7 +12,7 @@ suite, pinning the fast mapper to the paper's specification.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MappingError
 from repro.core.forest import Tree

@@ -9,7 +9,7 @@ mapping.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence
 
 from repro.network.network import AND, OR
 from repro.truth.truthtable import TruthTable

@@ -11,7 +11,7 @@ gate belongs to the tree of its unique consumer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.errors import MappingError
 from repro.network.network import CONST0, CONST1, INPUT, BooleanNetwork

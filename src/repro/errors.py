@@ -29,5 +29,9 @@ class QorError(ReproError):
     """Malformed or incompatible QoR run record / baseline file."""
 
 
+class FlowError(ReproError):
+    """Invalid flow composition (unknown pass, domain mismatch, bad spec)."""
+
+
 class VerificationError(ReproError):
     """A mapped circuit is not functionally equivalent to its source."""

@@ -58,6 +58,8 @@ _Item = Tuple[int, int, tuple]
 class BinPackMapper:
     """First-fit-decreasing packing of fanin items into K-input LUTs."""
 
+    name = "binpack"  # spec name under the common Mapper protocol
+
     def __init__(self, k: int = 4, preprocess: bool = True):
         if k < 2:
             raise MappingError("K must be at least 2, got %d" % k)

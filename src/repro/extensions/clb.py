@@ -15,7 +15,7 @@ very large circuits), and everything else occupies a block alone.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.errors import MappingError
 from repro.core.lut import LUTCircuit

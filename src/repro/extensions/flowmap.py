@@ -31,13 +31,15 @@ from repro.errors import MappingError
 from repro.baseline.subject import decompose_to_binary
 from repro.core.chortle import wire_outputs
 from repro.core.lut import LUTCircuit
-from repro.network.network import AND, INPUT, OR, BooleanNetwork
+from repro.network.network import AND, BooleanNetwork
 from repro.network.transform import sweep
 from repro.truth.truthtable import TruthTable
 
 
 class FlowMapper:
     """Depth-optimal technology mapper for K-input lookup tables."""
+
+    name = "flowmap"  # spec name under the common Mapper protocol
 
     def __init__(self, k: int = 4, preprocess: bool = True):
         if k < 2:

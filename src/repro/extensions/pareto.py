@@ -21,13 +21,13 @@ Two user-facing tools result:
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MappingError
 from repro.core.chortle import _emit_candidate, wire_outputs
-from repro.core.forest import Forest, Tree, build_forest, check_forest
+from repro.core.forest import Tree, build_forest, check_forest
 from repro.core.lut import LUTCircuit
-from repro.core.tree_mapper import ExtItem, MapCand, TableItem
+from repro.core.tree_mapper import MapCand
 from repro.network.network import BooleanNetwork
 from repro.network.transform import sweep
 
@@ -253,6 +253,8 @@ class DepthBoundedMapper:
     fanout boundaries, with area recovered wherever the critical path
     allows; larger slacks relax toward Chortle's pure-area optimum.
     """
+
+    name = "depthbounded"  # spec name under the common Mapper protocol
 
     def __init__(
         self,

@@ -1,0 +1,65 @@
+"""Declarative mapping flows: typed pass chains with uniform checking.
+
+The flow engine is the one place the repository composes mapping
+pipelines.  A *pass* transforms a network or a LUT circuit
+(:mod:`repro.flow.passes`); a *flow* is a type-checked chain of passes
+(:mod:`repro.flow.engine`); the *registry* names the built-in ``area``
+and ``delay`` flows and parses custom comma-separated specs
+(:mod:`repro.flow.registry`); and every mapper — raw or composed — is
+resolvable behind one protocol (:mod:`repro.flow.mappers`)::
+
+    from repro.flow import FlowContext, get_registry
+
+    flow = get_registry().resolve("sweep,strash,chortle,merge")
+    circuit = flow.run(network, FlowContext(k=4, checked=True))
+
+The engine applies spans (``flow.run``, ``flow.stage.<n>.<name>``),
+size-delta accounting, and optional per-pass functional-equivalence
+verification uniformly; see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.flow.engine import Flow, FlowContext, StageResult
+from repro.flow.mappers import (
+    CORE_MAPPERS,
+    FlowMapperAdapter,
+    Mapper,
+    mapper_names,
+    resolve_mapper,
+)
+from repro.flow.passes import (
+    CIRCUIT,
+    NETWORK,
+    CircuitPass,
+    MapPass,
+    NetworkPass,
+    Pass,
+)
+from repro.flow.registry import (
+    PASSES,
+    FlowRegistry,
+    area_flow,
+    delay_flow,
+    get_registry,
+)
+
+__all__ = [
+    "CIRCUIT",
+    "CORE_MAPPERS",
+    "CircuitPass",
+    "Flow",
+    "FlowContext",
+    "FlowMapperAdapter",
+    "FlowRegistry",
+    "MapPass",
+    "Mapper",
+    "NETWORK",
+    "NetworkPass",
+    "PASSES",
+    "Pass",
+    "StageResult",
+    "area_flow",
+    "delay_flow",
+    "get_registry",
+    "mapper_names",
+    "resolve_mapper",
+]

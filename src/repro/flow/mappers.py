@@ -1,0 +1,98 @@
+"""The common mapper protocol and flow-to-mapper adaptation.
+
+Everything that maps a :class:`~repro.network.network.BooleanNetwork`
+into a :class:`~repro.core.lut.LUTCircuit` — the raw algorithmic mappers
+(chortle, mis, flowmap, binpack, depthbounded) and the composed flows
+(area, delay, custom specs) — is exposed behind one :class:`Mapper`
+protocol, so the CLI and the benchmark runner resolve every name the
+same way::
+
+    resolve_mapper("chortle", k=4)                  # raw ChortleMapper
+    resolve_mapper("delay", k=4)                    # registered flow
+    resolve_mapper("sweep,strash,chortle", k=4)     # ad-hoc flow spec
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.baseline.mis_mapper import MisMapper
+from repro.core.chortle import ChortleMapper
+from repro.core.lut import LUTCircuit
+from repro.errors import FlowError
+from repro.extensions.binpack import BinPackMapper
+from repro.extensions.flowmap import FlowMapper
+from repro.extensions.pareto import DepthBoundedMapper
+from repro.flow.engine import Flow, FlowContext
+from repro.flow.registry import get_registry
+from repro.network.network import BooleanNetwork
+
+
+class Mapper(Protocol):
+    """Anything that maps a boolean network into a LUT circuit."""
+
+    name: str
+
+    def map(self, network: BooleanNetwork) -> LUTCircuit:
+        ...  # pragma: no cover - protocol
+
+
+#: Factories for the raw algorithmic mappers, keyed by spec name.
+CORE_MAPPERS: Dict[str, Callable[[int], Mapper]] = {
+    "chortle": lambda k: ChortleMapper(k=k),
+    "mis": lambda k: MisMapper(k=k),
+    "flowmap": lambda k: FlowMapper(k=k),
+    "binpack": lambda k: BinPackMapper(k=k),
+    "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
+}
+
+
+class FlowMapperAdapter:
+    """Runs a :class:`~repro.flow.engine.Flow` through the mapper protocol."""
+
+    def __init__(
+        self,
+        flow: Flow,
+        k: int = 4,
+        checked: bool = False,
+        config: Optional[dict] = None,
+    ):
+        if not flow.is_mapping_flow:
+            raise FlowError(
+                "flow %r ends in a %s, not a LUT circuit; a mapping flow "
+                "must finish with a map or circuit pass"
+                % (flow.name, flow.output_domain)
+            )
+        self.flow = flow
+        self.name = flow.name
+        self.k = k
+        self.checked = checked
+        self.config = dict(config or {})
+
+    def map(self, network: BooleanNetwork) -> LUTCircuit:
+        ctx = FlowContext(k=self.k, checked=self.checked, config=self.config)
+        return self.flow.run(network, ctx)
+
+
+def mapper_names() -> List[str]:
+    """Every resolvable mapper name: raw mappers plus registered flows."""
+    return sorted(set(CORE_MAPPERS) | set(get_registry().names()))
+
+
+def resolve_mapper(name: str, k: int, checked: bool = False) -> Mapper:
+    """A ready-to-run mapper for a raw-mapper name, flow name, or flow spec.
+
+    Raises :class:`FlowError` for names that are neither known mappers
+    nor parseable flow specs, and for ``checked`` on a raw mapper (only
+    flows support per-pass verification).
+    """
+    registry = get_registry()
+    if name in CORE_MAPPERS and name not in registry:
+        if checked:
+            raise FlowError(
+                "mapper %r is not a flow; checked mode needs a flow "
+                "(registered flows: %s)" % (name, ", ".join(registry.names()))
+            )
+        return CORE_MAPPERS[name](k)
+    flow = registry.resolve(name)
+    return FlowMapperAdapter(flow, k=k, checked=checked)

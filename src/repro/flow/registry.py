@@ -1,0 +1,129 @@
+"""Flow registry: named flows, plus parse-from-string custom flows.
+
+The default registry ships the two composed flows the repository has
+always offered:
+
+* ``area``  — sweep, strash, refactor, strash, chortle, merge — the best
+  area this package knows how to get (what :func:`repro.pipeline.map_area`
+  runs);
+* ``delay`` — sweep, strash, refactor, strash, depthbounded,
+  merge_guarded — minimum depth with area recovered (what
+  :func:`repro.pipeline.map_delay` runs).
+
+Any other chain can be built from a comma-separated spec::
+
+    resolve("sweep,strash,chortle,merge")
+
+Specs are type-checked by the :class:`~repro.flow.engine.Flow`
+constructor, so an ill-typed chain ("merge,sweep") is rejected with a
+message naming the offending stages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import FlowError
+from repro.flow.engine import Flow
+from repro.flow.passes import Pass, builtin_passes
+
+#: Shared instances of the built-in passes, keyed by spec name.
+PASSES: Dict[str, Pass] = builtin_passes()
+
+FRONT_END = ("sweep", "strash", "refactor", "strash")
+
+
+def _passes(names: Sequence[str]) -> List[Pass]:
+    out = []
+    for name in names:
+        try:
+            out.append(PASSES[name])
+        except KeyError:
+            raise FlowError(
+                "unknown pass %r; valid passes: %s"
+                % (name, ", ".join(sorted(PASSES)))
+            ) from None
+    return out
+
+
+def area_flow(refactor: bool = True, merge: bool = True) -> Flow:
+    """The area flow, optionally without its refactor / merge stages."""
+    names = list(FRONT_END if refactor else ("sweep", "strash"))
+    names.append("chortle")
+    if merge:
+        names.append("merge")
+    return Flow(
+        "area",
+        _passes(names),
+        description="minimum area: tree-DP mapping with LUT merging",
+    )
+
+
+def delay_flow(refactor: bool = True, merge: bool = True) -> Flow:
+    """The delay flow, optionally without its refactor / merge stages."""
+    names = list(FRONT_END if refactor else ("sweep", "strash"))
+    names.append("depthbounded")
+    if merge:
+        names.append("merge_guarded")
+    return Flow(
+        "delay",
+        _passes(names),
+        description="minimum depth at a chosen slack, area recovered",
+    )
+
+
+class FlowRegistry:
+    """Named flows plus spec parsing; one default instance per process."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[str, Flow] = {}
+
+    def register(self, flow: Flow, replace: bool = False) -> Flow:
+        if not replace and flow.name in self._flows:
+            raise FlowError("flow %r is already registered" % flow.name)
+        self._flows[flow.name] = flow
+        return flow
+
+    def get(self, name: str) -> Flow:
+        try:
+            return self._flows[name]
+        except KeyError:
+            raise FlowError(
+                "unknown flow %r; registered flows: %s"
+                % (name, ", ".join(sorted(self._flows)))
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._flows)
+
+    def flows(self) -> Iterator[Flow]:
+        return iter(self._flows[name] for name in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._flows
+
+    def parse(self, spec: str) -> Flow:
+        """Build an ad-hoc flow from a comma-separated pass spec."""
+        names = [part.strip() for part in spec.split(",") if part.strip()]
+        if not names:
+            raise FlowError("empty flow spec %r" % spec)
+        return Flow(",".join(names), _passes(names))
+
+    def resolve(self, spec: str) -> Flow:
+        """A registered flow by name, or a custom flow parsed from a spec."""
+        if spec in self._flows:
+            return self._flows[spec]
+        return self.parse(spec)
+
+
+_REGISTRY: Optional[FlowRegistry] = None
+
+
+def get_registry() -> FlowRegistry:
+    """The process-wide registry, created (with the built-ins) on first use."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = FlowRegistry()
+        _REGISTRY.register(area_flow())
+        _REGISTRY.register(delay_flow())
+    return _REGISTRY

@@ -10,7 +10,7 @@ are those directly driving output ports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.network.network import (
     AND,

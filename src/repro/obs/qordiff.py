@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.qor import CellKey, RunRecord
-from repro.report import MappingReport
 
 IMPROVED = "improved"
 UNCHANGED = "unchanged"

@@ -8,7 +8,7 @@ cubes.  These are the objects kernel extraction and factoring operate on.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import FrozenSet, Optional, Set, Tuple
 
 from repro.blif.sop import SopCover
 
@@ -85,7 +85,6 @@ def multiply(f: SopExpr, g: SopExpr) -> SopExpr:
     """
     out: Set[Cube] = set()
     for a in f:
-        vars_a = {v for v, _ in a}
         for b in g:
             clash = any((v, not p) in a for v, p in b)
             if clash:
@@ -149,5 +148,5 @@ def expr_to_string(expr: SopExpr) -> str:
         if not cube:
             cubes.append("1")
         else:
-            cubes.append("".join(lit_str(l) for l in sorted(cube)))
+            cubes.append("".join(lit_str(lit) for lit in sorted(cube)))
     return " + ".join(sorted(cubes))

@@ -10,7 +10,7 @@ terminate and produces trees whose leaf nodes are level-0-kernel-shaped.
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Tuple, Union
+from typing import List, Tuple
 
 from repro.blif.sop import SopCover
 from repro.opt.algebra import (
@@ -28,7 +28,7 @@ def _cube_tree(cube) -> FactorTree:
     lits = sorted(cube)
     if len(lits) == 1:
         return ("lit", lits[0])
-    return ("and", [("lit", l) for l in lits])
+    return ("and", [("lit", lit) for lit in lits])
 
 
 def factor_expr(expr: SopExpr) -> FactorTree:
@@ -44,7 +44,7 @@ def factor_expr(expr: SopExpr) -> FactorTree:
     cc = common_cube(expr)
     if cc:
         rest = frozenset(cube - cc for cube in expr)
-        parts: List[FactorTree] = [("lit", l) for l in sorted(cc)]
+        parts: List[FactorTree] = [("lit", lit) for lit in sorted(cc)]
         parts.append(factor_expr(rest))
         return ("and", parts)
 

@@ -10,7 +10,7 @@ provides the machinery used to validate those libraries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.opt.algebra import (
     Cube,
@@ -33,7 +33,7 @@ def _kernels_rec(
         quotient = divide_by_cube(expr, frozenset([lit]))
         # Make the quotient cube-free by stripping its common cube.
         cc = common_cube(quotient)
-        if any(literals.index(l) < idx for l in cc if l in literals):
+        if any(literals.index(lit) < idx for lit in cc if lit in literals):
             continue  # already found via an earlier literal (pruning)
         kernel = frozenset(cube - cc for cube in quotient)
         if kernel not in found and len(kernel) >= 2:
@@ -89,7 +89,7 @@ def cokernels(expr: SopExpr) -> Dict[SopExpr, List[Cube]]:
     # Brute-force over cubes built from subsets actually co-occurring:
     # for substrate purposes the single-literal and pairwise co-kernels
     # suffice, so enumerate quotients by every cube of up to 2 literals.
-    candidates: List[Cube] = [frozenset([l]) for l in literals]
+    candidates: List[Cube] = [frozenset([lit]) for lit in literals]
     for i in range(len(literals)):
         for j in range(i + 1, len(literals)):
             candidates.append(frozenset([literals[i], literals[j]]))

@@ -9,7 +9,7 @@ cleanup, which is what MIS's ``simplify`` degrades to as well.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.blif.sop import SopCover
 from repro.truth.truthtable import TruthTable

@@ -11,12 +11,11 @@ preserved exactly (and is property-tested to be).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.blif.sop import SopCover
 from repro.core.forest import Tree, build_forest
-from repro.network.network import AND, BooleanNetwork, Signal
-from repro.network.simulate import simulate
+from repro.network.network import AND, BooleanNetwork
 from repro.network.transform import sweep
 from repro.opt.factor import factor_cover
 from repro.opt.minimize import minimize_cover

@@ -1,40 +1,25 @@
-"""Best-effort mapping pipelines: composed flows with one call.
+"""Best-effort mapping pipelines: compatibility shims over the flow engine.
 
-Combines the individual passes into the flows a user actually wants:
-
-* :func:`map_area` — sweep → strash → refactor → Chortle → LUT merge:
-  the best area this repository knows how to get;
-* :func:`map_delay` — the same front end, then depth-bounded mapping at
-  a chosen slack, then LUT merge with the K bound (merging never
-  increases depth, since a folded table takes its reader's level).
+:func:`map_area` and :func:`map_delay` are the historical one-call entry
+points for the composed flows.  Since the flow engine
+(:mod:`repro.flow`) became the single place pass chains are composed and
+instrumented, they are thin shims: each builds the corresponding
+registered flow (``area`` / ``delay``, minus the stages its flags turn
+off) and runs it.  New code should resolve flows from
+:func:`repro.flow.get_registry` directly; these wrappers exist so that
+``from repro import map_area`` keeps working and keeps producing the
+same circuits LUT-for-LUT.
 
 Every stage preserves functions; the composed flows are verified
-end-to-end in the tests.
+end-to-end — and per-pass, in checked mode — in the tests.
 """
 
 from __future__ import annotations
 
-from repro.core.chortle import ChortleMapper
 from repro.core.lut import LUTCircuit
-from repro.extensions.lutmerge import merge_luts
-from repro.extensions.pareto import DepthBoundedMapper
+from repro.flow.engine import FlowContext
+from repro.flow.registry import area_flow, delay_flow
 from repro.network.network import BooleanNetwork
-from repro.network.transform import strash, sweep
-from repro.obs import span
-from repro.opt.refactor import refactor_network
-
-
-def _front_end(network: BooleanNetwork, refactor: bool) -> BooleanNetwork:
-    with span("pipeline.sweep"):
-        net = sweep(network)
-    with span("pipeline.strash"):
-        net = strash(net)
-    if refactor:
-        with span("pipeline.refactor"):
-            net = refactor_network(net)
-        with span("pipeline.strash"):
-            net = strash(net)
-    return net
 
 
 def map_area(
@@ -42,17 +27,11 @@ def map_area(
     k: int = 4,
     refactor: bool = True,
     merge: bool = True,
+    checked: bool = False,
 ) -> LUTCircuit:
     """Area-focused composed flow; minimum LUTs this package can reach."""
-    with span("pipeline.map_area", network=network.name, k=k) as sp:
-        net = _front_end(network, refactor)
-        with span("pipeline.chortle"):
-            circuit = ChortleMapper(k=k).map(net)
-        if merge:
-            with span("pipeline.merge"):
-                circuit = merge_luts(circuit, k)
-        sp.set("luts", circuit.cost)
-        return circuit
+    flow = area_flow(refactor=refactor, merge=merge)
+    return flow.run(network, FlowContext(k=k, checked=checked))
 
 
 def map_delay(
@@ -61,21 +40,14 @@ def map_delay(
     slack: int = 0,
     refactor: bool = True,
     merge: bool = True,
+    checked: bool = False,
 ) -> LUTCircuit:
-    """Delay-focused composed flow: minimum depth, area recovered."""
-    with span("pipeline.map_delay", network=network.name, k=k) as sp:
-        net = _front_end(network, refactor)
-        with span("pipeline.depthbounded"):
-            circuit = DepthBoundedMapper(k=k, slack=slack).map(net)
-        if merge:
-            before = circuit.depth()
-            with span("pipeline.merge"):
-                merged = merge_luts(circuit, k)
-            # Folding a single-fanout table into its reader keeps the
-            # reader's level, so depth cannot grow; assert the invariant
-            # anyway.
-            if merged.depth() <= before:
-                circuit = merged
-        sp.set("luts", circuit.cost)
-        sp.set("depth", circuit.depth())
-        return circuit
+    """Delay-focused composed flow: minimum depth, area recovered.
+
+    Merging is depth-guarded: a merge that would increase depth is
+    rejected and counted (``pipeline.merge_rejected``) rather than
+    silently discarded.
+    """
+    flow = delay_flow(refactor=refactor, merge=merge)
+    ctx = FlowContext(k=k, checked=checked, config={"slack": slack})
+    return flow.run(network, ctx)

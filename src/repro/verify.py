@@ -72,6 +72,62 @@ def verify_equivalence(
         return width
 
 
+def verify_network_equivalence(
+    golden: BooleanNetwork,
+    candidate: BooleanNetwork,
+    vectors: int = 4096,
+    exhaustive_limit: int = 14,
+    seed: int = 2026,
+) -> int:
+    """Check two networks compute the same outputs; returns vectors used.
+
+    The network-to-network counterpart of :func:`verify_equivalence`,
+    used by the flow engine's checked mode to validate network passes
+    (sweep, strash, refactor) individually.  Raises
+    :class:`VerificationError` on the first mismatching port.
+    """
+    with span("verify.network_equivalence", network=golden.name) as sp:
+        inputs = golden.inputs
+        if set(candidate.inputs) != set(inputs):
+            raise VerificationError(
+                "input sets differ: %s vs %s"
+                % (sorted(inputs), sorted(candidate.inputs))
+            )
+        if set(golden.outputs) != set(candidate.outputs):
+            raise VerificationError(
+                "output port sets differ: %s vs %s"
+                % (sorted(golden.outputs), sorted(candidate.outputs))
+            )
+
+        if len(inputs) <= exhaustive_limit:
+            words: Dict[str, int] = exhaustive_input_words(inputs)
+            width = 1 << len(inputs)
+            sp.set("mode", "exhaustive")
+        else:
+            rng = random.Random(seed)
+            width = vectors
+            words = {name: rng.getrandbits(width) for name in inputs}
+            sp.set("mode", "random")
+        sp.set("vectors", width)
+
+        mask = (1 << width) - 1
+        golden_values = simulate(golden, words, width)
+        cand_values = simulate(candidate, words, width)
+        for port, sig in golden.outputs.items():
+            expected = golden_values[sig.name] ^ (mask if sig.inv else 0)
+            other = candidate.outputs[port]
+            actual = cand_values[other.name] ^ (mask if other.inv else 0)
+            if (expected ^ actual) & mask:
+                diff = bin((expected ^ actual) & mask).count("1")
+                raise VerificationError(
+                    "output %r differs on %d of %d vectors" % (port, diff, width)
+                )
+        metrics.count("verify.network_runs")
+        metrics.count("verify.vectors", width)
+        metrics.count("verify.ports_checked", len(golden.outputs))
+        return width
+
+
 def equivalent(network: BooleanNetwork, circuit: LUTCircuit, **kwargs) -> bool:
     """Boolean-returning convenience wrapper over :func:`verify_equivalence`."""
     try:

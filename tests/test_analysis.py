@@ -1,6 +1,5 @@
 """Tests for post-mapping timing/wiring analysis."""
 
-import pytest
 
 from tests.util import make_random_network
 from repro.analysis import analyze_timing, analyze_wiring

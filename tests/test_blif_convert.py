@@ -5,7 +5,6 @@ import pytest
 from tests.util import make_random_network
 from repro.blif.convert import blif_to_network, network_to_blif_model
 from repro.blif.parser import parse_blif
-from repro.errors import BlifError
 from repro.network.simulate import output_truth_tables
 from repro.network.transform import sweep
 from repro.truth.truthtable import TruthTable

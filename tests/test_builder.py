@@ -1,9 +1,8 @@
 """Tests for the expression-style network builder."""
 
-import pytest
 
 from repro.network.builder import NetworkBuilder
-from repro.network.simulate import network_truth_tables, output_truth_tables
+from repro.network.simulate import output_truth_tables
 from repro.truth.truthtable import TruthTable
 
 

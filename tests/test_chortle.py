@@ -14,7 +14,6 @@ from repro.bench.circuits import (
 from repro.core.chortle import ChortleMapper, map_network
 from repro.core.cover import check_cover
 from repro.errors import MappingError
-from repro.network.builder import NetworkBuilder
 from repro.network.network import BooleanNetwork, Signal
 from repro.verify import verify_equivalence
 
@@ -87,7 +86,7 @@ class TestStructuralProperties:
         net = make_random_network(seed)
         circuit = ChortleMapper(k=4).map(net)
         assert circuit.cost == sum(
-            1 for l in circuit.luts() if len(l.inputs) >= 2
+            1 for lut in circuit.luts() if len(lut.inputs) >= 2
         )
 
     def test_lower_bound_gates_over_k(self):

@@ -1,6 +1,5 @@
 """Tests for the hand-written example circuits."""
 
-import itertools
 
 import pytest
 
@@ -45,7 +44,6 @@ class TestRippleAdder:
     def test_addition(self, width):
         net = ripple_adder(width)
         tts = output_truth_tables(net)
-        n = 2 * width
         for a in range(1 << width):
             for b in range(1 << width):
                 m = 0

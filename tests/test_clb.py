@@ -8,7 +8,7 @@ from tests.util import make_random_network
 from repro.core.chortle import ChortleMapper
 from repro.core.lut import LUTCircuit
 from repro.errors import MappingError
-from repro.extensions.clb import Clb, ClbPacker, pack_clbs
+from repro.extensions.clb import ClbPacker, pack_clbs
 from repro.truth.truthtable import TruthTable
 
 
@@ -122,7 +122,7 @@ class TestMatchingQuality:
         circuit = ChortleMapper(k=4).map(net)
         packing = pack_clbs(circuit)
         placed = [name for clb in packing.clbs for name in clb.luts]
-        assert sorted(placed) == sorted(l.name for l in circuit.luts())
+        assert sorted(placed) == sorted(lut.name for lut in circuit.luts())
 
     @pytest.mark.parametrize("seed", range(6))
     def test_every_clb_legal(self, seed):

@@ -58,6 +58,105 @@ class TestMap:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFlows:
+    def test_flows_lists_registered_flows_and_passes(self, capsys):
+        assert main(["flows"]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out and "delay" in out
+        assert "sweep,strash,refactor,strash,chortle,merge" in out
+        assert "merge_guarded" in out
+
+    def test_map_with_registered_flow(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        rc = main(
+            ["map", str(blif_file), "-k", "4", "--flow", "area",
+             "--verify", "-o", str(out)]
+        )
+        assert rc == 0
+        assert ".model" in out.read_text()
+        assert "area:" in capsys.readouterr().err
+
+    def test_map_with_custom_flow_spec_checked(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        rc = main(
+            ["map", str(blif_file), "-k", "4",
+             "--flow", "sweep,strash,chortle,merge", "--checked",
+             "-o", str(out)]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "sweep,strash,chortle,merge:" in err
+
+    def test_map_flow_mapper_checked(self, blif_file, tmp_path, capsys):
+        rc = main(
+            ["map", str(blif_file), "--mapper", "area", "--checked",
+             "-o", str(tmp_path / "out.blif")]
+        )
+        assert rc == 0
+
+    def test_checked_without_flow_rejected(self, blif_file, capsys):
+        rc = main(["map", str(blif_file), "--mapper", "chortle", "--checked"])
+        assert rc == 2
+        assert "--checked requires a flow" in capsys.readouterr().err
+
+    def test_bad_flow_spec_clean_error(self, blif_file, capsys):
+        rc = main(["map", str(blif_file), "--flow", "sweep,bogus"])
+        assert rc == 2
+        assert "unknown pass 'bogus'" in capsys.readouterr().err
+
+    def test_ill_typed_flow_clean_error(self, blif_file, capsys):
+        rc = main(["map", str(blif_file), "--flow", "merge,sweep"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_network_only_flow_rejected(self, blif_file, capsys):
+        rc = main(["map", str(blif_file), "--flow", "sweep,strash"])
+        assert rc == 2
+        assert "LUT circuit" in capsys.readouterr().err
+
+    def test_flow_stage_spans_in_trace(self, blif_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            ["map", str(blif_file), "--flow", "area", "--trace", str(trace)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        names = [
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        ]
+        stage_names = [n for n in names if n.startswith("flow.stage.")]
+        assert stage_names == [
+            "flow.stage.0.sweep",
+            "flow.stage.1.strash",
+            "flow.stage.2.refactor",
+            "flow.stage.3.strash",
+            "flow.stage.4.chortle",
+            "flow.stage.5.merge",
+        ]
+        assert "flow.run" in names
+
+    def test_profile_with_flow(self, blif_file, capsys):
+        rc = main(["profile", str(blif_file), "--flow", "sweep,strash,chortle"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flow.stage.2.chortle" in out
+
+    def test_report_carries_flow_counters(self, blif_file, capsys):
+        rc = main(
+            ["map", str(blif_file), "--flow", "area", "--json-report"]
+        )
+        assert rc == 0
+        import json
+
+        report = json.loads(capsys.readouterr().err)
+        assert report["mapper"] == "area"
+        assert report["counters"]["flow.runs"] == 1
+        assert report["counters"]["flow.stages_run"] == 6
+
+
 class TestStatsAndVerify:
     def test_stats(self, blif_file, capsys):
         assert main(["stats", str(blif_file)]) == 0

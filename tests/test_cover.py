@@ -7,7 +7,6 @@ from repro.core.chortle import ChortleMapper
 from repro.core.cover import check_cover
 from repro.core.lut import LUTCircuit
 from repro.errors import VerificationError
-from repro.truth.truthtable import TruthTable
 
 
 class TestCheckCover:

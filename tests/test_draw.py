@@ -1,6 +1,5 @@
 """Tests for the plain-text circuit renderer."""
 
-import pytest
 
 from repro.core.chortle import ChortleMapper
 from repro.draw import draw_circuit, draw_network

@@ -36,7 +36,7 @@ class TestStructure:
 
     def test_iter_leaves_order(self):
         leaves = list(iter_leaves(sample_expr()))
-        assert [l.key for l in leaves] == ["a", "b", "c", "a"]
+        assert [leaf.key for leaf in leaves] == ["a", "b", "c", "a"]
 
     def test_leaf_keys_dedup(self):
         assert leaf_keys(sample_expr()) == ["a", "b", "c"]

@@ -121,7 +121,7 @@ class TestMechanics:
     def test_lut_inputs_bounded(self):
         net = make_random_network(2, num_gates=15)
         circuit = FlowMapper(k=4).map(net)
-        assert all(len(l.inputs) <= 4 for l in circuit.luts())
+        assert all(len(lut.inputs) <= 4 for lut in circuit.luts())
 
     def test_area_depth_tradeoff_direction(self):
         """FlowMap optimizes depth and generally pays area vs Chortle."""

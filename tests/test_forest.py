@@ -3,7 +3,7 @@
 import pytest
 
 from tests.util import make_random_network, make_random_tree_network
-from repro.core.forest import Forest, build_forest, check_forest, tree_roots
+from repro.core.forest import build_forest, check_forest, tree_roots
 from repro.errors import MappingError
 
 

@@ -8,13 +8,11 @@ functions preserved).
 
 import string
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.blif.convert import blif_to_network
 from repro.blif.parser import parse_blif
-from repro.blif.sop import SopCover
 from repro.blif.writer import write_network
 from repro.errors import BlifError, ReproError
 from repro.network.simulate import output_truth_tables

@@ -5,10 +5,9 @@ import pytest
 from tests.util import make_random_network
 from repro.baseline.mis_mapper import _remap_bits
 from repro.core.lut import LUTCircuit
-from repro.extensions.binpack import BinPackMapper, _Bin
+from repro.extensions.binpack import BinPackMapper
 from repro.extensions.flowmap import FlowMapper, _cone_function
 from repro.network.builder import NetworkBuilder
-from repro.network.network import Signal
 from repro.network.transform import sweep
 from repro.truth.truthtable import TruthTable
 

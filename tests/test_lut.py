@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.lut import LUT, LUTCircuit
+from repro.core.lut import LUTCircuit
 from repro.errors import NetworkError
 from repro.truth.truthtable import TruthTable
 

@@ -102,7 +102,7 @@ class TestMergeLuts:
         net = make_random_network(3, num_gates=15)
         circuit = FlowMapper(k=4).map(net)
         merged = merge_luts(circuit, 4)
-        assert all(len(l.inputs) <= 4 for l in merged.luts())
+        assert all(len(lut.inputs) <= 4 for lut in merged.luts())
 
     def test_idempotent(self):
         net = make_random_network(4, num_gates=15)

@@ -1,6 +1,5 @@
 """Tests for two-level minimization (Quine-McCluskey + cover selection)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from tests.util import make_random_network, make_random_tree_network
-from repro.baseline.library import Library, complete_library, kernel_library
+from repro.baseline.library import Library, kernel_library
 from repro.baseline.mis_mapper import MisMapper, mis_map_network
 from repro.bench.circuits import figure1_network, parity_tree, wide_and
 from repro.core.chortle import ChortleMapper

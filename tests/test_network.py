@@ -3,14 +3,7 @@
 import pytest
 
 from repro.errors import NetworkError
-from repro.network.network import (
-    AND,
-    OR,
-    BooleanNetwork,
-    Node,
-    Signal,
-    as_signal,
-)
+from repro.network.network import AND, OR, BooleanNetwork, Signal, as_signal
 
 
 def small_net():

@@ -257,17 +257,21 @@ class TestPipelineIntegration:
             circuit = map_area(net, k=4)
         assert circuit.cost > 0
 
-        # Top-level stages under the map_area root, in execution order.
-        root = [r for r in sink.records if r.name == "pipeline.map_area"][0]
+        # Top-level stages under the flow root, in execution order.  The
+        # stage index makes every span name unique, so the two strash
+        # stages never aggregate into one timing row.
+        root = [r for r in sink.records if r.name == "flow.run"][0]
+        assert root.attrs["flow"] == "area"
         stages = [r.name for r in sorted(sink.children(root), key=lambda r: r.start)]
         assert stages == [
-            "pipeline.sweep",
-            "pipeline.strash",
-            "pipeline.refactor",
-            "pipeline.strash",
-            "pipeline.chortle",
-            "pipeline.merge",
+            "flow.stage.0.sweep",
+            "flow.stage.1.strash",
+            "flow.stage.2.refactor",
+            "flow.stage.3.strash",
+            "flow.stage.4.chortle",
+            "flow.stage.5.merge",
         ]
+        assert len(set(stages)) == len(stages)
         # The mapper core traced under its pipeline stage.
         names = {r.name for r in sink.records}
         assert {"chortle.map", "chortle.map_tree", "transform.sweep"} <= names

@@ -55,7 +55,6 @@ class TestTreeFrontier:
         forest = build_forest(net)
         frontier = ParetoTreeMapper(4).map_tree_frontier(net, forest.trees[0])
         costs = [c.cost for c in frontier]
-        depths = [c.input_depth for c in frontier]
         assert costs == sorted(costs)
         for a, b in zip(frontier, frontier[1:]):
             assert b.cost > a.cost and b.input_depth < a.input_depth
@@ -64,7 +63,6 @@ class TestTreeFrontier:
         net = make_random_tree_network(1, depth=2)
         forest = build_forest(net)
         tree = forest.trees[0]
-        base = ParetoTreeMapper(4).map_tree_frontier(net, tree)
         late = {leaf: 7 for leaf in tree.leaves}
         shifted = ParetoTreeMapper(4).map_tree_frontier(net, tree, late)
         assert min(c.input_depth for c in shifted) >= 7

@@ -6,7 +6,6 @@ input, respects the K bound, and the exact mapper's cost lower-bounds the
 heuristics'.
 """
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

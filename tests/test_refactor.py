@@ -1,8 +1,6 @@
 """Tests for the collapse-minimize-refactor pass."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from tests.util import make_random_network, make_random_tree_network
 from repro.core.chortle import ChortleMapper

@@ -62,6 +62,23 @@ class TestRunSuite:
         factory = mapper_factory("chortle")
         assert factory is MAPPER_FACTORIES["chortle"]
 
+    def test_registered_flows_sweepable(self):
+        assert {"area", "delay"} <= set(MAPPER_FACTORIES)
+
+    def test_mapper_factory_accepts_flow_spec(self):
+        """A comma-separated pass spec is a valid suite mapper name."""
+        result = run_suite(
+            [make_random_network(2, num_gates=8)],
+            mappers=("sweep,strash,chortle",),
+            ks=(4,),
+            verify=True,
+        )
+        assert result.reports[0].mapper == "sweep,strash,chortle"
+
+    def test_mapper_factory_rejects_network_only_spec(self):
+        with pytest.raises(BenchError):
+            mapper_factory("sweep,strash")
+
 
 def synthetic_report(circuit="c0", k=4, mapper="chortle", luts=10):
     return MappingReport(

@@ -1,6 +1,5 @@
 """Tests for the MIS-script-like preparation pipeline."""
 
-import pytest
 
 from repro.blif.convert import blif_to_network
 from repro.blif.parser import parse_blif

@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from tests.util import make_random_network
 from repro.errors import NetworkError
@@ -39,7 +37,7 @@ class TestSimulate:
 
     def test_constants(self):
         b = NetworkBuilder()
-        a = b.input("a")
+        b.input("a")
         net = b.network(validate=False)
         net.add_const("one", True)
         net.add_const("zero", False)

@@ -1,8 +1,6 @@
 """Tests for network cleanup passes (sweep & friends)."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from tests.util import make_random_network
 from repro.network.builder import NetworkBuilder
@@ -144,6 +142,45 @@ class TestSemanticPreservation:
         assert equivalent(net, swept)
         again = sweep(swept)
         assert sorted(again.names()) == sorted(swept.names())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sweep_idempotent_node_counts_from_raw_networks(self, seed):
+        """sweep(sweep(n)) == sweep(n) in node counts, starting from raw
+        (never-swept) networks with redundancy for the first pass to eat."""
+        import random
+
+        rng = random.Random(seed)
+        b = NetworkBuilder("raw%d" % seed)
+        sigs = list(b.inputs(*["i%d" % i for i in range(5)]))
+        net0 = b.network()
+        net0.add_const("zero", False)
+        net0.add_const("one", True)
+        pool = [s.name for s in sigs] + ["zero", "one"]
+        for g in range(12):
+            fan = rng.randint(1, 4)
+            picks = [rng.choice(pool) for _ in range(fan)]  # dups allowed
+            op = rng.choice([AND, OR])
+            name = "g%d" % g
+            net0.add_gate(name, op, [Signal(p, rng.random() < 0.4) for p in picks])
+            pool.append(name)
+        net0.set_output("y", pool[-1])
+        net0.set_output("z", pool[-2])
+
+        once = sweep(net0)
+        twice = sweep(once)
+        assert len(twice) == len(once)
+        assert twice.num_gates == once.num_gates
+        assert sorted(twice.names()) == sorted(once.names())
+        assert equivalent(once, twice)
+
+    def test_sweep_idempotent_on_mcnc_circuits(self):
+        from repro.bench.mcnc import mcnc_circuit
+
+        for profile in ("count", "frg1", "9symml"):
+            once = sweep(mcnc_circuit(profile))
+            twice = sweep(once)
+            assert len(twice) == len(once)
+            assert twice.num_gates == once.num_gates
 
     def test_gates_have_two_plus_fanins_after_sweep(self):
         for seed in range(6):

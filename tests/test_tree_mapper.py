@@ -10,7 +10,7 @@ from repro.core.forest import build_forest
 from repro.core.tree_mapper import ExtItem, MapCand, TreeMapper
 from repro.errors import MappingError
 from repro.network.builder import NetworkBuilder
-from repro.network.network import AND, OR
+from repro.network.network import AND
 
 
 def map_single_tree(net, k, split_threshold=10):
@@ -159,6 +159,38 @@ class TestNodeSplitting:
         b.output("y", b.and_(*xs, name="g"))
         cand = map_single_tree(b.network(), k, split_threshold=10)
         assert cand.cost == math.ceil((fanin - 1) / (k - 1))
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_minimum_split_threshold_fanin_at_threshold(self, k):
+        """split_threshold=2 with fanin exactly 2: no split is needed, and
+        the result stays the one-LUT-per-(k-1)-fanins optimum."""
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("y", b.and_(a, c, name="g"))
+        cand = map_single_tree(b.network(), k, split_threshold=2)
+        assert cand.cost == 1
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_minimum_split_threshold_fanin_one_over(self, k):
+        """split_threshold=2 with fanin 3 — one over the threshold — takes
+        the split path on the smallest legal node; the same-op split is
+        lossless, so the cost still matches the analytic optimum."""
+        b = NetworkBuilder()
+        xs = b.inputs("a", "c", "d")
+        b.output("y", b.and_(*xs, name="g"))
+        cand = map_single_tree(b.network(), k, split_threshold=2)
+        assert cand.cost == math.ceil((3 - 1) / (k - 1))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_minimum_split_threshold_equivalent_on_trees(self, seed):
+        """Forcing a split at every node >2 fanins preserves functions."""
+        from repro.core.chortle import ChortleMapper
+        from repro.verify import verify_equivalence
+
+        net = make_random_tree_network(seed, depth=2, max_fanin=5)
+        circuit = ChortleMapper(k=4, split_threshold=2).map(net)
+        verify_equivalence(net, circuit)
+        circuit.validate(4)
 
     @pytest.mark.parametrize("seed", range(5))
     def test_split_matches_exhaustive_on_moderate_fanin(self, seed):

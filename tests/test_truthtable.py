@@ -1,6 +1,5 @@
 """Unit and property tests for repro.truth.truthtable."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings

@@ -6,7 +6,6 @@ from tests.util import make_random_network
 from repro.core.chortle import ChortleMapper
 from repro.core.lut import LUTCircuit
 from repro.errors import VerificationError
-from repro.truth.truthtable import TruthTable
 from repro.verify import equivalent, verify_equivalence
 
 

@@ -129,7 +129,7 @@ class TestWriteVerilog:
         circuit = ChortleMapper(k=k).map(net)
         text = write_verilog(circuit)
         n = len(net.inputs)
-        from repro.network.simulate import exhaustive_input_words, simulate
+        from repro.network.simulate import exhaustive_input_words
 
         words = exhaustive_input_words(net.inputs)
         width = 1 << n
