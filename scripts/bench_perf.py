@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Regenerate the committed BENCH_perf.json perf trajectory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_perf.py [extra bench-perf args]
+
+Equivalent to ``chortle bench-perf --gate -o BENCH_perf.json`` on the
+full Table 1-4 suite; pass ``--quick`` for the CI-sized subset.  Any
+extra arguments are forwarded to the subcommand, so e.g. ``--jobs 8``
+or ``--circuits count frg1`` work as they do on the CLI.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    argv = ["bench-perf", "--gate"]
+    if "-o" not in sys.argv[1:] and "--output" not in sys.argv[1:]:
+        argv += ["-o", "BENCH_perf.json"]
+    sys.exit(main(argv + sys.argv[1:]))

@@ -11,8 +11,9 @@ from __future__ import annotations
 import csv
 import io
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
 from repro.errors import BenchError, FlowError
@@ -67,6 +68,7 @@ _CSV_FIELDS = [
     "luts_total",
     "depth",
     "seconds",
+    "wall_seconds",
 ]
 
 
@@ -130,21 +132,83 @@ class SuiteResult:
         return gains
 
 
+def run_one_cell(
+    net: BooleanNetwork,
+    k: int,
+    mapper_name: str,
+    verify: bool = False,
+    cache=None,
+    mapper_opts: Optional[Dict[str, object]] = None,
+) -> MappingReport:
+    """Run a single (circuit, K, mapper) cell and build its report.
+
+    The mapping is timed through the tracer (one ``bench.run`` span) and
+    attributed a counter delta; ``wall_seconds`` additionally records
+    the full cell wall clock — mapping plus verification plus report
+    assembly — so QoR diffs can flag runtime regressions that live
+    outside the mapper proper.
+    """
+    opts = dict(mapper_opts or {})
+    mapper = resolve_mapper(
+        mapper_name,
+        k,
+        cache=cache,
+        jobs=int(opts.get("jobs", 1)),
+    )
+    wall_started = time.perf_counter()
+    counters_before = metrics.counters()
+    with capture() as sink:
+        with span("bench.run", circuit=net.name, k=k, mapper=mapper_name):
+            circuit = mapper.map(net)
+    run_span = sink.by_name("bench.run")[0]
+    seconds = run_span.duration
+    timings = {
+        name: round(total, 6)
+        for name, total in sink.stage_timings().items()
+        if name not in ("bench.run", "chortle.map_tree")
+    }
+    if verify:
+        verify_equivalence(net, circuit, vectors=256)
+    report = build_report(
+        net,
+        circuit,
+        k,
+        mapper=mapper_name,
+        seconds=round(seconds, 4),
+        timings=timings,
+        counters=metrics.counter_delta(counters_before),
+    )
+    return report.with_wall_seconds(
+        round(time.perf_counter() - wall_started, 4)
+    )
+
+
 def run_suite(
     circuits: Optional[Sequence] = None,
     mappers: Sequence[str] = ("chortle", "mis"),
     ks: Sequence[int] = (2, 3, 4, 5),
     verify: bool = False,
+    jobs: int = 1,
+    cache=False,
 ) -> SuiteResult:
     """Sweep circuits x mappers x K and return the collected reports.
 
     ``circuits`` may contain MCNC profile names or BooleanNetwork objects;
     default is the full 12-circuit table suite.
+
+    ``jobs > 1`` fans the independent (circuit, mapper, K) cells across
+    a process pool; reports come back in the same deterministic order —
+    and with the same QoR — as a serial sweep.  ``cache`` enables the
+    structural node-table memo for the chortle-engine cells (``True``
+    for the process-wide shared cache, or an explicit
+    :class:`~repro.perf.memo.NodeTableCache`); in parallel runs each
+    worker process keeps its own cache.
     """
     if circuits is None:
         circuits = TABLE_CIRCUITS
     # Fail fast on bad mapper names, before any (expensive) mapping runs.
-    factories = {name: mapper_factory(name) for name in mappers}
+    for name in mappers:
+        mapper_factory(name)
     networks: List[BooleanNetwork] = []
     for entry in circuits:
         if isinstance(entry, BooleanNetwork):
@@ -152,38 +216,29 @@ def run_suite(
         else:
             networks.append(mcnc_circuit(str(entry)))
 
+    cells: List[Tuple[BooleanNetwork, int, str]] = [
+        (net, k, mapper_name)
+        for net in networks
+        for k in ks
+        for mapper_name in mappers
+    ]
+
     result = SuiteResult()
-    for net in networks:
-        for k in ks:
-            for mapper_name in mappers:
-                mapper = factories[mapper_name](k)
-                # Each run is timed through the tracer (one span per run)
-                # and attributed a counter delta, so the export carries a
-                # per-stage perf trajectory alongside the LUT counts.
-                counters_before = metrics.counters()
-                with capture() as sink:
-                    with span(
-                        "bench.run", circuit=net.name, k=k, mapper=mapper_name
-                    ):
-                        circuit = mapper.map(net)
-                run_span = sink.by_name("bench.run")[0]
-                seconds = run_span.duration
-                timings = {
-                    name: round(total, 6)
-                    for name, total in sink.stage_timings().items()
-                    if name not in ("bench.run", "chortle.map_tree")
-                }
-                if verify:
-                    verify_equivalence(net, circuit, vectors=256)
-                result.reports.append(
-                    build_report(
-                        net,
-                        circuit,
-                        k,
-                        mapper=mapper_name,
-                        seconds=round(seconds, 4),
-                        timings=timings,
-                        counters=metrics.counter_delta(counters_before),
-                    )
-                )
+    if jobs > 1 and len(cells) > 1:
+        from repro.perf.parallel import run_cells_processes
+
+        with span("bench.suite", jobs=jobs, cells=len(cells)):
+            rows = run_cells_processes(
+                cells, jobs=jobs, verify=verify, use_cache=bool(cache)
+            )
+        result.reports.extend(MappingReport.from_dict(row) for row in rows)
+        return result
+
+    from repro.perf.memo import resolve_cache
+
+    cache_obj = resolve_cache(cache)
+    for net, k, mapper_name in cells:
+        result.reports.append(
+            run_one_cell(net, k, mapper_name, verify=verify, cache=cache_obj)
+        )
     return result

@@ -12,7 +12,9 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle flows                                 # registered flows + passes
     chortle map in.blif --trace trace.jsonl       # machine-readable spans
     chortle map in.blif --profile                 # stage timings on stderr
+    chortle map in.blif --cache --jobs 4          # memo cache + parallel trees
     chortle profile in.blif -k 4                  # span tree + counters
+    chortle bench-perf --quick -o perf.json       # measured perf trajectory
     chortle stats in.blif                         # network statistics
     chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
     chortle verify in.blif mapped.blif            # equivalence check
@@ -59,27 +61,68 @@ def _load_network(path: str, factor: bool, minimize: bool = False):
     return blif_to_network(model)
 
 
-def _resolve_cli_mapper(args: argparse.Namespace):
+def _cli_cache(args: argparse.Namespace):
+    """The node-table cache requested by --cache / --cache-dir, or None.
+
+    ``--cache-dir`` implies caching and pre-loads any cache file a
+    previous run saved there (:func:`_save_cli_cache` writes it back
+    after mapping).
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if not (getattr(args, "cache", False) or cache_dir):
+        return None
+    from repro.perf.memo import get_cache
+
+    cache = get_cache()
+    if cache_dir:
+        loaded = cache.load_disk(cache_dir)
+        if loaded:
+            print(
+                "loaded %d cached node tables from %s" % (loaded, cache_dir),
+                file=sys.stderr,
+            )
+    return cache
+
+
+def _save_cli_cache(args: argparse.Namespace, cache) -> None:
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache is not None and cache_dir:
+        cache.save_disk(cache_dir)
+
+
+def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
     """Resolve the mapper named by --flow / --mapper; returns (name, mapper).
 
     ``--flow`` takes a registered flow name or a comma-separated pass
     spec and wins over ``--mapper``; ``--checked`` turns on per-pass
     equivalence verification and therefore needs a flow (the registered
-    ``area`` / ``delay`` mappers count).
+    ``area`` / ``delay`` mappers count).  ``cache`` and ``--jobs`` are
+    the performance-layer options, forwarded to the chortle engine
+    wherever it appears in the resolved mapper.
     """
     flow_spec = getattr(args, "flow", None)
     checked = bool(getattr(args, "checked", False))
+    jobs = int(getattr(args, "jobs", 1) or 1)
     if flow_spec:
         from repro.flow import FlowMapperAdapter
 
+        config = {}
+        if cache is not None:
+            config["cache"] = cache
+        if jobs != 1:
+            config["jobs"] = jobs
         flow = get_registry().resolve(flow_spec)
-        return flow.name, FlowMapperAdapter(flow, k=args.k, checked=checked)
+        return flow.name, FlowMapperAdapter(
+            flow, k=args.k, checked=checked, config=config
+        )
     if checked and args.mapper not in get_registry():
         raise ReproError(
             "--checked requires a flow; use --flow, or a flow mapper (%s)"
             % ", ".join(get_registry().names())
         )
-    return args.mapper, resolve_mapper(args.mapper, args.k, checked=checked)
+    return args.mapper, resolve_mapper(
+        args.mapper, args.k, checked=checked, cache=cache, jobs=jobs
+    )
 
 
 @contextlib.contextmanager
@@ -116,7 +159,8 @@ def _print_stage_table(sink, stream=None) -> None:
 
 def _cmd_map(args: argparse.Namespace) -> int:
     net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
-    mapper_name, mapper = _resolve_cli_mapper(args)
+    cache = _cli_cache(args)
+    mapper_name, mapper = _resolve_cli_mapper(args, cache=cache)
     counters_before = get_metrics().counters()
     # Timing is routed through the tracer: the run is wrapped in one
     # span and the elapsed time read back from the captured record.
@@ -131,6 +175,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
     elapsed = sink.by_name("cli.map")[0].duration
+    _save_cli_cache(args, cache)
     if args.profile:
         _print_stage_table(sink)
     text = write_lut_circuit(circuit)
@@ -178,13 +223,15 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Map with tracing on and print the span tree + counter summary."""
     net = _load_network(args.input, args.factor, getattr(args, "minimize", False))
-    mapper_name, mapper = _resolve_cli_mapper(args)
+    cache = _cli_cache(args)
+    mapper_name, mapper = _resolve_cli_mapper(args, cache=cache)
     registry = get_metrics()
     counters_before = registry.counters()
     with _trace_sink(args.trace):
         with capture() as sink:
             with span("cli.profile", mapper=mapper_name, k=args.k):
                 circuit = mapper.map(net)
+    _save_cli_cache(args, cache)
     print(
         "%s: %d LUTs (K=%d), depth %d"
         % (mapper_name, circuit.cost, args.k, circuit.depth())
@@ -329,6 +376,8 @@ def _record_suite(args: argparse.Namespace):
         mappers=tuple(args.mappers),
         ks=tuple(args.ks),
         verify=args.verify,
+        jobs=getattr(args, "jobs", 1),
+        cache=getattr(args, "cache", False),
     )
     return result.to_records(
         created_at=args.timestamp or _utc_timestamp(), label=args.label
@@ -399,6 +448,33 @@ def _cmd_qor_gate(args: argparse.Namespace) -> int:
     return _finish_diff(diff_records(baseline, current), args)
 
 
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    """Measure the perf trajectory and write the BENCH_perf.json payload."""
+    from repro.perf.benchperf import (
+        render_bench_perf,
+        run_bench_perf,
+        save_bench_perf,
+    )
+
+    result = run_bench_perf(
+        circuits=args.circuits or None,
+        ks=tuple(args.ks) if args.ks else None,
+        mappers=tuple(args.mappers),
+        jobs=args.jobs,
+        quick=args.quick,
+        created_at=args.timestamp or _utc_timestamp(),
+        warm_tolerance=args.warm_tolerance,
+        cache_dir=args.cache_dir,
+    )
+    if args.output:
+        save_bench_perf(result, args.output)
+        print("wrote %s" % args.output, file=sys.stderr)
+    print(render_bench_perf(result))
+    if args.gate and not result["gate"]["pass"]:
+        return 1
+    return 0
+
+
 def _cmd_qor_report(args: argparse.Namespace) -> int:
     from repro.obs.qor import RunRecord
     from repro.obs.qordiff import render_record
@@ -409,6 +485,29 @@ def _cmd_qor_report(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(text)
     return 0
+
+
+def _add_perf_options(p: argparse.ArgumentParser) -> None:
+    """The performance-layer flags shared by ``map`` and ``profile``."""
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="map forest trees on N worker threads (default 1: serial)",
+    )
+    p.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize node tables in the shared structural cache "
+        "(results are bit-identical to uncached mapping)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the node-table cache under DIR across runs "
+        "(implies --cache); only load cache files you wrote yourself",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -486,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-stage timing table to stderr",
     )
+    _add_perf_options(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_profile = sub.add_parser(
@@ -523,7 +623,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include one span per mapped tree (verbose)",
     )
+    _add_perf_options(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_perf = sub.add_parser(
+        "bench-perf",
+        help="time the benchmark suite serial/cached/warm/parallel; "
+        "emit the BENCH_perf.json trajectory",
+    )
+    p_perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized subset (4 circuits, K in {3,4}) instead of the "
+        "full Table 1-4 suite",
+    )
+    p_perf.add_argument(
+        "--circuits",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="MCNC profile names (default: suite, or the --quick subset)",
+    )
+    p_perf.add_argument(
+        "--ks",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="K",
+        help="LUT input counts to sweep (default: 2 3 4 5, or 3 4 with "
+        "--quick)",
+    )
+    p_perf.add_argument(
+        "--mappers",
+        nargs="+",
+        default=["chortle"],
+        metavar="MAPPER",
+        help="mappers to time (default: chortle)",
+    )
+    p_perf.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads for the parallel phase (default 2)",
+    )
+    p_perf.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="also save the warm cache to DIR and verify the disk "
+        "round trip",
+    )
+    p_perf.add_argument(
+        "--warm-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="gate: warm may be at most this fraction slower than cold "
+        "(default 0.20)",
+    )
+    p_perf.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit nonzero if the warm-vs-cold gate or the QoR identity "
+        "check fails",
+    )
+    p_perf.add_argument(
+        "-o", "--output", help="write the JSON payload to this file"
+    )
+    p_perf.add_argument(
+        "--timestamp",
+        default=None,
+        help="created_at stamp for the payload (default: now, UTC ISO-8601)",
+    )
+    p_perf.set_defaults(func=_cmd_bench_perf)
 
     p_flows = sub.add_parser(
         "flows", help="list registered mapping flows and available passes"
@@ -595,6 +767,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--timestamp",
             default=None,
             help="created_at stamp for the record (default: now, UTC ISO-8601)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="fan suite cells across N worker processes "
+            "(deterministic, QoR-identical to serial)",
+        )
+        p.add_argument(
+            "--cache",
+            action="store_true",
+            help="memoize node tables during the sweep (bit-identical)",
         )
 
     q_record = qor_sub.add_parser(

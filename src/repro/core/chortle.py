@@ -8,7 +8,9 @@ verification.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import concurrent.futures
+import os
+from typing import Dict, List, Tuple
 
 from repro.errors import MappingError
 from repro.core.expr import Leaf, NotExpr, OpExpr, leaf_keys, to_truth_table
@@ -22,15 +24,44 @@ from repro.truth.truthtable import TruthTable
 
 
 class ChortleMapper:
-    """Area-minimizing technology mapper for K-input lookup tables."""
+    """Area-minimizing technology mapper for K-input lookup tables.
+
+    ``cache`` enables structural memoization of node tables (``True``
+    for the shared process-wide cache, or an explicit
+    :class:`~repro.perf.memo.NodeTableCache`); ``jobs`` maps forest
+    trees concurrently (``None`` = one worker per CPU).  Both are
+    QoR-neutral: the mapped circuit is bit-identical to a serial,
+    uncached run.  ``executor`` selects thread workers (default; shares
+    the memo cache, zero-copy) or process workers (sidesteps the GIL at
+    the price of pickling the network per worker).
+    """
 
     name = "chortle"  # spec name under the common Mapper protocol
 
-    def __init__(self, k: int = 4, split_threshold: int = 10, preprocess: bool = True):
+    def __init__(
+        self,
+        k: int = 4,
+        split_threshold: int = 10,
+        preprocess: bool = True,
+        cache=None,
+        jobs: int = 1,
+        executor: str = "thread",
+    ):
+        if executor not in ("thread", "process"):
+            raise MappingError(
+                "executor must be 'thread' or 'process', got %r" % executor
+            )
         self.k = k
         self.split_threshold = split_threshold
         self.preprocess = preprocess
-        self._tree_mapper = TreeMapper(k, split_threshold=split_threshold)
+        from repro.perf.memo import resolve_cache
+
+        self.cache = resolve_cache(cache)
+        self.jobs = jobs
+        self.executor = executor
+        self._tree_mapper = TreeMapper(
+            k, split_threshold=split_threshold, cache=self.cache
+        )
 
     def map(self, network: BooleanNetwork) -> LUTCircuit:
         """Map the network into a circuit of K-input lookup tables."""
@@ -60,24 +91,67 @@ class ChortleMapper:
         for name in net.inputs:
             circuit.add_input(name)
 
-        for tree in forest.trees:
-            with span(
-                "chortle.map_tree", tree=tree.root, nodes=tree.num_nodes
-            ) as tree_sp:
-                cand = self._tree_mapper.map_tree(net, tree)
-                emitted = _emit_candidate(cand, circuit, tree.root)
-                if emitted != cand.cost:
-                    raise MappingError(
-                        "internal accounting error in tree %r: predicted %d "
-                        "LUTs, emitted %d" % (tree.root, cand.cost, emitted)
-                    )
-                tree_sp.set("luts", emitted)
+        cands = self._map_trees(net, forest.trees)
+        for tree, cand in zip(forest.trees, cands):
+            emitted = _emit_candidate(cand, circuit, tree.root)
+            if emitted != cand.cost:
+                raise MappingError(
+                    "internal accounting error in tree %r: predicted %d "
+                    "LUTs, emitted %d" % (tree.root, cand.cost, emitted)
+                )
             metrics.count("chortle.luts_emitted", emitted)
             metrics.observe("chortle.luts_per_tree", emitted)
 
         wire_outputs(net, circuit)
         circuit.validate(self.k)
         return circuit
+
+    def _map_trees(self, net: BooleanNetwork, trees) -> List[MapCand]:
+        """Root candidates for every tree, in forest order.
+
+        With ``jobs > 1`` the independent tree problems are fanned
+        across a ``concurrent.futures`` executor; results are collected
+        in submission order, so the emitted circuit — names, LUT order,
+        functions — is identical to a serial run.
+        """
+        jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        if jobs <= 1 or len(trees) < 2:
+            return [
+                self._map_one_tree(net, tree, worker=None) for tree in trees
+            ]
+        from repro.perf.parallel import map_trees_processes
+
+        jobs = min(jobs, len(trees))
+        with span(
+            "chortle.parallel", jobs=jobs, executor=self.executor,
+            trees=len(trees),
+        ):
+            if self.executor == "process":
+                return map_trees_processes(
+                    net,
+                    len(trees),
+                    k=self.k,
+                    split_threshold=self.split_threshold,
+                    jobs=jobs,
+                    use_shared_cache=self.cache is not None,
+                )
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="chortle-map"
+            ) as pool:
+                futures = [
+                    pool.submit(self._map_one_tree, net, tree, worker=i % jobs)
+                    for i, tree in enumerate(trees)
+                ]
+                return [future.result() for future in futures]
+
+    def _map_one_tree(self, net: BooleanNetwork, tree, worker) -> MapCand:
+        attrs = {"tree": tree.root, "nodes": tree.num_nodes}
+        if worker is not None:
+            attrs["worker"] = worker
+        with span("chortle.map_tree", **attrs) as tree_sp:
+            cand = self._tree_mapper.map_tree(net, tree)
+            tree_sp.set("luts", cand.cost)
+        return cand
 
 
 def map_network(

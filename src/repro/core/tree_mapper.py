@@ -117,10 +117,17 @@ class ExtItem(NamedTuple):
 
 
 class TableItem(NamedTuple):
-    """A fanin edge to an already-mapped child (or split-virtual) node."""
+    """A fanin edge to an already-mapped child (or split-virtual) node.
+
+    ``sig`` is the child table's structural signature
+    (:func:`repro.perf.memo.node_signature`) when the table was computed
+    through the memoizing path; ``None`` marks the item — and therefore
+    any node table built from it — as not cacheable.
+    """
 
     table: tuple  # actually NodeTable; tuple for hashability of the item
     inv: bool
+    sig: Optional[tuple] = None
 
 
 FaninItem = Union[ExtItem, TableItem]
@@ -150,7 +157,7 @@ def _chain_to_tuple(chain: _Chain) -> Tuple:
 class TreeMapper:
     """Maps fanout-free trees into minimum-cost circuits of K-input LUTs."""
 
-    def __init__(self, k: int, split_threshold: int = 10):
+    def __init__(self, k: int, split_threshold: int = 10, cache=None):
         if k < 2:
             raise MappingError("K must be at least 2, got %d" % k)
         if split_threshold < 2:
@@ -159,12 +166,17 @@ class TreeMapper:
             )
         self.k = k
         self.split_threshold = split_threshold
+        # Optional structural memo cache (repro.perf.memo.NodeTableCache).
+        # Shared across trees, networks, and K sweeps; results are
+        # bit-identical to the uncached path by construction.
+        self.cache = cache
 
     # -- public API ---------------------------------------------------------
 
     def map_tree(self, network: BooleanNetwork, tree: Tree) -> MapCand:
         """Optimal mapping of one fanout-free tree; returns the root candidate."""
         tables: Dict[str, NodeTable] = {}
+        sigs: Dict[str, Optional[tuple]] = {}
         for name in network.topological_order():
             if name not in tree.internal:
                 continue
@@ -172,10 +184,14 @@ class TreeMapper:
             items: List[FaninItem] = []
             for sig in node.fanins:
                 if sig.name in tables:
-                    items.append(TableItem(tuple(tables[sig.name]), sig.inv))
+                    items.append(
+                        TableItem(
+                            tuple(tables[sig.name]), sig.inv, sigs.get(sig.name)
+                        )
+                    )
                 else:
                     items.append(ExtItem(sig.name, sig.inv))
-            tables[name] = self.compute_node_table(node.op, items)
+            tables[name], sigs[name] = self.cached_node_table(node.op, items)
         root_table = tables.get(tree.root)
         if root_table is None:
             raise MappingError("tree root %r was never mapped" % tree.root)
@@ -185,6 +201,36 @@ class TreeMapper:
         return best
 
     # -- node table construction ------------------------------------------------
+
+    def cached_node_table(
+        self, op: str, items: Sequence[FaninItem]
+    ) -> Tuple[NodeTable, Optional[tuple]]:
+        """``compute_node_table`` through the memo cache, plus the signature.
+
+        Without a cache (or for items carrying no signature) this is
+        exactly the uncached computation.  On a hit, the cached
+        canonical table is rehydrated against the live ``items`` — same
+        costs, depths, and placement structure, with this call's leaf
+        names and child candidates substituted in.
+        """
+        if self.cache is None:
+            return self.compute_node_table(op, items), None
+        from repro.perf.memo import (
+            canonicalize_table,
+            node_signature,
+            rehydrate_table,
+        )
+
+        sig = node_signature(op, items)
+        if sig is None:
+            return self.compute_node_table(op, items), None
+        key = (self.k, self.split_threshold, sig)
+        canon = self.cache.get(key)
+        if canon is not None:
+            return rehydrate_table(canon, op, items), sig
+        table = self.compute_node_table(op, items)
+        self.cache.put(key, canonicalize_table(table, items))
+        return table, sig
 
     def compute_node_table(self, op: str, items: Sequence[FaninItem]) -> NodeTable:
         """``minmap(n, U)`` for all U, for a node with the given fanin items."""
@@ -210,8 +256,8 @@ class TreeMapper:
     def _table_or_passthrough(self, op: str, items: List[FaninItem]) -> FaninItem:
         if len(items) == 1:
             return items[0]
-        table = self.compute_node_table(op, items)
-        return TableItem(tuple(table), False)
+        table, sig = self.cached_node_table(op, items)
+        return TableItem(tuple(table), False, sig)
 
     # -- the subset DP ------------------------------------------------------------
 
@@ -229,9 +275,13 @@ class TreeMapper:
         # registry once per node so the per-mask loops stay dict-free.
         acc = [0, 0]
 
+        # Bucket masks by popcount in one ascending fill; int.bit_count is
+        # a single CPython opcode (py >= 3.10), far cheaper than the old
+        # bin(mask).count("1") string round trip.  Ascending mask order
+        # within each bucket preserves the DP's tie-break enumeration.
         masks_by_popcount: List[List[int]] = [[] for _ in range(n + 1)]
         for mask in range(1, full + 1):
-            masks_by_popcount[bin(mask).count("1")].append(mask)
+            masks_by_popcount[mask.bit_count()].append(mask)
 
         for p in range(1, n + 1):
             for mask in masks_by_popcount[p]:

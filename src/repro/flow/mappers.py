@@ -37,13 +37,15 @@ class Mapper(Protocol):
         ...  # pragma: no cover - protocol
 
 
-#: Factories for the raw algorithmic mappers, keyed by spec name.
-CORE_MAPPERS: Dict[str, Callable[[int], Mapper]] = {
-    "chortle": lambda k: ChortleMapper(k=k),
-    "mis": lambda k: MisMapper(k=k),
-    "flowmap": lambda k: FlowMapper(k=k),
-    "binpack": lambda k: BinPackMapper(k=k),
-    "depthbounded": lambda k: DepthBoundedMapper(k=k, slack=0),
+#: Factories for the raw algorithmic mappers, keyed by spec name.  Every
+#: factory takes (k, **perf_opts); mappers without a parallel/memoized
+#: engine simply ignore the perf options.
+CORE_MAPPERS: Dict[str, Callable[..., Mapper]] = {
+    "chortle": lambda k, **opts: ChortleMapper(k=k, **opts),
+    "mis": lambda k, **opts: MisMapper(k=k),
+    "flowmap": lambda k, **opts: FlowMapper(k=k),
+    "binpack": lambda k, **opts: BinPackMapper(k=k),
+    "depthbounded": lambda k, **opts: DepthBoundedMapper(k=k, slack=0),
 }
 
 
@@ -79,8 +81,20 @@ def mapper_names() -> List[str]:
     return sorted(set(CORE_MAPPERS) | set(get_registry().names()))
 
 
-def resolve_mapper(name: str, k: int, checked: bool = False) -> Mapper:
+def resolve_mapper(
+    name: str,
+    k: int,
+    checked: bool = False,
+    cache=None,
+    jobs: int = 1,
+) -> Mapper:
     """A ready-to-run mapper for a raw-mapper name, flow name, or flow spec.
+
+    ``cache`` and ``jobs`` are the performance-layer options (structural
+    node-table memoization and parallel tree mapping; see
+    :mod:`repro.perf`); they reach the chortle engine whether it is
+    resolved raw or as a stage of a flow, and are ignored by mappers
+    without that engine.
 
     Raises :class:`FlowError` for names that are neither known mappers
     nor parseable flow specs, and for ``checked`` on a raw mapper (only
@@ -93,6 +107,11 @@ def resolve_mapper(name: str, k: int, checked: bool = False) -> Mapper:
                 "mapper %r is not a flow; checked mode needs a flow "
                 "(registered flows: %s)" % (name, ", ".join(registry.names()))
             )
-        return CORE_MAPPERS[name](k)
+        return CORE_MAPPERS[name](k, cache=cache, jobs=jobs)
     flow = registry.resolve(name)
-    return FlowMapperAdapter(flow, k=k, checked=checked)
+    config: Dict[str, object] = {}
+    if cache is not None:
+        config["cache"] = cache
+    if jobs != 1:
+        config["jobs"] = jobs
+    return FlowMapperAdapter(flow, k=k, checked=checked, config=config)

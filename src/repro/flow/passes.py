@@ -124,13 +124,22 @@ class RefactorPass(NetworkPass):
 
 
 class ChortlePass(MapPass):
-    """The paper's tree-DP mapper (area-optimal per fanout-free tree)."""
+    """The paper's tree-DP mapper (area-optimal per fanout-free tree).
+
+    Honours the performance-layer context options: ``cache`` (a
+    :class:`~repro.perf.memo.NodeTableCache`, or ``True`` for the shared
+    one), ``jobs``, and ``executor`` — see :mod:`repro.perf`.
+    """
 
     name = "chortle"
 
     def run(self, value: BooleanNetwork, ctx) -> LUTCircuit:
         mapper = ChortleMapper(
-            k=ctx.k, split_threshold=ctx.option("split_threshold", 10)
+            k=ctx.k,
+            split_threshold=ctx.option("split_threshold", 10),
+            cache=ctx.option("cache"),
+            jobs=ctx.option("jobs", 1),
+            executor=ctx.option("executor", "thread"),
         )
         return mapper.map(value)
 

@@ -25,6 +25,7 @@ in ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 
@@ -68,12 +69,16 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, HistogramStat] = {}
+        # Writers run on parallel-mapping worker threads too; the
+        # read-modify-write updates need the lock to avoid lost counts.
+        self._lock = threading.Lock()
 
     # -- writers -----------------------------------------------------------
 
     def count(self, name: str, value: int = 1) -> None:
         """Increment counter ``name`` by ``value``."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
@@ -81,10 +86,11 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Record one sample into histogram ``name``."""
-        stat = self._histograms.get(name)
-        if stat is None:
-            stat = self._histograms[name] = HistogramStat()
-        stat.observe(value)
+        with self._lock:
+            stat = self._histograms.get(name)
+            if stat is None:
+                stat = self._histograms[name] = HistogramStat()
+            stat.observe(value)
 
     # -- readers -----------------------------------------------------------
 

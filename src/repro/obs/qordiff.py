@@ -72,6 +72,12 @@ DEFAULT_POLICIES: Tuple[MetricPolicy, ...] = (
     MetricPolicy("luts", hard=True),
     MetricPolicy("depth", hard=True),
     MetricPolicy("seconds", hard=False, rel_tol=0.50, abs_tol=0.25),
+    # Whole-cell wall clock (mapping + verify + report assembly): shown on
+    # the dashboard but non-gating — the gating runtime signal stays the
+    # mapper-only `seconds`.  Skipped automatically against baselines
+    # recorded before the field existed.
+    MetricPolicy("wall_seconds", hard=False, rel_tol=0.50, abs_tol=0.25,
+                 gate=False),
 )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import io
 import json
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -115,10 +116,15 @@ class JsonLinesSink(Sink):
         else:
             self._handle = target
             self._owns_handle = False
+        # Spans may finish on parallel-mapping worker threads; the lock
+        # keeps each JSON line contiguous in the output.
+        self._lock = threading.Lock()
 
     def emit(self, record: SpanRecord) -> None:
-        self._handle.write(json.dumps(record.to_dict(), sort_keys=True))
-        self._handle.write("\n")
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line)
+            self._handle.write("\n")
 
     def close(self) -> None:
         if self._owns_handle:
@@ -184,8 +190,7 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         tracer = self._tracer
-        tracer._next_id += 1
-        self.span_id = tracer._next_id
+        self.span_id = tracer._new_span_id()
         stack = tracer._stack
         if stack:
             self.parent_id = stack[-1].span_id
@@ -214,12 +219,32 @@ class _LiveSpan:
 
 
 class Tracer:
-    """Span factory with a stack of live spans and a tuple of sinks."""
+    """Span factory with a stack of live spans and a tuple of sinks.
+
+    The live-span stack is thread-local: spans opened on a parallel
+    worker thread become roots of their own tree (carrying a ``worker``
+    attribute when the caller sets one) instead of corrupting the
+    parent/depth bookkeeping of spans on other threads.  Span ids stay
+    globally unique under a lock; sinks are shared across threads.
+    """
 
     def __init__(self) -> None:
         self._sinks: Tuple[Sink, ...] = ()
-        self._stack: List[_LiveSpan] = []
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
         self._next_id = 0
+
+    @property
+    def _stack(self) -> List["_LiveSpan"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_span_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
 
     @property
     def enabled(self) -> bool:

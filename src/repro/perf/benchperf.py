@@ -1,0 +1,261 @@
+"""Measured perf trajectory: the harness behind ``chortle bench-perf``.
+
+Times the Table 1-4 suite through the chortle engine in four phases —
+
+* ``serial_uncached`` — the reference configuration: one cell at a time,
+  no memo cache.  Every other phase's ``speedup_vs_serial`` is measured
+  against this wall clock.
+* ``cold_cache``      — same sweep with a fresh structural node-table
+  cache (:class:`~repro.perf.memo.NodeTableCache`).  Pays the misses,
+  but repeated tree shapes within the sweep already hit.
+* ``warm_cache``      — the sweep again on the now-populated cache.
+* ``parallel``        — uncached, with ``jobs`` worker threads mapping
+  forest trees concurrently inside each cell.
+
+Every phase must produce *identical* QoR (LUTs / counted LUTs / depth
+per cell) — the harness cross-checks and reports ``qor_identical``; a
+mismatch fails the gate, because a cache or a thread pool that changes
+results is a correctness bug, not a performance feature.
+
+The gate additionally requires the warm-cache phase to not be slower
+than the cold phase beyond a noise tolerance — the regression mode a
+broken cache exhibits first (all misses plus lookup overhead).  CI runs
+``chortle bench-perf --quick --gate`` on every push; the committed
+``BENCH_perf.json`` at the repository root is a full-suite run.
+
+Phase wall clocks are wrapped in ``bench.perf_phase`` tracer spans and
+the cache counters land in the metrics registry (``perf.cache.*``), so
+the trajectory is visible through the standard observability surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
+from repro.bench.runner import mapper_factory, run_one_cell
+from repro.network.network import BooleanNetwork
+from repro.obs import metrics, span
+from repro.obs.qor import collect_environment
+from repro.perf.memo import NodeTableCache
+
+#: Bump when the result layout changes.
+SCHEMA = 1
+
+#: The ``--quick`` subset: small enough for a CI smoke job, repetitive
+#: enough (shared tree shapes across circuits and K values) that the
+#: warm-cache phase meaningfully exercises the memo.
+QUICK_CIRCUITS: Tuple[str, ...] = ("9symml", "alu2", "count", "frg1")
+QUICK_KS: Tuple[int, ...] = (3, 4)
+
+#: Warm may be at most this fraction slower than cold before the gate
+#: fails (timer noise on loaded CI machines; a healthy warm phase is
+#: dramatically *faster*).
+DEFAULT_WARM_TOLERANCE = 0.20
+
+
+def _run_phase(
+    name: str,
+    cells: Sequence[Tuple[BooleanNetwork, int, str]],
+    cache: Optional[NodeTableCache],
+    jobs: int,
+) -> Tuple[dict, List[list]]:
+    """Run every cell once; returns (phase record, per-cell QoR rows)."""
+    counters_before = metrics.counters()
+    qor: List[list] = []
+    started = time.perf_counter()
+    with span("bench.perf_phase", phase=name, cells=len(cells), jobs=jobs):
+        for net, k, mapper_name in cells:
+            report = run_one_cell(
+                net,
+                k,
+                mapper_name,
+                cache=cache,
+                mapper_opts={"jobs": jobs} if jobs > 1 else None,
+            )
+            qor.append(
+                [net.name, k, mapper_name, report.luts, report.luts_total,
+                 report.depth]
+            )
+    seconds = time.perf_counter() - started
+    delta = metrics.counter_delta(counters_before)
+    record = {
+        "seconds": round(seconds, 4),
+        "jobs": jobs,
+        "cached": cache is not None,
+        "cache": None,
+    }
+    if cache is not None:
+        hits = delta.get(cache.name + ".hits", 0)
+        misses = delta.get(cache.name + ".misses", 0)
+        record["cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "evictions": delta.get(cache.name + ".evictions", 0),
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses
+            else 0.0,
+            "size": len(cache),
+        }
+    return record, qor
+
+
+def run_bench_perf(
+    circuits: Optional[Sequence[str]] = None,
+    ks: Optional[Sequence[int]] = None,
+    mappers: Sequence[str] = ("chortle",),
+    jobs: int = 2,
+    quick: bool = False,
+    created_at: str = "",
+    warm_tolerance: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+) -> dict:
+    """Measure the perf trajectory; returns the ``BENCH_perf.json`` payload.
+
+    ``circuits`` / ``ks`` default to the full Table 1-4 suite (or the
+    CI-sized ``--quick`` subset when ``quick`` is set).  ``jobs`` sizes
+    the parallel phase's thread pool.  When ``cache_dir`` is given, the
+    warm cache is additionally saved to disk there and immediately
+    re-loaded into a fresh cache, recording the round trip.
+
+    The returned payload carries a ``gate`` block; callers that want a
+    pass/fail exit check ``gate["pass"]``.
+    """
+    if warm_tolerance is None:
+        warm_tolerance = DEFAULT_WARM_TOLERANCE
+    if circuits is None:
+        circuits = QUICK_CIRCUITS if quick else TABLE_CIRCUITS
+    if ks is None:
+        ks = QUICK_KS if quick else (2, 3, 4, 5)
+    for name in mappers:
+        mapper_factory(name)  # fail fast, before any timing
+    networks = [mcnc_circuit(str(name)) for name in circuits]
+    cells: List[Tuple[BooleanNetwork, int, str]] = [
+        (net, k, mapper_name)
+        for net in networks
+        for k in ks
+        for mapper_name in mappers
+    ]
+
+    cache = NodeTableCache()
+    phase_specs = [
+        ("serial_uncached", None, 1),
+        ("cold_cache", cache, 1),
+        ("warm_cache", cache, 1),
+        ("parallel", None, max(2, jobs)),
+    ]
+    phases: Dict[str, dict] = {}
+    qor_by_phase: Dict[str, List[list]] = {}
+    for name, phase_cache, phase_jobs in phase_specs:
+        record, qor = _run_phase(name, cells, phase_cache, phase_jobs)
+        phases[name] = record
+        qor_by_phase[name] = qor
+
+    serial_seconds = phases["serial_uncached"]["seconds"]
+    for record in phases.values():
+        record["speedup_vs_serial"] = (
+            round(serial_seconds / record["seconds"], 3)
+            if record["seconds"] > 0
+            else None
+        )
+
+    reference = qor_by_phase["serial_uncached"]
+    mismatches = []
+    for name, qor in qor_by_phase.items():
+        for ref_row, row in zip(reference, qor):
+            if ref_row != row:
+                mismatches.append({"phase": name, "expected": ref_row,
+                                   "got": row})
+    qor_identical = not mismatches
+
+    disk = None
+    if cache_dir:
+        path = cache.save_disk(cache_dir)
+        reloaded = NodeTableCache(name="perf.cache.reload")
+        loaded = reloaded.load_disk(cache_dir)
+        disk = {
+            "path": path,
+            "entries_saved": len(cache),
+            "entries_loaded": loaded,
+            "round_trip_ok": loaded == len(cache),
+        }
+
+    warm = phases["warm_cache"]["seconds"]
+    cold = phases["cold_cache"]["seconds"]
+    warm_ok = warm <= cold * (1.0 + warm_tolerance)
+    gate = {
+        "warm_tolerance": warm_tolerance,
+        "warm_not_slower_than_cold": warm_ok,
+        "qor_identical": qor_identical,
+        "pass": warm_ok and qor_identical,
+    }
+
+    result = {
+        "schema": SCHEMA,
+        "created_at": created_at,
+        "quick": quick,
+        "config": {
+            "circuits": [net.name for net in networks],
+            "ks": list(ks),
+            "mappers": list(mappers),
+            "jobs": max(2, jobs),
+            "cpu_count": os.cpu_count(),
+        },
+        "environment": collect_environment(),
+        "cells": len(cells),
+        "phases": phases,
+        "qor_identical": qor_identical,
+        "gate": gate,
+    }
+    if mismatches:
+        result["qor_mismatches"] = mismatches[:20]
+    if disk is not None:
+        result["disk_cache"] = disk
+    return result
+
+
+def render_bench_perf(result: dict) -> str:
+    """A small human-readable summary of one bench-perf payload."""
+    lines = [
+        "bench-perf: %d cells (%s; K in %s)"
+        % (
+            result["cells"],
+            ", ".join(result["config"]["circuits"]),
+            result["config"]["ks"],
+        )
+    ]
+    for name in ("serial_uncached", "cold_cache", "warm_cache", "parallel"):
+        phase = result["phases"][name]
+        extra = ""
+        if phase.get("cache"):
+            extra = "  (cache: %d hits / %d misses, %.0f%% hit rate)" % (
+                phase["cache"]["hits"],
+                phase["cache"]["misses"],
+                100.0 * phase["cache"]["hit_rate"],
+            )
+        if name == "parallel":
+            extra = "  (jobs=%d)" % phase["jobs"]
+        lines.append(
+            "  %-16s %8.3fs  %5.2fx vs serial%s"
+            % (name, phase["seconds"], phase["speedup_vs_serial"] or 0.0,
+               extra)
+        )
+    gate = result["gate"]
+    lines.append(
+        "  QoR identical across phases: %s; gate %s"
+        % (
+            "yes" if result["qor_identical"] else "NO",
+            "PASS" if gate["pass"] else "FAIL",
+        )
+    )
+    return "\n".join(lines)
+
+
+def save_bench_perf(result: dict, path: str) -> None:
+    """Write the payload as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")

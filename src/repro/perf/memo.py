@@ -1,0 +1,272 @@
+"""Structural memoization of tree-DP node tables.
+
+The subset DP in :class:`repro.core.tree_mapper.TreeMapper` recomputes
+identical node tables thousands of times across a QoR sweep: the forest
+partition produces heavily repeating tree shapes, and the DP result for
+a node depends only on the *structure* of its fanin items — never on
+leaf names.  This module turns that observation into a shared cache:
+
+* :func:`node_signature` — a canonical, hashable signature of one
+  ``compute_node_table`` call: the node's op plus, per fanin item, its
+  kind and inversion, a *local* name id for external leaves (so
+  duplicate leaves are distinguished from distinct ones), and — for
+  :class:`~repro.core.tree_mapper.TableItem` fanins — the child table's
+  own recursive signature.  Together with ``(k, split_threshold)`` this
+  determines the DP result exactly, up to leaf renaming.
+
+* :func:`canonicalize_table` / :func:`rehydrate_table` — convert a
+  computed :data:`~repro.core.tree_mapper.NodeTable` to and from a
+  name-free canonical form made of plain tuples.  External-leaf
+  placements are stored by local name id; placements that reference an
+  entry of a fanin item's table are stored as ``(item_index,
+  utilization)`` references and resolved against the *caller's* actual
+  items on rehydration, so a cache hit wires the cached decomposition
+  to the live child candidates.  Intermediate decomposition nodes are
+  expanded recursively.  The round trip preserves cost, input depth,
+  placement kinds, and the cost-then-depth tie-break — mapped circuits
+  are bit-identical to the uncached mapper's (the fuzz suite in
+  ``tests/test_perf.py`` cross-checks emitted BLIF text).
+
+* :class:`NodeTableCache` — the in-process LRU of canonical tables
+  (shared across trees, networks, and K sweeps; K and the split
+  threshold are part of every key), with optional on-disk persistence
+  (:meth:`~NodeTableCache.load_disk` / :meth:`~NodeTableCache.save_disk`)
+  so repeated QoR runs start warm.
+
+The disk format is a pickle of ``(magic, schema, entries)`` under the
+cache directory (default ``~/.cache/chortle``).  Only load cache files
+you wrote yourself: pickle is code, not data.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tree_mapper import (
+    ExtItem,
+    FaninItem,
+    MapCand,
+    NodeTable,
+    TableItem,
+)
+from repro.perf.lru import LruCache
+
+#: Bump when the canonical-table layout changes; stale disk caches are ignored.
+DISK_SCHEMA = 1
+_DISK_MAGIC = "chortle-node-table-cache"
+_DISK_FILENAME = "node_tables.v%d.pkl" % DISK_SCHEMA
+
+
+def default_cache_dir() -> str:
+    """``$CHORTLE_CACHE_DIR`` or the conventional ``~/.cache/chortle``."""
+    env = os.environ.get("CHORTLE_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "chortle")
+
+
+# -- signatures --------------------------------------------------------------
+
+
+def node_signature(op: str, items: Sequence[FaninItem]) -> Optional[tuple]:
+    """The structural signature of one node-table computation.
+
+    External leaves contribute ``("e", name_id, inv)`` where ``name_id``
+    numbers distinct leaf names in order of first occurrence — two items
+    naming the *same* leaf signal must stay distinguishable from two
+    distinct leaves, because the mapped function differs.  Table items
+    contribute ``("t", child_signature, inv)``.
+
+    Returns ``None`` when some :class:`TableItem` carries no signature
+    (it was built outside the memoizing path); such calls are simply not
+    cacheable.
+    """
+    name_ids: Dict[str, int] = {}
+    parts: List[tuple] = []
+    for item in items:
+        if isinstance(item, ExtItem):
+            name_id = name_ids.setdefault(item.name, len(name_ids))
+            parts.append(("e", name_id, item.inv))
+        else:
+            if item.sig is None:
+                return None
+            parts.append(("t", item.sig, item.inv))
+    return ("nt", op, tuple(parts))
+
+
+def _ext_name_ids(items: Sequence[FaninItem]) -> Dict[str, int]:
+    """The same first-occurrence name numbering :func:`node_signature` uses."""
+    name_ids: Dict[str, int] = {}
+    for item in items:
+        if isinstance(item, ExtItem):
+            name_ids.setdefault(item.name, len(name_ids))
+    return name_ids
+
+
+# -- canonical form ----------------------------------------------------------
+#
+# Canonical candidate: (cost, input_depth, placements)
+# Canonical placement: ("e", name_id, inv)
+#                    | ("w"|"m", ref, inv)
+# Reference:           ("i", item_index, utilization)   entry of a fanin table
+#                    | ("c", canonical_candidate)       intermediate node
+
+
+def canonicalize_table(table: NodeTable, items: Sequence[FaninItem]) -> tuple:
+    """The name-free canonical form of a computed node table."""
+    name_ids = _ext_name_ids(items)
+    # Identity map from fanin-table entries to (item index, utilization):
+    # placements holding one of these candidates are stored by reference,
+    # everything else (intermediate decomposition nodes) is expanded.
+    entry_refs: Dict[int, Tuple[int, int]] = {}
+    for idx, item in enumerate(items):
+        if isinstance(item, TableItem):
+            for uc, cand in enumerate(item.table):
+                if cand is not None:
+                    entry_refs[id(cand)] = (idx, uc)
+
+    def canon_cand(cand: MapCand) -> tuple:
+        placements = []
+        for placement in cand.placements:
+            kind = placement[0]
+            if kind == "ext":
+                placements.append(("e", name_ids[placement[1]], placement[2]))
+                continue
+            tag = "w" if kind == "wire" else "m"
+            ref = entry_refs.get(id(placement[1]))
+            if ref is not None:
+                placements.append((tag, ("i", ref[0], ref[1]), placement[2]))
+            else:
+                placements.append(
+                    (tag, ("c", canon_cand(placement[1])), placement[2])
+                )
+        return (cand.cost, cand.input_depth, tuple(placements))
+
+    return tuple(None if cand is None else canon_cand(cand) for cand in table)
+
+
+def rehydrate_table(
+    canon: tuple, op: str, items: Sequence[FaninItem]
+) -> NodeTable:
+    """Rebuild a live node table from its canonical form and actual items."""
+    names_by_id = {nid: name for name, nid in _ext_name_ids(items).items()}
+
+    def re_cand(cc: tuple) -> MapCand:
+        cost, input_depth, placements = cc
+        out = []
+        for placement in placements:
+            tag, payload, inv = placement
+            if tag == "e":
+                out.append(("ext", names_by_id[payload], inv))
+                continue
+            kind = "wire" if tag == "w" else "merged"
+            if payload[0] == "i":
+                cand = items[payload[1]].table[payload[2]]
+            else:
+                cand = re_cand(payload[1])
+            out.append((kind, cand, inv))
+        return MapCand(cost, op, tuple(out), input_depth=input_depth)
+
+    return [None if cc is None else re_cand(cc) for cc in canon]
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+class NodeTableCache(LruCache):
+    """LRU of canonical node tables keyed by ``(k, split_threshold, sig)``.
+
+    One instance can back any number of :class:`TreeMapper` /
+    :class:`ChortleMapper` objects at different K values concurrently —
+    K and the split threshold are part of every key, so entries never
+    collide across sweep cells.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 65536, name: str = "perf.cache"):
+        super().__init__(maxsize=maxsize, name=name)
+
+    # -- disk persistence ----------------------------------------------------
+
+    def _disk_path(self, cache_dir: Optional[str]) -> str:
+        return os.path.join(cache_dir or default_cache_dir(), _DISK_FILENAME)
+
+    def save_disk(self, cache_dir: Optional[str] = None) -> str:
+        """Persist the current contents; returns the file path written.
+
+        The write is atomic (temp file + rename) so a crashed run never
+        leaves a truncated cache behind.
+        """
+        path = self._disk_path(cache_dir)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = (_DISK_MAGIC, DISK_SCHEMA, self.items_snapshot())
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".node_tables.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load_disk(self, cache_dir: Optional[str] = None) -> int:
+        """Merge a previously saved cache file; returns entries loaded.
+
+        Missing files, stale schemas, and corrupt payloads all load
+        zero entries rather than failing the run — a cache must never
+        turn into a correctness or availability problem.
+        """
+        path = self._disk_path(cache_dir)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return 0
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 3
+            or payload[0] != _DISK_MAGIC
+            or payload[1] != DISK_SCHEMA
+        ):
+            return 0
+        loaded = 0
+        for key, value in payload[2]:
+            self.put(key, value)
+            loaded += 1
+        from repro.obs import metrics
+
+        metrics.count(self.name + ".disk_loaded", loaded)
+        return loaded
+
+
+_SHARED: Optional[NodeTableCache] = None
+
+
+def get_cache() -> NodeTableCache:
+    """The process-wide shared node-table cache, created on first use."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = NodeTableCache()
+    return _SHARED
+
+
+def resolve_cache(cache) -> Optional[NodeTableCache]:
+    """Normalize a user-facing cache option to a cache object (or None).
+
+    Accepts ``None``/``False`` (no caching), ``True`` (the shared
+    process-wide cache), or an explicit :class:`NodeTableCache`.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return get_cache()
+    return cache

@@ -1,0 +1,133 @@
+"""Process-pool workers for tree-level and suite-level parallel mapping.
+
+Two fan-out granularities, both deterministic:
+
+* :func:`map_trees_processes` — one swept network, its forest's trees
+  chunked round-robin across a ``ProcessPoolExecutor``.  Each worker
+  rebuilds the forest (cheap and deterministic) and returns the root
+  candidates for its chunk; the parent reassembles them in forest order,
+  so emission — and therefore the whole circuit — is bit-identical to a
+  serial run.
+
+* :func:`run_cells_processes` — the benchmark runner's (circuit, K,
+  mapper) cells fanned across workers.  Each cell is an independent
+  mapping problem; workers return plain report dicts and the parent
+  restores them in submission order, so a parallel suite sweep produces
+  the same rows in the same order as a serial one (only the timing
+  fields reflect the parallel run).
+
+Worker functions live at module top level so they pickle under the
+``spawn`` start method.  Workers count into their own process-local
+metrics registry; per-cell counter/timing attribution still works
+because each worker measures its own cell and ships the deltas home in
+the report dict.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.network import BooleanNetwork
+
+
+def _chunk_round_robin(n: int, jobs: int) -> List[List[int]]:
+    """Indices ``0..n-1`` dealt round-robin into ``jobs`` chunks."""
+    chunks: List[List[int]] = [[] for _ in range(jobs)]
+    for index in range(n):
+        chunks[index % jobs].append(index)
+    return [chunk for chunk in chunks if chunk]
+
+
+# -- tree-level workers ------------------------------------------------------
+
+
+def _map_tree_chunk(payload: tuple) -> List[Tuple[int, object]]:
+    """Map one chunk of forest trees inside a worker process."""
+    net, k, split_threshold, indices, use_shared_cache = payload
+    from repro.core.forest import build_forest
+    from repro.core.tree_mapper import TreeMapper
+    from repro.perf.memo import get_cache
+
+    cache = get_cache() if use_shared_cache else None
+    forest = build_forest(net)
+    mapper = TreeMapper(k, split_threshold=split_threshold, cache=cache)
+    return [
+        (index, mapper.map_tree(net, forest.trees[index])) for index in indices
+    ]
+
+
+def map_trees_processes(
+    net: BooleanNetwork,
+    num_trees: int,
+    k: int,
+    split_threshold: int,
+    jobs: int,
+    use_shared_cache: bool = False,
+) -> List[object]:
+    """Root candidates for every tree of ``net``'s forest, in forest order.
+
+    ``net`` must already be swept (the forest is rebuilt per worker from
+    the network as-is).  Each worker keeps its own process-local memo
+    cache when ``use_shared_cache`` is set — processes cannot share the
+    parent's in-memory cache, but repeated shapes within a chunk still
+    hit.
+    """
+    chunks = _chunk_round_robin(num_trees, jobs)
+    results: List[object] = [None] * num_trees
+    with concurrent.futures.ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        futures = [
+            pool.submit(
+                _map_tree_chunk, (net, k, split_threshold, chunk, use_shared_cache)
+            )
+            for chunk in chunks
+        ]
+        for future in futures:
+            for index, cand in future.result():
+                results[index] = cand
+    return results
+
+
+# -- suite-level workers -----------------------------------------------------
+
+
+def _run_suite_cell(payload: tuple) -> dict:
+    """Run one (circuit, K, mapper) benchmark cell inside a worker."""
+    net, k, mapper_name, verify, use_cache, mapper_opts = payload
+    from repro.bench.runner import run_one_cell
+
+    report = run_one_cell(
+        net,
+        k,
+        mapper_name,
+        verify=verify,
+        cache=use_cache,
+        mapper_opts=mapper_opts,
+    )
+    return report.to_dict()
+
+
+def run_cells_processes(
+    cells: Sequence[Tuple[BooleanNetwork, int, str]],
+    jobs: int,
+    verify: bool = False,
+    use_cache: bool = False,
+    mapper_opts: Optional[Dict[str, object]] = None,
+) -> List[dict]:
+    """Report dicts for every cell, in the order the cells were given.
+
+    Workers are handed whole cells (network already built in the
+    parent, so synthetic-circuit generation is not repeated per worker)
+    and return ``MappingReport.to_dict()`` payloads; the caller turns
+    them back into reports.
+    """
+    jobs = min(jobs, len(cells)) or 1
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(
+                _run_suite_cell,
+                (net, k, mapper_name, verify, use_cache, mapper_opts or {}),
+            )
+            for net, k, mapper_name in cells
+        ]
+        return [future.result() for future in futures]

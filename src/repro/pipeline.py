@@ -22,16 +22,33 @@ from repro.flow.registry import area_flow, delay_flow
 from repro.network.network import BooleanNetwork
 
 
+def _perf_config(cache, jobs: int) -> dict:
+    """Flow-context config entries for the performance layer, if any."""
+    config = {}
+    if cache is not None:
+        config["cache"] = cache
+    if jobs != 1:
+        config["jobs"] = jobs
+    return config
+
+
 def map_area(
     network: BooleanNetwork,
     k: int = 4,
     refactor: bool = True,
     merge: bool = True,
     checked: bool = False,
+    cache=None,
+    jobs: int = 1,
 ) -> LUTCircuit:
-    """Area-focused composed flow; minimum LUTs this package can reach."""
+    """Area-focused composed flow; minimum LUTs this package can reach.
+
+    ``cache`` and ``jobs`` reach the chortle stage's memoized/parallel
+    engine (see :mod:`repro.perf`); both are QoR-neutral.
+    """
     flow = area_flow(refactor=refactor, merge=merge)
-    return flow.run(network, FlowContext(k=k, checked=checked))
+    ctx = FlowContext(k=k, checked=checked, config=_perf_config(cache, jobs))
+    return flow.run(network, ctx)
 
 
 def map_delay(
@@ -41,6 +58,8 @@ def map_delay(
     refactor: bool = True,
     merge: bool = True,
     checked: bool = False,
+    cache=None,
+    jobs: int = 1,
 ) -> LUTCircuit:
     """Delay-focused composed flow: minimum depth, area recovered.
 
@@ -49,5 +68,7 @@ def map_delay(
     silently discarded.
     """
     flow = delay_flow(refactor=refactor, merge=merge)
-    ctx = FlowContext(k=k, checked=checked, config={"slack": slack})
+    config = _perf_config(cache, jobs)
+    config["slack"] = slack
+    ctx = FlowContext(k=k, checked=checked, config=config)
     return flow.run(network, ctx)

@@ -34,6 +34,9 @@ class MappingReport:
     depth: int
     utilization_histogram: Dict[int, int] = field(default_factory=dict)
     seconds: Optional[float] = None
+    # Full cell wall clock (mapping + verification + report assembly) as
+    # measured by the benchmark runner; None outside suite sweeps.
+    wall_seconds: Optional[float] = None
     clbs: Optional[int] = None
     clb_packing_ratio: Optional[float] = None
     # Per-stage wall time (span name -> seconds) and mapper counters
@@ -76,6 +79,12 @@ class MappingReport:
         }
         return cls(**kwargs)
 
+    def with_wall_seconds(self, wall_seconds: float) -> "MappingReport":
+        """A copy of this (frozen) report with the cell wall clock filled in."""
+        from dataclasses import replace
+
+        return replace(self, wall_seconds=wall_seconds)
+
     def to_text(self) -> str:
         lines = [
             "mapping report: %s (K=%d, %s)" % (self.circuit_name, self.k, self.mapper),
@@ -97,6 +106,8 @@ class MappingReport:
         ]
         if self.seconds is not None:
             lines.append("  mapping time: %.3fs" % self.seconds)
+        if self.wall_seconds is not None:
+            lines.append("  cell wall time: %.3fs" % self.wall_seconds)
         if self.clbs is not None:
             lines.append(
                 "  XC3000-style CLBs: %d (%.2f LUTs per block)"

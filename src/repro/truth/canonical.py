@@ -17,18 +17,28 @@ exact and fast enough for the variable counts that matter here (K <= 6).
 from __future__ import annotations
 
 import itertools
-from functools import lru_cache
 
+from repro.perf.lru import LruCache
 from repro.truth.truthtable import TruthTable
 
+# Permutation tables are hit on every canonicalization (the MIS matcher
+# canonicalizes every cut it considers), so the cache is instrumented:
+# hit/miss/eviction counts appear as ``truth.perm_tables.*`` in the
+# metrics registry and therefore in ``chortle profile``.  64 entries
+# comfortably covers every nvars this package ever canonicalizes (the
+# tables for nvars > 8 would be enormous long before the cache matters).
+_PERM_TABLES = LruCache(maxsize=64, name="truth.perm_tables")
 
-@lru_cache(maxsize=16)
+
 def _perm_tables(nvars: int) -> tuple:
     """Precomputed minterm-index remappings, one per input permutation.
 
     For a permutation ``perm``, entry ``m`` of its table is the source
     minterm index such that ``permuted.bits[m] = original.bits[table[m]]``.
     """
+    cached = _PERM_TABLES.get(nvars)
+    if cached is not None:
+        return cached
     tables = []
     for perm in itertools.permutations(range(nvars)):
         table = []
@@ -39,7 +49,9 @@ def _perm_tables(nvars: int) -> tuple:
                     src_m |= 1 << i
             table.append(src_m)
         tables.append(tuple(table))
-    return tuple(tables)
+    result = tuple(tables)
+    _PERM_TABLES.put(nvars, result)
+    return result
 
 
 def _apply_index_table(bits: int, table: tuple) -> int:

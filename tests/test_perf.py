@@ -1,0 +1,329 @@
+"""Tests for the performance layer: memo cache, parallel mapping, bench-perf.
+
+The load-bearing property throughout is *bit-identity*: every perf
+configuration (cached, warm, threaded, process pool) must emit exactly
+the circuit the plain serial mapper emits — same costs, same depths,
+same LUT functions, same BLIF text.  A cache or a thread pool that
+changes results is a correctness bug wearing a performance hat.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.util import make_random_network
+from repro.blif import write_lut_circuit
+from repro.core.chortle import ChortleMapper
+from repro.obs import metrics
+from repro.perf.lru import LruCache
+from repro.perf.memo import (
+    DISK_SCHEMA,
+    NodeTableCache,
+    get_cache,
+    node_signature,
+    resolve_cache,
+)
+
+
+def mapped_text(net, k=4, **mapper_kwargs):
+    """Map ``net`` and return the emitted BLIF text (the identity probe)."""
+    circuit = ChortleMapper(k=k, **mapper_kwargs).map(net)
+    return write_lut_circuit(circuit)
+
+
+class TestLruCache:
+    def test_get_put_and_counters(self):
+        cache = LruCache(maxsize=4, name="test.lru")
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = LruCache(maxsize=2, name="test.lru")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now least recent
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.evictions == 1
+
+    def test_metrics_registry_sees_counts(self):
+        before = metrics.counters()
+        cache = LruCache(maxsize=2, name="test.lru.metrics")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        delta = metrics.counter_delta(before)
+        assert delta["test.lru.metrics.hits"] == 1
+        assert delta["test.lru.metrics.misses"] == 1
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            LruCache(maxsize=0)
+
+    def test_unbounded_never_evicts(self):
+        cache = LruCache(maxsize=None, name="test.lru.unbounded")
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_stats_snapshot(self):
+        cache = LruCache(maxsize=8, name="test.lru.stats")
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["size"] == 1 and stats["hits"] == 1
+        assert stats["hit_rate"] == 1.0
+
+
+class TestResolveCache:
+    def test_none_and_false_disable(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_true_is_shared_singleton(self):
+        assert resolve_cache(True) is get_cache()
+        assert resolve_cache(True) is resolve_cache(True)
+
+    def test_explicit_instance_passthrough(self):
+        cache = NodeTableCache(maxsize=16)
+        assert resolve_cache(cache) is cache
+
+
+class TestSignatures:
+    def test_duplicate_leaf_names_differ_from_distinct(self):
+        # (a AND a) and (a AND b) must never share a cache entry: the
+        # signature numbers leaves by first occurrence, so the repeat
+        # shows up as a repeated id.
+        from repro.core.tree_mapper import ExtItem
+
+        same = node_signature("and", [ExtItem("a", False), ExtItem("a", False)])
+        distinct = node_signature(
+            "and", [ExtItem("a", False), ExtItem("b", False)]
+        )
+        assert same != distinct
+
+    def test_names_do_not_matter_only_structure(self):
+        from repro.core.tree_mapper import ExtItem
+
+        ab = node_signature("or", [ExtItem("a", False), ExtItem("b", True)])
+        xy = node_signature("or", [ExtItem("x", False), ExtItem("y", True)])
+        assert ab == xy
+
+    def test_unsigned_table_item_is_uncacheable(self):
+        from repro.core.tree_mapper import TableItem
+
+        sig = node_signature("and", [TableItem((), False, None)])
+        assert sig is None
+
+
+class TestBitIdentity:
+    """Every perf configuration emits the serial uncached mapper's BLIF."""
+
+    SEEDS = range(6)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_cached_matches_uncached(self, k):
+        for seed in self.SEEDS:
+            net = make_random_network(seed, num_gates=18)
+            plain = mapped_text(net, k=k)
+            assert mapped_text(net, k=k, cache=NodeTableCache()) == plain
+
+    def test_warm_cache_matches(self):
+        cache = NodeTableCache()
+        for seed in self.SEEDS:
+            net = make_random_network(seed, num_gates=18)
+            plain = mapped_text(net, k=4)
+            cold = mapped_text(net, k=4, cache=cache)
+            warm = mapped_text(net, k=4, cache=cache)
+            assert cold == plain and warm == plain
+
+    def test_shared_cache_across_k_values(self):
+        # One cache serves a K sweep: K is part of every key, so entries
+        # never leak across cells.
+        cache = NodeTableCache()
+        net = make_random_network(3, num_gates=20)
+        for k in (2, 3, 4, 5):
+            assert mapped_text(net, k=k, cache=cache) == mapped_text(net, k=k)
+
+    def test_thread_parallel_matches(self):
+        for seed in self.SEEDS:
+            net = make_random_network(seed, num_gates=18)
+            assert mapped_text(net, jobs=2) == mapped_text(net)
+
+    def test_thread_parallel_with_cache_matches(self):
+        cache = NodeTableCache()
+        for seed in self.SEEDS:
+            net = make_random_network(seed, num_gates=18)
+            assert mapped_text(net, jobs=2, cache=cache) == mapped_text(net)
+
+    def test_process_parallel_matches(self):
+        net = make_random_network(1, num_gates=24)
+        assert mapped_text(net, jobs=2, executor="process") == mapped_text(net)
+
+    def test_tiny_cache_evicts_but_stays_correct(self):
+        # A pathologically small cache thrashes (hits *and* evictions)
+        # yet must never change the mapping.
+        cache = NodeTableCache(maxsize=8, name="test.tiny")
+        for seed in self.SEEDS:
+            net = make_random_network(seed, num_gates=18)
+            assert mapped_text(net, cache=cache) == mapped_text(net)
+        assert cache.evictions > 0
+
+    def test_rejects_unknown_executor(self):
+        from repro.errors import MappingError
+
+        with pytest.raises(MappingError):
+            ChortleMapper(k=4, executor="fiber")
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        cache = NodeTableCache()
+        net = make_random_network(2, num_gates=18)
+        mapped_text(net, cache=cache)
+        assert len(cache) > 0
+        path = cache.save_disk(str(tmp_path))
+        assert os.path.exists(path)
+
+        fresh = NodeTableCache(name="test.disk")
+        assert fresh.load_disk(str(tmp_path)) == len(cache)
+        # A mapper warmed purely from disk is bit-identical and all-hits.
+        assert mapped_text(net, cache=fresh) == mapped_text(net)
+        assert fresh.misses == 0
+
+    def test_missing_file_loads_zero(self, tmp_path):
+        assert NodeTableCache().load_disk(str(tmp_path / "nope")) == 0
+
+    def test_corrupt_file_loads_zero(self, tmp_path):
+        cache = NodeTableCache()
+        path = cache.save_disk(str(tmp_path))
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert NodeTableCache().load_disk(str(tmp_path)) == 0
+
+    def test_stale_schema_ignored(self, tmp_path):
+        import pickle
+
+        cache = NodeTableCache()
+        path = cache.save_disk(str(tmp_path))
+        with open(path, "wb") as handle:
+            pickle.dump(
+                ("chortle-node-table-cache", DISK_SCHEMA + 1, [("k", "v")]),
+                handle,
+            )
+        assert NodeTableCache().load_disk(str(tmp_path)) == 0
+
+    def test_default_cache_dir_honours_env(self, monkeypatch):
+        from repro.perf.memo import default_cache_dir
+
+        monkeypatch.setenv("CHORTLE_CACHE_DIR", "/tmp/somewhere")
+        assert default_cache_dir() == "/tmp/somewhere"
+
+
+class TestSuiteParallel:
+    def test_jobs_matches_serial_order_and_qor(self):
+        from repro.bench.runner import run_suite
+
+        nets = [make_random_network(s, num_gates=12) for s in range(2)]
+        serial = run_suite(nets, mappers=("chortle",), ks=(3, 4))
+        para = run_suite(nets, mappers=("chortle",), ks=(3, 4), jobs=2)
+
+        def key(r):
+            return (r.circuit_name, r.k, r.mapper, r.luts, r.luts_total,
+                    r.depth)
+
+        assert [key(r) for r in serial.reports] == [
+            key(r) for r in para.reports
+        ]
+
+    def test_wall_seconds_recorded(self):
+        from repro.bench.runner import run_suite
+
+        result = run_suite(
+            [make_random_network(0, num_gates=8)],
+            mappers=("chortle",),
+            ks=(4,),
+        )
+        assert result.reports[0].wall_seconds is not None
+        assert result.reports[0].wall_seconds >= 0.0
+
+
+class TestBenchPerf:
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        from repro.perf.benchperf import run_bench_perf
+
+        return run_bench_perf(
+            circuits=["9symml"],
+            ks=(3,),
+            jobs=2,
+            created_at="2026-08-06T00:00:00Z",
+            cache_dir=str(tmp_path_factory.mktemp("perfcache")),
+        )
+
+    def test_phases_and_speedups(self, payload):
+        phases = payload["phases"]
+        assert set(phases) == {
+            "serial_uncached", "cold_cache", "warm_cache", "parallel",
+        }
+        assert phases["serial_uncached"]["speedup_vs_serial"] == 1.0
+        for record in phases.values():
+            assert record["seconds"] >= 0.0
+
+    def test_qor_identity_and_gate(self, payload):
+        assert payload["qor_identical"] is True
+        assert payload["gate"]["pass"] is True
+        assert "qor_mismatches" not in payload
+
+    def test_warm_phase_all_hits(self, payload):
+        warm = payload["phases"]["warm_cache"]["cache"]
+        assert warm["misses"] == 0 and warm["hits"] > 0
+        assert warm["hit_rate"] == 1.0
+
+    def test_disk_round_trip_recorded(self, payload):
+        disk = payload["disk_cache"]
+        assert disk["round_trip_ok"] is True
+        assert disk["entries_saved"] == disk["entries_loaded"] > 0
+
+    def test_payload_is_json_and_renderable(self, payload, tmp_path):
+        from repro.perf.benchperf import render_bench_perf, save_bench_perf
+
+        out = tmp_path / "bench.json"
+        save_bench_perf(payload, str(out))
+        assert json.loads(out.read_text())["cells"] == payload["cells"]
+        text = render_bench_perf(payload)
+        assert "warm_cache" in text and "gate PASS" in text
+
+    def test_cli_quick_smoke(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "quick.json"
+        code = main(
+            [
+                "bench-perf", "--quick", "--gate", "-o", str(out),
+                "--circuits", "count", "--ks", "4",
+                "--timestamp", "2026-08-06T00:00:00Z",
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["gate"]["pass"] is True
+
+
+class TestPermTableCache:
+    def test_counter_visible_in_metrics(self):
+        from repro.truth.canonical import np_canonical
+        from repro.truth.truthtable import TruthTable
+
+        before = metrics.counters()
+        np_canonical(TruthTable(3, 0b11001010))
+        delta = metrics.counter_delta(before)
+        assert (
+            delta.get("truth.perm_tables.hits", 0)
+            + delta.get("truth.perm_tables.misses", 0)
+        ) > 0

@@ -152,7 +152,8 @@ class TestDiff:
         diff = diff_records(suite_record, suite_record)
         assert diff.passes_gate()
         assert not diff.regressions and not diff.improvements
-        assert len(diff.cells) == 4 * 3  # cells x (luts, depth, seconds)
+        # cells x (luts, depth, seconds, wall_seconds)
+        assert len(diff.cells) == 4 * 4
 
     def test_seeded_lut_regression_is_named(self):
         base = make_record([make_report(luts=10)])

@@ -159,6 +159,7 @@ class TestExports:
         assert header.split(",") == _CSV_FIELDS == [
             "circuit_name", "k", "mapper", "num_inputs", "num_outputs",
             "source_gates", "luts", "luts_total", "depth", "seconds",
+            "wall_seconds",
         ]
 
     def test_to_records_bundles_reports(self, small_sweep):
