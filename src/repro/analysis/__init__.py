@@ -1,0 +1,92 @@
+"""Static analysis: the circuit lint engine and post-mapping analyses.
+
+Two halves live here.  The *lint engine* (diagnostics, rules, engine,
+baseline) statically audits boolean networks, LUT circuits, and flow
+artifacts against the CHRT1xx/CHRT2xx/CHRT3xx rule catalogue — see
+``docs/ANALYSIS.md``.  The *post-mapping analyses* (postmap) are the
+older timing/wiring summaries, re-exported here so existing imports of
+``repro.analysis`` keep working.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry, load_baseline
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARN,
+    Diagnostic,
+    LintContext,
+    at_least,
+    render_json,
+    render_text,
+    severity_rank,
+    sort_diagnostics,
+    summarize,
+)
+from repro.analysis.engine import (
+    apply_baseline,
+    gate,
+    lint_circuit,
+    lint_flow,
+    lint_mapping,
+    lint_network,
+)
+from repro.analysis.postmap import (
+    TimingAnalysis,
+    WiringAnalysis,
+    analyze_timing,
+    analyze_wiring,
+)
+from repro.analysis.rules import (
+    CIRCUIT,
+    DOMAINS,
+    FLOW,
+    NETWORK,
+    FlowArtifacts,
+    Rule,
+    all_rules,
+    get_rule,
+    rules_for,
+)
+from repro.analysis.suite import lint_cell, lint_suite
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "ERROR",
+    "INFO",
+    "WARN",
+    "SEVERITIES",
+    "Diagnostic",
+    "LintContext",
+    "at_least",
+    "render_json",
+    "render_text",
+    "severity_rank",
+    "sort_diagnostics",
+    "summarize",
+    "apply_baseline",
+    "gate",
+    "lint_circuit",
+    "lint_flow",
+    "lint_mapping",
+    "lint_network",
+    "lint_cell",
+    "lint_suite",
+    "TimingAnalysis",
+    "WiringAnalysis",
+    "analyze_timing",
+    "analyze_wiring",
+    "CIRCUIT",
+    "DOMAINS",
+    "FLOW",
+    "NETWORK",
+    "FlowArtifacts",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rules_for",
+]

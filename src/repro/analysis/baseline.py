@@ -1,0 +1,127 @@
+"""Suppression baselines: accepted lint findings, committed to the repo.
+
+A baseline is a JSON file listing findings that are known, understood,
+and deliberately tolerated — each entry carries a justification so the
+file reads as documentation, not as a mute button.  Entries match by
+rule code plus :mod:`fnmatch` globs over subject, location, and stage,
+so one entry can cover a family of structurally identical findings
+(e.g. every interface inverter the mapper emits).
+
+The committed suite baseline lives at
+``benchmarks/baselines/lint_baseline.json`` and is consumed by the CI
+``lint-circuits`` gate via ``chortle lint --suite --baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import LintError
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding (or glob family of findings)."""
+
+    rule: str  # exact rule code, e.g. "CHRT205"
+    subject: str = "*"  # fnmatch glob over Diagnostic.subject
+    location: str = "*"  # fnmatch glob over Diagnostic.location
+    stage: str = "*"  # fnmatch glob over Diagnostic.stage
+    justification: str = ""  # why this finding is tolerated
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return (
+            diag.code == self.rule
+            and fnmatchcase(diag.subject, self.subject)
+            and fnmatchcase(diag.location, self.location)
+            and fnmatchcase(diag.stage, self.stage)
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "subject": self.subject,
+            "location": self.location,
+            "stage": self.stage,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """An ordered collection of suppression entries."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def filter(
+        self, diagnostics: Sequence[Diagnostic]
+    ) -> Tuple[List[Diagnostic], int]:
+        """(findings not covered by any entry, count of suppressed ones)."""
+        kept: List[Diagnostic] = []
+        suppressed = 0
+        for diag in diagnostics:
+            if any(entry.matches(diag) for entry in self.entries):
+                suppressed += 1
+            else:
+                kept.append(diag)
+        return kept, suppressed
+
+    def to_json(self) -> str:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+        except OSError as exc:
+            raise LintError(
+                "cannot write lint baseline %r: %s" % (path, exc)
+            ) from exc
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file, validating its schema."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise LintError("cannot read lint baseline %r: %s" % (path, exc)) from exc
+    except ValueError as exc:
+        raise LintError("lint baseline %r is not JSON: %s" % (path, exc)) from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise LintError(
+            "lint baseline %r must be an object with an 'entries' list" % path
+        )
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise LintError(
+            "lint baseline %r has schema_version %r; this build reads %d"
+            % (path, version, SCHEMA_VERSION)
+        )
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(data["entries"]):
+        if not isinstance(raw, dict) or "rule" not in raw:
+            raise LintError(
+                "lint baseline %r entry %d needs at least a 'rule' key"
+                % (path, index)
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                subject=str(raw.get("subject", "*")),
+                location=str(raw.get("location", "*")),
+                stage=str(raw.get("stage", "*")),
+                justification=str(raw.get("justification", "")),
+            )
+        )
+    return Baseline(entries)

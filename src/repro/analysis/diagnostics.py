@@ -1,0 +1,176 @@
+"""Diagnostics: the currency of the circuit lint engine.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code
+(``CHRT1xx`` network / ``CHRT2xx`` circuit / ``CHRT3xx`` flow+cache), a
+severity, the subject it was found in (a network, circuit, or flow
+name), an optional location (node, LUT, wire, port, or cache key), an
+optional flow-stage attribution (the ``flow.stage.<n>.<name>`` span name
+of the pass that emitted the artifact), and a fix hint.
+
+Severities are ordered ``info < warn < error``; gating compares against
+that order (``--fail-on warn`` fails on warnings *and* errors).  The
+catalogue of codes lives in :mod:`repro.analysis.rules` and is
+documented with examples in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+
+INFO = "info"
+WARN = "warn"
+ERROR = "error"
+
+#: Severities in gating order (least to most severe).
+SEVERITIES: Tuple[str, ...] = (INFO, WARN, ERROR)
+
+_SEVERITY_RANK: Dict[str, int] = {sev: i for i, sev in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """The gating rank of a severity (``info`` 0, ``warn`` 1, ``error`` 2)."""
+    try:
+        return _SEVERITY_RANK[severity]
+    except KeyError:
+        raise LintError(
+            "unknown severity %r; valid severities: %s"
+            % (severity, ", ".join(SEVERITIES))
+        ) from None
+
+
+def at_least(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at least as severe as ``threshold``."""
+    return severity_rank(severity) >= severity_rank(threshold)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule."""
+
+    code: str  # stable rule code, e.g. "CHRT201"
+    severity: str  # "info" | "warn" | "error"
+    message: str  # human-readable, self-contained
+    subject: str = ""  # network / circuit / flow the finding is in
+    location: str = ""  # node, LUT, wire, port, or cache key
+    stage: str = ""  # flow.stage.<n>.<name> when stage-attributed
+    hint: str = ""  # how to fix or silence the finding
+
+    def key(self) -> Tuple[str, str, str, str]:
+        """The identity used for baseline matching and deduplication."""
+        return (self.code, self.subject, self.location, self.stage)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+            "stage": self.stage,
+            "hint": self.hint,
+        }
+
+    def format(self) -> str:
+        """One-line rendering: ``error CHRT201 [subject node] message``."""
+        where = " ".join(part for part in (self.subject, self.location) if part)
+        prefix = "%-5s %s" % (self.severity, self.code)
+        if where:
+            prefix += " [%s]" % where
+        line = "%s %s" % (prefix, self.message)
+        if self.stage:
+            line += " (at %s)" % self.stage
+        return line
+
+    def with_stage(self, stage: str) -> "Diagnostic":
+        """A copy attributed to a flow stage (no-op if already attributed)."""
+        if self.stage or not stage:
+            return self
+        return replace(self, stage=stage)
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Most severe first; then code, subject, location for stable output."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            -severity_rank(d.severity),
+            d.code,
+            d.subject,
+            d.location,
+            d.stage,
+        ),
+    )
+
+
+def summarize(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    """Finding counts per severity (all severities present, even at 0)."""
+    counts = {sev: 0 for sev in SEVERITIES}
+    for diag in diagnostics:
+        counts[diag.severity] = counts.get(diag.severity, 0) + 1
+    return counts
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic], suppressed: int = 0
+) -> str:
+    """The human-readable lint report (one line per finding + summary)."""
+    ordered = sort_diagnostics(diagnostics)
+    lines = [diag.format() for diag in ordered]
+    for diag in ordered:
+        if diag.hint:
+            lines[lines.index(diag.format())] = (
+                diag.format() + "\n      hint: " + diag.hint
+            )
+    counts = summarize(diagnostics)
+    summary = "lint: %d error(s), %d warning(s), %d info" % (
+        counts[ERROR],
+        counts[WARN],
+        counts[INFO],
+    )
+    if suppressed:
+        summary += ", %d suppressed by baseline" % suppressed
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic],
+    suppressed: int = 0,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """The machine-readable lint report (stable schema, sorted findings)."""
+    payload: Dict[str, object] = {
+        "schema_version": 1,
+        "summary": summarize(diagnostics),
+        "suppressed": suppressed,
+        "diagnostics": [d.to_dict() for d in sort_diagnostics(diagnostics)],
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+@dataclass
+class LintContext:
+    """Cross-rule context threaded through every rule of a lint run.
+
+    ``k`` enables the K-bound circuit rules; ``report`` enables the
+    declared-vs-recomputed consistency rules; ``subject`` overrides the
+    subject name stamped on findings (defaults to the linted object's
+    own name).
+    """
+
+    k: Optional[int] = None
+    subject: str = ""
+    report: Optional[object] = None  # a repro.report.MappingReport
+    config: Dict[str, object] = field(default_factory=dict)
+
+    def subject_for(self, obj: object) -> str:
+        if self.subject:
+            return self.subject
+        name = getattr(obj, "name", "")
+        return str(name) if name else ""

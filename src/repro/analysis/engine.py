@@ -1,0 +1,136 @@
+"""The lint engine: run registered rules over networks, circuits, flows.
+
+Entry points mirror the three rule domains —
+:func:`lint_network`, :func:`lint_circuit`, :func:`lint_flow` — plus
+:func:`lint_mapping`, which audits a complete (network, circuit, report)
+triple the way ``chortle lint --cell`` and the CI gate do.  Every run
+feeds the ``lint.*`` counter namespace (see docs/OBSERVABILITY.md):
+
+- ``lint.runs`` — engine invocations
+- ``lint.diagnostics`` — findings emitted (pre-suppression)
+- ``lint.severity.<sev>`` — findings per severity
+- ``lint.rule.<code>`` — findings per rule code
+- ``lint.suppressed`` — findings filtered by a suppression baseline
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.diagnostics import (
+    ERROR,
+    Diagnostic,
+    LintContext,
+    at_least,
+    render_text,
+)
+from repro.analysis.rules import (
+    CIRCUIT,
+    FLOW,
+    NETWORK,
+    FlowArtifacts,
+    Rule,
+    rules_for,
+)
+from repro.core.lut import LUTCircuit
+from repro.errors import LintError
+from repro.network.network import BooleanNetwork
+from repro.obs.metrics import get_metrics
+
+
+def _record(diagnostics: Sequence[Diagnostic]) -> None:
+    metrics = get_metrics()
+    metrics.count("lint.runs")
+    if diagnostics:
+        metrics.count("lint.diagnostics", len(diagnostics))
+    for diag in diagnostics:
+        metrics.count("lint.severity.%s" % diag.severity)
+        metrics.count("lint.rule.%s" % diag.code)
+
+
+def _run_rules(
+    rules: Iterable[Rule], subject: object, ctx: LintContext
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        findings.extend(rule.run(subject, ctx))
+    _record(findings)
+    return findings
+
+
+def lint_network(
+    net: BooleanNetwork, ctx: Optional[LintContext] = None
+) -> List[Diagnostic]:
+    """Run every network-domain rule (CHRT1xx) over a boolean network."""
+    return _run_rules(rules_for(NETWORK), net, ctx or LintContext())
+
+
+def lint_circuit(
+    circuit: LUTCircuit, ctx: Optional[LintContext] = None
+) -> List[Diagnostic]:
+    """Run every circuit-domain rule (CHRT2xx) over a LUT circuit."""
+    return _run_rules(rules_for(CIRCUIT), circuit, ctx or LintContext())
+
+
+def lint_flow(
+    artifacts: FlowArtifacts, ctx: Optional[LintContext] = None
+) -> List[Diagnostic]:
+    """Run every flow/cache-domain rule (CHRT3xx) over flow artifacts."""
+    return _run_rules(rules_for(FLOW), artifacts, ctx or LintContext())
+
+
+def lint_mapping(
+    net: Optional[BooleanNetwork],
+    circuit: LUTCircuit,
+    k: Optional[int] = None,
+    report: Optional[object] = None,
+    cache: Optional[object] = None,
+    subject: str = "",
+) -> List[Diagnostic]:
+    """Audit a complete mapping: source network, circuit, and report.
+
+    The one-stop entry point used by ``chortle lint --cell``/`--suite``
+    and the CI gate: network rules on the source (when given), circuit
+    rules under the K bound, and flow rules tying the report and memo
+    cache back to the circuit.
+    """
+    name = subject or circuit.name
+    ctx = LintContext(k=k, subject=name, report=report)
+    findings: List[Diagnostic] = []
+    if net is not None:
+        findings.extend(lint_network(net, ctx))
+    findings.extend(lint_circuit(circuit, ctx))
+    artifacts = FlowArtifacts(
+        name=name, cache=cache, circuit=circuit, report=report
+    )
+    findings.extend(lint_flow(artifacts, ctx))
+    return findings
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Optional[Baseline]
+) -> "tuple[List[Diagnostic], int]":
+    """Split findings into (kept, suppressed-count) under a baseline."""
+    if baseline is None:
+        return list(diagnostics), 0
+    kept, suppressed = baseline.filter(diagnostics)
+    if suppressed:
+        get_metrics().count("lint.suppressed", suppressed)
+    return kept, suppressed
+
+
+def gate(
+    diagnostics: Sequence[Diagnostic],
+    fail_on: str = ERROR,
+    subject: str = "",
+) -> None:
+    """Raise :class:`LintError` when any finding reaches ``fail_on``."""
+    gating = [d for d in diagnostics if at_least(d.severity, fail_on)]
+    if not gating:
+        return
+    what = subject or "lint run"
+    raise LintError(
+        "%s: %d diagnostic(s) at severity >= %s\n%s"
+        % (what, len(gating), fail_on, render_text(gating))
+    )

@@ -1,0 +1,725 @@
+"""The lint rule catalogue: network, circuit, and flow/cache rules.
+
+Every rule has a stable code (``CHRT1xx`` for boolean-network rules,
+``CHRT2xx`` for LUT-circuit rules, ``CHRT3xx`` for flow/cache/report
+rules), a default severity, and a check function yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  Rules are
+registered in a module-level registry; the engine
+(:mod:`repro.analysis.engine`) selects rules by domain and threads a
+:class:`~repro.analysis.diagnostics.LintContext` through them.
+
+Severity calibration matters: the paper's cost model deliberately emits
+0-input constant tables and 1-input inverters as interface plumbing
+(``wire_outputs`` in :mod:`repro.core.chortle`), so those are *info*,
+not gating errors.  See ``docs/ANALYSIS.md`` for the full catalogue
+with examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.diagnostics import ERROR, INFO, WARN, Diagnostic, LintContext
+from repro.core.lut import LUTCircuit
+from repro.errors import FlowError, LintError, NetworkError
+from repro.network import network as netmod
+from repro.network.network import BooleanNetwork
+
+NETWORK = "network"
+CIRCUIT = "circuit"
+FLOW = "flow"
+
+DOMAINS: Tuple[str, ...] = (NETWORK, CIRCUIT, FLOW)
+
+#: Placement kinds a LUTProvenance record may legally carry (the three
+#: input-placement classes of the tree decomposition; see core/tree.py).
+_PLACEMENT_KINDS = frozenset(("ext", "wire", "merged"))
+
+CheckFn = Callable[[object, LintContext], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str  # stable identifier, e.g. "CHRT201"
+    name: str  # short kebab-case slug, e.g. "overwide-lut"
+    domain: str  # NETWORK | CIRCUIT | FLOW
+    severity: str  # default severity of findings
+    summary: str  # one-line description for docs / --list
+    check: CheckFn
+
+    def run(self, subject: object, ctx: LintContext) -> List[Diagnostic]:
+        return list(self.check(subject, ctx))
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(
+    code: str, name: str, domain: str, severity: str, summary: str
+) -> Callable[[CheckFn], CheckFn]:
+    """Class the decorated generator function as a lint rule."""
+
+    def wrap(fn: CheckFn) -> CheckFn:
+        if code in _REGISTRY:
+            raise LintError("duplicate rule code %r" % code)
+        if domain not in DOMAINS:
+            raise LintError("unknown rule domain %r for %s" % (domain, code))
+        _REGISTRY[code] = Rule(code, name, domain, severity, summary, fn)
+        return fn
+
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in code order."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rules_for(domain: str) -> List[Rule]:
+    """The rules of one domain, in code order."""
+    if domain not in DOMAINS:
+        raise LintError(
+            "unknown rule domain %r; valid domains: %s"
+            % (domain, ", ".join(DOMAINS))
+        )
+    return [rule for rule in all_rules() if rule.domain == domain]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise LintError("no rule with code %r" % code) from None
+
+
+@dataclass
+class FlowArtifacts:
+    """The subject of the flow/cache rule domain.
+
+    Any field may be ``None``; each flow rule checks only the artifacts
+    it understands and skips silently when they are absent.
+    """
+
+    name: str = "flow"
+    spec: Optional[str] = None  # a flow spec string, e.g. "sweep,chortle"
+    cache: Optional[object] = None  # a repro.perf.memo.NodeTableCache
+    circuit: Optional[LUTCircuit] = None
+    report: Optional[object] = None  # a repro.report.MappingReport
+
+
+# ---------------------------------------------------------------------------
+# Network rules (CHRT1xx)
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "CHRT101",
+    "dangling-reference",
+    NETWORK,
+    ERROR,
+    "fanin or output port references a node that does not exist",
+)
+def _dangling_reference(net: BooleanNetwork, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(net)
+    for node in net.nodes():
+        for sig in node.fanins:
+            if sig.name not in net:
+                yield Diagnostic(
+                    "CHRT101",
+                    ERROR,
+                    "node %r reads undefined node %r" % (node.name, sig.name),
+                    subject=subject,
+                    location=node.name,
+                    hint="add the missing node or rewire the fanin",
+                )
+    for port, sig in net.outputs.items():
+        if sig.name not in net:
+            yield Diagnostic(
+                "CHRT101",
+                ERROR,
+                "output port %r is driven by undefined node %r"
+                % (port, sig.name),
+                subject=subject,
+                location=port,
+                hint="add the missing driver or drop the output port",
+            )
+
+
+@register(
+    "CHRT102",
+    "combinational-cycle",
+    NETWORK,
+    ERROR,
+    "the network contains a combinational cycle",
+)
+def _network_cycle(net: BooleanNetwork, ctx: LintContext) -> Iterator[Diagnostic]:
+    # Cycle detection needs reference integrity first; CHRT101 owns the
+    # dangling case, so bail out quietly if node() would throw.
+    for node in net.nodes():
+        for sig in node.fanins:
+            if sig.name not in net:
+                return
+    try:
+        net.topological_order()
+    except NetworkError as exc:
+        yield Diagnostic(
+            "CHRT102",
+            ERROR,
+            str(exc),
+            subject=ctx.subject_for(net),
+            hint="break the feedback path; this mapper is combinational-only",
+        )
+
+
+@register(
+    "CHRT103",
+    "op-arity",
+    NETWORK,
+    ERROR,
+    "unknown op, gate without fanins, or non-gate with fanins",
+)
+def _op_arity(net: BooleanNetwork, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(net)
+    for node in net.nodes():
+        if node.op not in netmod._ALL_OPS:
+            yield Diagnostic(
+                "CHRT103",
+                ERROR,
+                "node %r has unknown op %r" % (node.name, node.op),
+                subject=subject,
+                location=node.name,
+                hint="ops must be one of %s" % (", ".join(netmod._ALL_OPS)),
+            )
+        elif node.is_gate and not node.fanins:
+            yield Diagnostic(
+                "CHRT103",
+                ERROR,
+                "gate %r has no fanins" % node.name,
+                subject=subject,
+                location=node.name,
+                hint="gates need at least one fanin signal",
+            )
+        elif not node.is_gate and node.fanins:
+            yield Diagnostic(
+                "CHRT103",
+                ERROR,
+                "non-gate %r (%s) has %d fanins"
+                % (node.name, node.op, node.fanin_count),
+                subject=subject,
+                location=node.name,
+                hint="inputs and constants take no fanins",
+            )
+
+
+@register(
+    "CHRT104",
+    "buffer-chain",
+    NETWORK,
+    WARN,
+    "chained single-fanin gates (double negation / buffer ladders)",
+)
+def _buffer_chain(net: BooleanNetwork, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(net)
+    for node in net.gates():
+        if node.fanin_count != 1:
+            continue
+        src = node.fanins[0]
+        if src.name not in net:
+            continue  # CHRT101's finding
+        driver = net.node(src.name)
+        if driver.is_gate and driver.fanin_count == 1:
+            yield Diagnostic(
+                "CHRT104",
+                WARN,
+                "unit gate %r feeds unit gate %r: a buffer/negation chain"
+                % (driver.name, node.name),
+                subject=subject,
+                location=node.name,
+                hint="run the sweep pass to collapse unit-gate chains",
+            )
+
+
+@register(
+    "CHRT105",
+    "dead-node",
+    NETWORK,
+    WARN,
+    "node drives no gate and no output port",
+)
+def _dead_node(net: BooleanNetwork, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(net)
+    # Not net.fanout_counts(): that KeyErrors on dangling references,
+    # which CHRT101 reports and this rule must survive.
+    fanout: Dict[str, int] = {}
+    for gate_node in net.gates():
+        for sig in gate_node.fanins:
+            fanout[sig.name] = fanout.get(sig.name, 0) + 1
+    for sig in net.outputs.values():
+        fanout[sig.name] = fanout.get(sig.name, 0) + 1
+    for node in net.nodes():
+        if fanout.get(node.name, 0):
+            continue
+        if node.is_gate:
+            yield Diagnostic(
+                "CHRT105",
+                WARN,
+                "gate %r drives nothing" % node.name,
+                subject=subject,
+                location=node.name,
+                hint="run the sweep pass to remove dead logic",
+            )
+        else:
+            # Unused primary inputs / constants are common in benchmark
+            # sources and harmless to the mapper: note, don't nag.
+            yield Diagnostic(
+                "CHRT105",
+                INFO,
+                "%s %r drives nothing" % (node.op, node.name),
+                subject=subject,
+                location=node.name,
+            )
+
+
+@register(
+    "CHRT106",
+    "duplicate-gate",
+    NETWORK,
+    WARN,
+    "structurally identical gates that strash should have merged",
+)
+def _duplicate_gate(net: BooleanNetwork, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(net)
+    seen: Dict[Tuple[str, Tuple[Tuple[str, bool], ...]], str] = {}
+    for node in net.gates():
+        key = (node.op, tuple(sorted((s.name, s.inv) for s in node.fanins)))
+        first = seen.get(key)
+        if first is None:
+            seen[key] = node.name
+        else:
+            yield Diagnostic(
+                "CHRT106",
+                WARN,
+                "gate %r duplicates gate %r (same op and fanins)"
+                % (node.name, first),
+                subject=subject,
+                location=node.name,
+                hint="run the strash pass to merge structural duplicates",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Circuit rules (CHRT2xx)
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "CHRT201",
+    "overwide-lut",
+    CIRCUIT,
+    ERROR,
+    "LUT has more inputs than the K bound",
+)
+def _overwide_lut(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.k is None:
+        return
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        if len(lut.inputs) > ctx.k:
+            yield Diagnostic(
+                "CHRT201",
+                ERROR,
+                "LUT %r has %d inputs, exceeding K=%d"
+                % (lut.name, len(lut.inputs), ctx.k),
+                subject=subject,
+                location=lut.name,
+                hint="the mapper must decompose wide functions before emit",
+            )
+
+
+@register(
+    "CHRT202",
+    "undefined-wire",
+    CIRCUIT,
+    ERROR,
+    "LUT input or output port reads a wire nothing defines",
+)
+def _undefined_wire(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        for src in lut.inputs:
+            if src not in circuit:
+                yield Diagnostic(
+                    "CHRT202",
+                    ERROR,
+                    "LUT %r reads undefined wire %r" % (lut.name, src),
+                    subject=subject,
+                    location=lut.name,
+                    hint="every wire must be a primary input or a LUT output",
+                )
+    for port, sig in circuit.outputs.items():
+        if sig not in circuit:
+            yield Diagnostic(
+                "CHRT202",
+                ERROR,
+                "output port %r references undefined wire %r" % (port, sig),
+                subject=subject,
+                location=port,
+                hint="every wire must be a primary input or a LUT output",
+            )
+
+
+@register(
+    "CHRT203",
+    "circuit-cycle",
+    CIRCUIT,
+    ERROR,
+    "the LUT circuit contains a cycle",
+)
+def _circuit_cycle(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    try:
+        circuit.topological_order()
+    except NetworkError as exc:
+        yield Diagnostic(
+            "CHRT203",
+            ERROR,
+            str(exc),
+            subject=ctx.subject_for(circuit),
+            hint="LUT circuits must be acyclic",
+        )
+
+
+@register(
+    "CHRT204",
+    "constant-lut",
+    CIRCUIT,
+    WARN,
+    "LUT computes a constant function",
+)
+def _constant_lut(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        if not lut.tt.is_constant():
+            continue
+        if not lut.inputs:
+            # 0-input constants are how mapped circuits expose constant
+            # output ports (wire_outputs); legitimate interface plumbing.
+            yield Diagnostic(
+                "CHRT204",
+                INFO,
+                "LUT %r is a constant-%d interface table"
+                % (lut.name, 1 if lut.tt.count_ones() else 0),
+                subject=subject,
+                location=lut.name,
+            )
+        else:
+            yield Diagnostic(
+                "CHRT204",
+                WARN,
+                "LUT %r has %d inputs but computes a constant"
+                % (lut.name, len(lut.inputs)),
+                subject=subject,
+                location=lut.name,
+                hint="constant-propagate before mapping, or emit a 0-input table",
+            )
+
+
+@register(
+    "CHRT205",
+    "buffer-lut",
+    CIRCUIT,
+    WARN,
+    "single-input LUT is an identity buffer or interface inverter",
+)
+def _buffer_lut(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        if len(lut.inputs) != 1 or lut.tt.is_constant():
+            continue
+        if lut.tt.bits == 0b10:
+            # tt(x) == x: a pure buffer — never useful, unlike inverters.
+            yield Diagnostic(
+                "CHRT205",
+                WARN,
+                "LUT %r is an identity buffer of wire %r"
+                % (lut.name, lut.inputs[0]),
+                subject=subject,
+                location=lut.name,
+                hint="forward the source wire instead of buffering it",
+            )
+        else:
+            # tt(x) == ~x: interface inverters are part of the paper's
+            # cost model (not counted as logic blocks); note, don't nag.
+            yield Diagnostic(
+                "CHRT205",
+                INFO,
+                "LUT %r is an interface inverter of wire %r"
+                % (lut.name, lut.inputs[0]),
+                subject=subject,
+                location=lut.name,
+            )
+
+
+@register(
+    "CHRT206",
+    "floating-input",
+    CIRCUIT,
+    WARN,
+    "LUT input wire the truth table never reads",
+)
+def _floating_input(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        if lut.tt.is_constant():
+            continue  # CHRT204's finding; every input is trivially unread
+        for index, src in enumerate(lut.inputs):
+            if not lut.tt.depends_on(index):
+                yield Diagnostic(
+                    "CHRT206",
+                    WARN,
+                    "LUT %r wires %r to pin %d but never reads it"
+                    % (lut.name, src, index),
+                    subject=subject,
+                    location=lut.name,
+                    hint="shrink the table to its true support",
+                )
+
+
+@register(
+    "CHRT207",
+    "duplicate-lut",
+    CIRCUIT,
+    WARN,
+    "two LUTs compute the same function of the same wires",
+)
+def _duplicate_lut(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    seen: Dict[Tuple[Tuple[str, ...], object], str] = {}
+    for lut in circuit.luts():
+        if not lut.inputs:
+            continue  # interface constants may legally repeat per port
+        key = (lut.inputs, lut.tt.bits)
+        first = seen.get(key)
+        if first is None:
+            seen[key] = lut.name
+        else:
+            yield Diagnostic(
+                "CHRT207",
+                WARN,
+                "LUT %r duplicates LUT %r (same inputs and table)"
+                % (lut.name, first),
+                subject=subject,
+                location=lut.name,
+                hint="share one table and fan its output out",
+            )
+
+
+@register(
+    "CHRT208",
+    "unreachable-lut",
+    CIRCUIT,
+    WARN,
+    "LUT feeds no output port, directly or transitively",
+)
+def _unreachable_lut(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    live = set()
+    stack = list(circuit.outputs.values())
+    while stack:
+        wire = stack.pop()
+        if wire in live:
+            continue
+        live.add(wire)
+        if wire in circuit._luts:
+            stack.extend(circuit.lut(wire).inputs)
+    for lut in circuit.luts():
+        if lut.name not in live:
+            yield Diagnostic(
+                "CHRT208",
+                WARN,
+                "LUT %r is unreachable from every output port" % lut.name,
+                subject=subject,
+                location=lut.name,
+                hint="drop dead tables after rewrites and merges",
+            )
+
+
+@register(
+    "CHRT209",
+    "stale-provenance",
+    CIRCUIT,
+    ERROR,
+    "provenance record inconsistent with the LUT it annotates",
+)
+def _stale_provenance(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        prov = lut.provenance
+        if prov is None:
+            continue
+        bad_kinds = [kind for kind in prov.placements if kind not in _PLACEMENT_KINDS]
+        if bad_kinds:
+            yield Diagnostic(
+                "CHRT209",
+                ERROR,
+                "LUT %r provenance has unknown placement kind(s) %s"
+                % (lut.name, ", ".join(map(repr, sorted(set(bad_kinds))))),
+                subject=subject,
+                location=lut.name,
+                hint="placement kinds must be ext, wire, or merged",
+            )
+        elif prov.merged == 0 and len(lut.inputs) > len(prov.placements):
+            # Each ext/wire placement contributes exactly one input wire
+            # (duplicate leaves can only shrink that count); only merged
+            # placements expand into a child table's several inputs.  A
+            # table wider than its merge-free division is stale.
+            yield Diagnostic(
+                "CHRT209",
+                ERROR,
+                "LUT %r has %d inputs but its merge-free provenance "
+                "records only %d placements"
+                % (lut.name, len(lut.inputs), len(prov.placements)),
+                subject=subject,
+                location=lut.name,
+                hint="re-stamp provenance when rewiring a table",
+            )
+
+
+@register(
+    "CHRT210",
+    "depth-mismatch",
+    CIRCUIT,
+    ERROR,
+    "declared report depth differs from the recomputed circuit depth",
+)
+def _depth_mismatch(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnostic]:
+    report = ctx.report
+    declared = getattr(report, "depth", None)
+    if declared is None:
+        return
+    try:
+        actual = circuit.depth()
+    except NetworkError:
+        return  # CHRT203's finding
+    if actual != declared:
+        yield Diagnostic(
+            "CHRT210",
+            ERROR,
+            "report declares depth %d but the circuit recomputes to %d"
+            % (declared, actual),
+            subject=ctx.subject_for(circuit),
+            hint="rebuild the report after any pass that edits the circuit",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Flow / cache rules (CHRT3xx)
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "CHRT301",
+    "bad-flow-spec",
+    FLOW,
+    ERROR,
+    "flow spec names unknown passes or its domains cannot chain",
+)
+def _bad_flow_spec(artifacts: FlowArtifacts, ctx: LintContext) -> Iterator[Diagnostic]:
+    spec = getattr(artifacts, "spec", None)
+    if not spec:
+        return
+    from repro.flow.registry import get_registry
+
+    try:
+        get_registry().resolve(spec)
+    except FlowError as exc:
+        yield Diagnostic(
+            "CHRT301",
+            ERROR,
+            "flow spec %r does not compose: %s" % (spec, exc),
+            subject=artifacts.name,
+            location=spec,
+            hint="list valid passes and built-in flows with 'chortle flows'",
+        )
+
+
+@register(
+    "CHRT302",
+    "bad-cache-key",
+    FLOW,
+    ERROR,
+    "memo-cache key is missing the (k, split_threshold) discriminators",
+)
+def _bad_cache_key(artifacts: FlowArtifacts, ctx: LintContext) -> Iterator[Diagnostic]:
+    cache = getattr(artifacts, "cache", None)
+    if cache is None:
+        return
+    items = getattr(cache, "items_snapshot", None)
+    if items is None:
+        return
+    for key, _value in items():
+        ok = (
+            isinstance(key, tuple)
+            and len(key) == 3
+            and isinstance(key[0], int)
+            and isinstance(key[1], int)
+            and isinstance(key[2], tuple)
+            and key[2][:1] == ("nt",)
+        )
+        if not ok:
+            yield Diagnostic(
+                "CHRT302",
+                ERROR,
+                "cache key %r is not (k, split_threshold, node-signature)"
+                % (key,),
+                subject=artifacts.name,
+                location=repr(key)[:80],
+                hint="keys missing the discriminators alias across K values",
+            )
+
+
+@register(
+    "CHRT303",
+    "report-contradiction",
+    FLOW,
+    ERROR,
+    "report counters contradict the circuit they describe",
+)
+def _report_contradiction(
+    artifacts: FlowArtifacts, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    report = getattr(artifacts, "report", None)
+    circuit = getattr(artifacts, "circuit", None)
+    if report is None or circuit is None:
+        return
+    checks = (
+        ("luts", circuit.cost),
+        ("luts_total", circuit.num_luts),
+    )
+    for attr, actual in checks:
+        declared = getattr(report, attr, None)
+        if declared is not None and declared != actual:
+            yield Diagnostic(
+                "CHRT303",
+                ERROR,
+                "report %s=%d but the circuit has %d" % (attr, declared, actual),
+                subject=artifacts.name,
+                location=attr,
+                hint="rebuild the report from the final circuit",
+            )
+    declared_hist = getattr(report, "utilization_histogram", None)
+    if declared_hist:
+        actual_hist = circuit.utilization_histogram()
+        if dict(declared_hist) != actual_hist:
+            yield Diagnostic(
+                "CHRT303",
+                ERROR,
+                "report utilization histogram %r != circuit %r"
+                % (dict(sorted(declared_hist.items())),
+                   dict(sorted(actual_hist.items()))),
+                subject=artifacts.name,
+                location="utilization_histogram",
+                hint="rebuild the report from the final circuit",
+            )

@@ -1,0 +1,62 @@
+"""Suite-level linting: audit every mapped cell of the benchmark sweep.
+
+:func:`lint_cell` maps one (circuit, K, mapper) cell and runs the full
+:func:`~repro.analysis.engine.lint_mapping` audit over it;
+:func:`lint_suite` fans the cells of the QoR sweep across worker
+processes the same way the benchmark runner does (workers at module top
+level so they pickle under ``spawn``; results restored in submission
+order so output is deterministic).  This is what ``chortle lint
+--suite`` and the CI ``lint-circuits`` gate run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+DEFAULT_MAPPERS: Tuple[str, ...] = ("chortle", "mis")
+DEFAULT_KS: Tuple[int, ...] = (2, 3, 4, 5)
+
+
+def lint_cell(name: str, k: int, mapper: str) -> List[Diagnostic]:
+    """Map one benchmark cell and lint the complete mapping."""
+    from repro.analysis.engine import lint_mapping
+    from repro.bench.mcnc import mcnc_circuit
+    from repro.flow.mappers import resolve_mapper
+    from repro.report import build_report
+
+    net = mcnc_circuit(name)
+    circuit = resolve_mapper(mapper, k).map(net)
+    report = build_report(net, circuit, k, mapper=mapper)
+    subject = "%s[k=%d,%s]" % (name, k, mapper)
+    return lint_mapping(net, circuit, k=k, report=report, subject=subject)
+
+
+def _lint_cell_worker(payload: Tuple[str, int, str]) -> List[Diagnostic]:
+    name, k, mapper = payload
+    return lint_cell(name, k, mapper)
+
+
+def lint_suite(
+    circuits: Optional[Sequence[str]] = None,
+    mappers: Sequence[str] = DEFAULT_MAPPERS,
+    ks: Sequence[int] = DEFAULT_KS,
+    jobs: int = 1,
+) -> List[Diagnostic]:
+    """Lint every (circuit, K, mapper) cell of the sweep; all findings."""
+    from repro.bench.mcnc import TABLE_CIRCUITS
+
+    names = list(circuits) if circuits else list(TABLE_CIRCUITS)
+    cells = [(n, k, m) for n in names for k in ks for m in mappers]
+    findings: List[Diagnostic] = []
+    if jobs <= 1 or len(cells) <= 1:
+        for cell in cells:
+            findings.extend(_lint_cell_worker(cell))
+        return findings
+    workers = min(jobs, len(cells))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        for result in pool.map(_lint_cell_worker, cells):
+            findings.extend(result)
+    return findings

@@ -13,7 +13,15 @@ import io
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
 from repro.errors import BenchError, FlowError
@@ -22,6 +30,9 @@ from repro.network.network import BooleanNetwork
 from repro.obs import capture, metrics, span
 from repro.report import MappingReport, build_report
 from repro.verify import verify_equivalence
+
+if TYPE_CHECKING:
+    from repro.obs.qor import RunRecord
 
 
 def _factory(name: str) -> Callable[[int], object]:
@@ -104,7 +115,7 @@ class SuiteResult:
         created_at: str,
         label: str = "",
         environment: Optional[Dict[str, str]] = None,
-    ) -> "RunRecord":
+    ) -> RunRecord:
         """Bundle the reports into a persistent QoR run record.
 
         ``created_at`` is caller-supplied (ISO-8601 by convention);
@@ -157,9 +168,12 @@ def run_one_cell(
     )
     wall_started = time.perf_counter()
     counters_before = metrics.counters()
-    with capture() as sink:
-        with span("bench.run", circuit=net.name, k=k, mapper=mapper_name):
-            circuit = mapper.map(net)
+    # capture() must attach its sink before span() is evaluated, or the
+    # tracer hands back the no-op span and the record never materializes.
+    with capture() as sink, span(
+        "bench.run", circuit=net.name, k=k, mapper=mapper_name
+    ):
+        circuit = mapper.map(net)
     run_span = sink.by_name("bench.run")[0]
     seconds = run_span.duration
     timings = {

@@ -103,13 +103,13 @@ class SopCover:
     # -- construction helpers --------------------------------------------------
 
     @classmethod
-    def constant(cls, output: str, value: int) -> "SopCover":
+    def constant(cls, output: str, value: int) -> SopCover:
         return cls((), output, ("",) if value else (), phase=1)
 
     @classmethod
     def from_truth_table(
         cls, inputs: Sequence[str], output: str, tt: TruthTable
-    ) -> "SopCover":
+    ) -> SopCover:
         """A minterm-per-cube cover of the on-set (no minimization)."""
         if tt.nvars != len(inputs):
             raise BlifError(

@@ -18,6 +18,11 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle stats in.blif                         # network statistics
     chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
     chortle verify in.blif mapped.blif            # equivalence check
+    chortle lint in.blif                          # static network audit
+    chortle lint mapped.blif --mapped -k 4        # audit a mapped circuit
+    chortle lint --suite --fail-on error          # lint the whole QoR sweep
+    chortle lint --rules                          # print the rule catalogue
+    chortle map in.blif --flow area --lint        # per-stage lint gating
     chortle qor record -o run.json                # persist a QoR sweep
     chortle qor diff base.json run.json           # classify QoR changes
     chortle qor gate base.json                    # re-run suite, fail on regress
@@ -102,6 +107,7 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
     """
     flow_spec = getattr(args, "flow", None)
     checked = bool(getattr(args, "checked", False))
+    lint = bool(getattr(args, "lint", False))
     jobs = int(getattr(args, "jobs", 1) or 1)
     if flow_spec:
         from repro.flow import FlowMapperAdapter
@@ -113,15 +119,15 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
             config["jobs"] = jobs
         flow = get_registry().resolve(flow_spec)
         return flow.name, FlowMapperAdapter(
-            flow, k=args.k, checked=checked, config=config
+            flow, k=args.k, checked=checked, lint=lint, config=config
         )
-    if checked and args.mapper not in get_registry():
+    if (checked or lint) and args.mapper not in get_registry():
         raise ReproError(
-            "--checked requires a flow; use --flow, or a flow mapper (%s)"
-            % ", ".join(get_registry().names())
+            "--%s requires a flow; use --flow, or a flow mapper (%s)"
+            % ("checked" if checked else "lint", ", ".join(get_registry().names()))
         )
     return args.mapper, resolve_mapper(
-        args.mapper, args.k, checked=checked, cache=cache, jobs=jobs
+        args.mapper, args.k, checked=checked, lint=lint, cache=cache, jobs=jobs
     )
 
 
@@ -134,7 +140,7 @@ def _trace_sink(path: Optional[str]):
     try:
         sink = JsonLinesSink(path)
     except OSError as exc:
-        raise ReproError("cannot write trace file %r: %s" % (path, exc))
+        raise ReproError("cannot write trace file %r: %s" % (path, exc)) from exc
     tracer = get_tracer()
     tracer.add_sink(sink)
     try:
@@ -164,18 +170,20 @@ def _cmd_map(args: argparse.Namespace) -> int:
     counters_before = get_metrics().counters()
     # Timing is routed through the tracer: the run is wrapped in one
     # span and the elapsed time read back from the captured record.
-    with _trace_sink(args.trace):
-        with capture() as sink:
-            with span("cli.map", mapper=mapper_name, k=args.k):
-                circuit = mapper.map(net)
-            if args.verify:
-                vectors = verify_equivalence(net, circuit)
-                print(
-                    "verified against %d input vectors" % vectors,
-                    file=sys.stderr,
-                )
+    with _trace_sink(args.trace), capture() as sink:
+        with span("cli.map", mapper=mapper_name, k=args.k):
+            circuit = mapper.map(net)
+        if args.verify:
+            vectors = verify_equivalence(net, circuit)
+            print(
+                "verified against %d input vectors" % vectors,
+                file=sys.stderr,
+            )
     elapsed = sink.by_name("cli.map")[0].duration
     _save_cli_cache(args, cache)
+    lint_failed = False
+    if getattr(args, "lint", False):
+        lint_failed = _report_map_lint(getattr(mapper, "diagnostics", []))
     if args.profile:
         _print_stage_table(sink)
     text = write_lut_circuit(circuit)
@@ -217,7 +225,18 @@ def _cmd_map(args: argparse.Namespace) -> int:
             ),
             file=sys.stderr,
         )
-    return 0
+    return 1 if lint_failed else 0
+
+
+def _report_map_lint(diagnostics) -> bool:
+    """Print per-stage lint findings; True when any is error-severity."""
+    from repro.analysis import ERROR, at_least, render_text
+
+    if not diagnostics:
+        print("lint: clean (no diagnostics)", file=sys.stderr)
+        return False
+    print(render_text(diagnostics), file=sys.stderr)
+    return any(at_least(d.severity, ERROR) for d in diagnostics)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -227,10 +246,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     mapper_name, mapper = _resolve_cli_mapper(args, cache=cache)
     registry = get_metrics()
     counters_before = registry.counters()
-    with _trace_sink(args.trace):
-        with capture() as sink:
-            with span("cli.profile", mapper=mapper_name, k=args.k):
-                circuit = mapper.map(net)
+    # span() must be evaluated after capture() attaches its sink, or it
+    # resolves to the no-op span and the root never reaches the tree.
+    with _trace_sink(args.trace), capture() as sink, span(
+        "cli.profile", mapper=mapper_name, k=args.k
+    ):
+        circuit = mapper.map(net)
     _save_cli_cache(args, cache)
     print(
         "%s: %d LUTs (K=%d), depth %d"
@@ -280,12 +301,11 @@ def _cmd_flows(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    """Timing and wiring analysis of an already-mapped BLIF circuit."""
-    from repro.analysis import analyze_timing, analyze_wiring
+def _mapped_circuit_from_blif(path: str):
+    """Parse an already-mapped BLIF file (one table per LUT) as a circuit."""
     from repro.core.lut import LUTCircuit
 
-    model = parse_blif_file(args.input)
+    model = parse_blif_file(path)
     circuit = LUTCircuit(model.name)
     for name in model.inputs:
         circuit.add_input(name)
@@ -293,16 +313,97 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         circuit.add_lut(table.output, tuple(table.inputs), table.truth_table())
     for out in model.outputs:
         circuit.set_output(out, out)
+    return circuit
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Timing and wiring analysis of an already-mapped BLIF circuit."""
+    from repro.analysis import analyze_timing, analyze_wiring
+
+    circuit = _mapped_circuit_from_blif(args.input)
     timing = analyze_timing(circuit)
     wiring = analyze_wiring(circuit)
     print("%s: %d LUTs (%d counted), depth %d" % (
-        model.name, circuit.num_luts, circuit.cost, timing.depth))
+        circuit.name, circuit.num_luts, circuit.cost, timing.depth))
     print("critical path (port %r): %s" % (
         timing.critical_port, " -> ".join(timing.critical_path)))
     print("nets: %d, pins: %d, max fanout: %d, avg fanout: %.2f" % (
         wiring.num_nets, wiring.total_pins, wiring.max_fanout,
         wiring.average_fanout))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Rule-based static analysis of networks, circuits, and flows."""
+    from repro.analysis import (
+        FlowArtifacts,
+        LintContext,
+        all_rules,
+        apply_baseline,
+        at_least,
+        lint_circuit,
+        lint_flow,
+        lint_network,
+        load_baseline,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.suite import lint_suite
+
+    if args.rules:
+        width = max(len(r.code) for r in all_rules())
+        for rule in all_rules():
+            print(
+                "%-*s %-5s %-8s %-18s %s"
+                % (width, rule.code, rule.severity, rule.domain, rule.name,
+                   rule.summary)
+            )
+        return 0
+    if not (args.files or args.cell or args.suite or args.spec):
+        raise ReproError(
+            "nothing to lint: give BLIF files, --cell, --suite, or --spec "
+            "(or --rules for the catalogue)"
+        )
+    diagnostics = []
+    for path in args.files:
+        if args.mapped:
+            circuit = _mapped_circuit_from_blif(path)
+            diagnostics.extend(
+                lint_circuit(circuit, LintContext(k=args.k, subject=path))
+            )
+        else:
+            net = _load_network(path, factor=False)
+            diagnostics.extend(
+                lint_network(net, LintContext(subject=path))
+            )
+    if args.spec:
+        diagnostics.extend(
+            lint_flow(FlowArtifacts(name="cli", spec=args.spec))
+        )
+    if args.cell or args.suite:
+        ks = tuple(args.ks) if args.ks else ((args.k,) if args.cell else (2, 3, 4, 5))
+        diagnostics.extend(
+            lint_suite(
+                circuits=args.cell or None,
+                mappers=tuple(args.mappers),
+                ks=ks,
+                jobs=args.jobs,
+            )
+        )
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    kept, suppressed = apply_baseline(diagnostics, baseline)
+    report = (
+        render_json(kept, suppressed=suppressed)
+        if args.format == "json"
+        else render_text(kept, suppressed=suppressed)
+    )
+    if args.output:
+        _write_text(args.output, report + "\n")
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        print(report)
+    gating = [d for d in kept if at_least(d.severity, args.fail_on)]
+    return 1 if gating else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -391,7 +492,7 @@ def _write_text(path: Optional[str], text: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text)
     except OSError as exc:
-        raise ReproError("cannot write %r: %s" % (path, exc))
+        raise ReproError("cannot write %r: %s" % (path, exc)) from exc
 
 
 def _finish_diff(diff, args: argparse.Namespace) -> int:
@@ -539,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify functional equivalence after every flow pass "
         "(requires a flow)",
+    )
+    p_map.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the lint rules after every flow pass, attribute findings "
+        "to the emitting stage, and exit nonzero on errors (requires a flow)",
     )
     p_map.add_argument(
         "--factor",
@@ -707,6 +814,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument("input", help="mapped BLIF file (one table per LUT)")
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="rule-based static analysis of networks, circuits, and flows",
+    )
+    p_lint.add_argument(
+        "files",
+        nargs="*",
+        help="BLIF files to lint (networks by default; see --mapped)",
+    )
+    p_lint.add_argument(
+        "--mapped",
+        action="store_true",
+        help="treat the input files as mapped LUT circuits (one table per "
+        "LUT) and run the circuit rules instead of the network rules",
+    )
+    p_lint.add_argument(
+        "-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="LUT input bound for the circuit rules (enables CHRT201)",
+    )
+    p_lint.add_argument(
+        "--cell",
+        nargs="+",
+        metavar="NAME",
+        help="map the named MCNC cells (with --mappers/--ks) and lint the "
+        "complete mappings",
+    )
+    p_lint.add_argument(
+        "--suite",
+        action="store_true",
+        help="map and lint every cell of the Table 1-4 QoR sweep",
+    )
+    p_lint.add_argument(
+        "--mappers",
+        nargs="+",
+        default=["chortle", "mis"],
+        metavar="MAPPER",
+        help="mappers for --cell/--suite (default: chortle mis)",
+    )
+    p_lint.add_argument(
+        "--ks",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="K",
+        help="K sweep for --cell/--suite (default: 2 3 4 5 for --suite, "
+        "-k for --cell)",
+    )
+    p_lint.add_argument(
+        "--spec",
+        metavar="FLOWSPEC",
+        help="also lint a flow spec (e.g. 'sweep,strash,chortle') for "
+        "composability",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=["info", "warn", "error"],
+        default="error",
+        help="exit nonzero when any finding reaches this severity "
+        "(default error)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppression baseline JSON "
+        "(e.g. benchmarks/baselines/lint_baseline.json)",
+    )
+    p_lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan --cell/--suite cells across N worker processes",
+    )
+    p_lint.add_argument(
+        "-o", "--output", help="write the report to this file instead of stdout"
+    )
+    p_lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_stats = sub.add_parser("stats", help="print network statistics")
     p_stats.add_argument("input", help="input BLIF file")

@@ -205,7 +205,7 @@ class LUTCircuit:
             return 0
         return max(level.get(sig, 0) for sig in self._outputs.values())
 
-    def validate(self, k: int = None) -> None:
+    def validate(self, k: Optional[int] = None) -> None:
         """Check wire integrity, acyclicity, and (optionally) the K bound."""
         for lut in self._luts.values():
             for src in lut.inputs:

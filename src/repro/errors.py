@@ -35,3 +35,7 @@ class FlowError(ReproError):
 
 class VerificationError(ReproError):
     """A mapped circuit is not functionally equivalent to its source."""
+
+
+class LintError(ReproError):
+    """Invalid lint configuration, or a gated lint run found diagnostics."""

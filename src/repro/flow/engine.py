@@ -50,10 +50,15 @@ class FlowContext:
 
     k: int = 4
     checked: bool = False
+    lint: bool = False
     verify_vectors: int = 1024
     config: Dict[str, object] = field(default_factory=dict)
     sinks: Tuple = ()
-    stages: List["StageResult"] = field(default_factory=list)
+    stages: List[StageResult] = field(default_factory=list)
+    # Filled by the engine when ``lint`` is set: every diagnostic the
+    # lint rules raised on any stage's output, attributed to the
+    # emitting stage via its flow.stage.<n>.<name> span name.
+    diagnostics: List[object] = field(default_factory=list)
 
     def option(self, name: str, default=None):
         """A pass option from ``config``, or ``default``."""
@@ -180,6 +185,8 @@ class Flow:
         metrics.observe("flow.pass.%s.delta" % stage.name, size_out - size_in)
         if ctx.checked:
             self._check_stage(index, stage, out, golden, ctx)
+        if ctx.lint:
+            self._lint_stage(index, stage, out, ctx)
         ctx.stages.append(
             StageResult(
                 index=index,
@@ -212,3 +219,19 @@ class Flow:
                 % (self.name, index, stage.name, exc)
             ) from exc
         metrics.count("flow.stages_checked")
+
+    def _lint_stage(self, index: int, stage: Pass, out, ctx: FlowContext) -> None:
+        # Imported here: repro.analysis pulls in the rule catalogue,
+        # which most flow runs never need.
+        from repro.analysis import LintContext, lint_circuit, lint_network
+
+        lint_ctx = LintContext(k=ctx.k)
+        if isinstance(out, LUTCircuit):
+            found = lint_circuit(out, lint_ctx)
+        else:
+            found = lint_network(out, lint_ctx)
+        stage_name = "flow.stage.%d.%s" % (index, stage.name)
+        attributed = [diag.with_stage(stage_name) for diag in found]
+        ctx.diagnostics.extend(attributed)
+        if attributed:
+            metrics.count("flow.lint_diagnostics", len(attributed))

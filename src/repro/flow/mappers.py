@@ -57,6 +57,7 @@ class FlowMapperAdapter:
         flow: Flow,
         k: int = 4,
         checked: bool = False,
+        lint: bool = False,
         config: Optional[dict] = None,
     ):
         if not flow.is_mapping_flow:
@@ -69,11 +70,19 @@ class FlowMapperAdapter:
         self.name = flow.name
         self.k = k
         self.checked = checked
+        self.lint = lint
         self.config = dict(config or {})
+        # Stage-attributed lint findings from the most recent map() call
+        # (empty unless constructed with lint=True).
+        self.diagnostics: List[object] = []
 
     def map(self, network: BooleanNetwork) -> LUTCircuit:
-        ctx = FlowContext(k=self.k, checked=self.checked, config=self.config)
-        return self.flow.run(network, ctx)
+        ctx = FlowContext(
+            k=self.k, checked=self.checked, lint=self.lint, config=self.config
+        )
+        result = self.flow.run(network, ctx)
+        self.diagnostics = list(ctx.diagnostics)
+        return result
 
 
 def mapper_names() -> List[str]:
@@ -85,6 +94,7 @@ def resolve_mapper(
     name: str,
     k: int,
     checked: bool = False,
+    lint: bool = False,
     cache=None,
     jobs: int = 1,
 ) -> Mapper:
@@ -102,10 +112,12 @@ def resolve_mapper(
     """
     registry = get_registry()
     if name in CORE_MAPPERS and name not in registry:
-        if checked:
+        if checked or lint:
+            mode = "checked" if checked else "lint"
             raise FlowError(
-                "mapper %r is not a flow; checked mode needs a flow "
-                "(registered flows: %s)" % (name, ", ".join(registry.names()))
+                "mapper %r is not a flow; %s mode needs a flow "
+                "(registered flows: %s)"
+                % (name, mode, ", ".join(registry.names()))
             )
         return CORE_MAPPERS[name](k, cache=cache, jobs=jobs)
     flow = registry.resolve(name)
@@ -114,4 +126,4 @@ def resolve_mapper(
         config["cache"] = cache
     if jobs != 1:
         config["jobs"] = jobs
-    return FlowMapperAdapter(flow, k=k, checked=checked, config=config)
+    return FlowMapperAdapter(flow, k=k, checked=checked, lint=lint, config=config)

@@ -28,7 +28,7 @@ class Signal(NamedTuple):
     name: str
     inv: bool = False
 
-    def __invert__(self) -> "Signal":
+    def __invert__(self) -> Signal:
         return Signal(self.name, not self.inv)
 
     def __str__(self) -> str:
@@ -292,7 +292,7 @@ class BooleanNetwork:
 
     # -- copying ---------------------------------------------------------------
 
-    def copy(self, name: Optional[str] = None) -> "BooleanNetwork":
+    def copy(self, name: Optional[str] = None) -> BooleanNetwork:
         out = BooleanNetwork(name if name is not None else self.name)
         out._nodes = dict(self._nodes)
         out._inputs = list(self._inputs)

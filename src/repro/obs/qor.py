@@ -102,7 +102,7 @@ class RunRecord:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "RunRecord":
+    def from_dict(cls, data: Mapping) -> RunRecord:
         if not isinstance(data, Mapping):
             raise QorError(
                 "run record must be a JSON object, got %s" % type(data).__name__
@@ -128,7 +128,7 @@ class RunRecord:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "RunRecord":
+    def from_json(cls, text: str) -> RunRecord:
         try:
             data = json.loads(text)
         except ValueError as exc:
@@ -141,15 +141,15 @@ class RunRecord:
                 handle.write(self.to_json())
                 handle.write("\n")
         except OSError as exc:
-            raise QorError("cannot write run record %r: %s" % (path, exc))
+            raise QorError("cannot write run record %r: %s" % (path, exc)) from exc
 
     @classmethod
-    def load(cls, path: str) -> "RunRecord":
+    def load(cls, path: str) -> RunRecord:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 text = handle.read()
         except OSError as exc:
-            raise QorError("cannot read run record %r: %s" % (path, exc))
+            raise QorError("cannot read run record %r: %s" % (path, exc)) from exc
         return cls.from_json(text)
 
     def describe(self) -> str:

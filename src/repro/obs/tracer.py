@@ -38,7 +38,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 
 @dataclass
@@ -53,7 +53,7 @@ class SpanRecord:
     duration: float  # seconds
     attrs: Dict[str, object] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -111,7 +111,8 @@ class JsonLinesSink(Sink):
 
     def __init__(self, target: Union[str, io.TextIOBase]) -> None:
         if isinstance(target, str):
-            self._handle = open(target, "w", encoding="utf-8")
+            # The sink owns this handle; close() releases it.
+            self._handle = open(target, "w", encoding="utf-8")  # noqa: SIM115
             self._owns_handle = True
         else:
             self._handle = target
@@ -136,7 +137,7 @@ class JsonLinesSink(Sink):
 class StderrSink(Sink):
     """Prints a human-readable line per finished span to stderr."""
 
-    def __init__(self, stream=None) -> None:
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
         self._stream = stream if stream is not None else sys.stderr
 
     def emit(self, record: SpanRecord) -> None:
@@ -157,10 +158,10 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
     def set(self, key: str, value: object) -> None:
@@ -175,7 +176,7 @@ class _LiveSpan:
 
     __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "_start")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, object]):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -188,7 +189,7 @@ class _LiveSpan:
         """Attach (or overwrite) an attribute while the span is live."""
         self.attrs[key] = value
 
-    def __enter__(self) -> "_LiveSpan":
+    def __enter__(self) -> _LiveSpan:
         tracer = self._tracer
         self.span_id = tracer._new_span_id()
         stack = tracer._stack
@@ -199,7 +200,7 @@ class _LiveSpan:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         end = time.perf_counter()
         tracer = self._tracer
         if tracer._stack and tracer._stack[-1] is self:
@@ -235,7 +236,7 @@ class Tracer:
         self._next_id = 0
 
     @property
-    def _stack(self) -> List["_LiveSpan"]:
+    def _stack(self) -> List[_LiveSpan]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
@@ -250,7 +251,7 @@ class Tracer:
     def enabled(self) -> bool:
         return bool(self._sinks)
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> Union[_NullSpan, _LiveSpan]:
         """Open a span; a shared no-op object when no sink is attached."""
         if not self._sinks:
             return _NULL_SPAN
@@ -275,7 +276,7 @@ def get_tracer() -> Tracer:
     return _TRACER
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> Union[_NullSpan, _LiveSpan]:
     """Open a span on the global tracer (no-op when tracing is off)."""
     tracer = _TRACER
     if not tracer._sinks:
@@ -299,12 +300,13 @@ class capture:
         self._tracer.add_sink(self._sink)
         return self._sink
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         self._tracer.remove_sink(self._sink)
         return False
 
 
-def render_span_tree(records: List[SpanRecord], stream=None) -> str:
+def render_span_tree(records: List[SpanRecord],
+                     stream: Optional[TextIO] = None) -> str:
     """Format finished spans as an indented tree (execution order).
 
     ``records`` is finish-ordered (as collected by a sink); the tree is

@@ -36,7 +36,7 @@ class LruCache:
             raise ValueError("maxsize must be positive or None, got %r" % maxsize)
         self.maxsize = maxsize
         self.name = name
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0

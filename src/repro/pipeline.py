@@ -32,23 +32,41 @@ def _perf_config(cache, jobs: int) -> dict:
     return config
 
 
+def _run(flow, network: BooleanNetwork, ctx: FlowContext) -> LUTCircuit:
+    result = flow.run(network, ctx)
+    if ctx.lint:
+        from repro.analysis import gate
+
+        gate(
+            ctx.diagnostics,
+            subject="%s flow on %r" % (flow.name, network.name),
+        )
+    return result
+
+
 def map_area(
     network: BooleanNetwork,
     k: int = 4,
     refactor: bool = True,
     merge: bool = True,
     checked: bool = False,
+    lint: bool = False,
     cache=None,
     jobs: int = 1,
 ) -> LUTCircuit:
     """Area-focused composed flow; minimum LUTs this package can reach.
 
     ``cache`` and ``jobs`` reach the chortle stage's memoized/parallel
-    engine (see :mod:`repro.perf`); both are QoR-neutral.
+    engine (see :mod:`repro.perf`); both are QoR-neutral.  With
+    ``lint=True`` every stage's output is audited by the lint rules and
+    any error-severity finding raises :class:`~repro.errors.LintError`,
+    naming the emitting stage.
     """
     flow = area_flow(refactor=refactor, merge=merge)
-    ctx = FlowContext(k=k, checked=checked, config=_perf_config(cache, jobs))
-    return flow.run(network, ctx)
+    ctx = FlowContext(
+        k=k, checked=checked, lint=lint, config=_perf_config(cache, jobs)
+    )
+    return _run(flow, network, ctx)
 
 
 def map_delay(
@@ -58,6 +76,7 @@ def map_delay(
     refactor: bool = True,
     merge: bool = True,
     checked: bool = False,
+    lint: bool = False,
     cache=None,
     jobs: int = 1,
 ) -> LUTCircuit:
@@ -65,10 +84,11 @@ def map_delay(
 
     Merging is depth-guarded: a merge that would increase depth is
     rejected and counted (``pipeline.merge_rejected``) rather than
-    silently discarded.
+    silently discarded.  ``lint=True`` gates every stage's output on
+    error-severity lint findings, as in :func:`map_area`.
     """
     flow = delay_flow(refactor=refactor, merge=merge)
     config = _perf_config(cache, jobs)
     config["slack"] = slack
-    ctx = FlowContext(k=k, checked=checked, config=config)
-    return flow.run(network, ctx)
+    ctx = FlowContext(k=k, checked=checked, lint=lint, config=config)
+    return _run(flow, network, ctx)

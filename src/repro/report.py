@@ -62,7 +62,7 @@ class MappingReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "MappingReport":
+    def from_dict(cls, data: Mapping) -> MappingReport:
         """Rebuild a report from its :meth:`to_dict` / JSON form.
 
         JSON object keys are always strings, so the integer keys of
@@ -79,7 +79,7 @@ class MappingReport:
         }
         return cls(**kwargs)
 
-    def with_wall_seconds(self, wall_seconds: float) -> "MappingReport":
+    def with_wall_seconds(self, wall_seconds: float) -> MappingReport:
         """A copy of this (frozen) report with the cell wall clock filled in."""
         from dataclasses import replace
 

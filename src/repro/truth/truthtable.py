@@ -41,12 +41,12 @@ class TruthTable:
     # -- constructors ----------------------------------------------------
 
     @classmethod
-    def const(cls, value: bool, nvars: int = 0) -> "TruthTable":
+    def const(cls, value: bool, nvars: int = 0) -> TruthTable:
         """The constant ``value`` function of ``nvars`` variables."""
         return cls(nvars, _full_mask(nvars) if value else 0)
 
     @classmethod
-    def var(cls, index: int, nvars: int) -> "TruthTable":
+    def var(cls, index: int, nvars: int) -> TruthTable:
         """The projection function returning variable ``index``."""
         if not 0 <= index < nvars:
             raise ValueError("variable %d out of range for %d vars" % (index, nvars))
@@ -59,7 +59,7 @@ class TruthTable:
         return cls(nvars, bits)
 
     @classmethod
-    def from_values(cls, values: Sequence[int]) -> "TruthTable":
+    def from_values(cls, values: Sequence[int]) -> TruthTable:
         """Build from an explicit list of 0/1 outputs, one per assignment."""
         size = len(values)
         nvars = size.bit_length() - 1
@@ -74,7 +74,7 @@ class TruthTable:
         return cls(nvars, bits)
 
     @classmethod
-    def from_callable(cls, func: Callable[..., bool], nvars: int) -> "TruthTable":
+    def from_callable(cls, func: Callable[..., bool], nvars: int) -> TruthTable:
         """Build by evaluating ``func`` on every assignment of ``nvars`` bits."""
         bits = 0
         for m in range(1 << nvars):
@@ -124,7 +124,7 @@ class TruthTable:
 
     # -- logical operations -----------------------------------------------
 
-    def _check_compatible(self, other: "TruthTable") -> None:
+    def _check_compatible(self, other: TruthTable) -> None:
         if not isinstance(other, TruthTable):
             raise TypeError("expected TruthTable, got %r" % type(other).__name__)
         if other._nvars != self._nvars:
@@ -132,24 +132,24 @@ class TruthTable:
                 "variable-count mismatch: %d vs %d" % (self._nvars, other._nvars)
             )
 
-    def __and__(self, other: "TruthTable") -> "TruthTable":
+    def __and__(self, other: TruthTable) -> TruthTable:
         self._check_compatible(other)
         return TruthTable(self._nvars, self._bits & other._bits)
 
-    def __or__(self, other: "TruthTable") -> "TruthTable":
+    def __or__(self, other: TruthTable) -> TruthTable:
         self._check_compatible(other)
         return TruthTable(self._nvars, self._bits | other._bits)
 
-    def __xor__(self, other: "TruthTable") -> "TruthTable":
+    def __xor__(self, other: TruthTable) -> TruthTable:
         self._check_compatible(other)
         return TruthTable(self._nvars, self._bits ^ other._bits)
 
-    def __invert__(self) -> "TruthTable":
+    def __invert__(self) -> TruthTable:
         return TruthTable(self._nvars, self._bits ^ _full_mask(self._nvars))
 
     # -- structural operations ---------------------------------------------
 
-    def cofactor(self, index: int, value: int) -> "TruthTable":
+    def cofactor(self, index: int, value: int) -> TruthTable:
         """The function with variable ``index`` fixed to ``value``.
 
         The result keeps ``nvars`` variables (the fixed one becomes a
@@ -180,7 +180,7 @@ class TruthTable:
     def is_constant(self) -> bool:
         return self._bits == 0 or self._bits == _full_mask(self._nvars)
 
-    def permute(self, perm: Sequence[int]) -> "TruthTable":
+    def permute(self, perm: Sequence[int]) -> TruthTable:
         """Reorder inputs: result(x0..) = self(x[perm[0]], x[perm[1]], ...).
 
         ``perm`` must be a permutation of ``range(nvars)``; input ``i`` of
@@ -200,7 +200,7 @@ class TruthTable:
                 bits |= 1 << m
         return TruthTable(n, bits)
 
-    def negate_inputs(self, mask: int) -> "TruthTable":
+    def negate_inputs(self, mask: int) -> TruthTable:
         """Complement every input whose bit is set in ``mask``."""
         if not 0 <= mask < (1 << self._nvars):
             raise ValueError("negation mask 0x%x out of range" % mask)
@@ -211,7 +211,7 @@ class TruthTable:
                 bits |= 1 << m
         return TruthTable(self._nvars, bits)
 
-    def extend(self, nvars: int) -> "TruthTable":
+    def extend(self, nvars: int) -> TruthTable:
         """View this function over a larger variable set (new vars unused)."""
         if nvars < self._nvars:
             raise ValueError(
@@ -224,7 +224,7 @@ class TruthTable:
             width *= 2
         return TruthTable(nvars, bits)
 
-    def shrink_to_support(self) -> "TruthTable":
+    def shrink_to_support(self) -> TruthTable:
         """Project onto the variables in the support, preserving their order."""
         sup = self.support()
         bits = 0
@@ -237,7 +237,7 @@ class TruthTable:
                 bits |= 1 << m
         return TruthTable(len(sup), bits)
 
-    def compose(self, subs: Sequence["TruthTable"]) -> "TruthTable":
+    def compose(self, subs: Sequence[TruthTable]) -> TruthTable:
         """Substitute ``subs[j]`` (all over a common variable set) for input j."""
         if len(subs) != self._nvars:
             raise ValueError("expected %d substitutions" % self._nvars)

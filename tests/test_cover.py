@@ -6,7 +6,7 @@ from tests.util import make_random_network
 from repro.core.chortle import ChortleMapper
 from repro.core.cover import check_cover
 from repro.core.lut import LUTCircuit
-from repro.errors import VerificationError
+from repro.errors import NetworkError, VerificationError
 
 
 class TestCheckCover:
@@ -18,7 +18,7 @@ class TestCheckCover:
 
     def test_k_violation_detected(self, fig1):
         circuit = ChortleMapper(k=5).map(fig1)
-        with pytest.raises(Exception):
+        with pytest.raises(NetworkError):
             check_cover(fig1, circuit, 2)
 
     def test_missing_output_detected(self, fig1):

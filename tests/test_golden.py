@@ -63,7 +63,7 @@ def test_mis_golden(name, k):
 
 def test_golden_shape():
     """The pinned numbers themselves exhibit the paper's shape."""
-    for (name, k), (chortle, mis) in GOLDEN.items():
+    for (_name, k), (chortle, mis) in GOLDEN.items():
         if k == 2:
             assert abs(chortle - mis) <= max(3, mis // 50)
         else:

@@ -117,11 +117,11 @@ class TestSinks:
         path = str(tmp_path / "trace.jsonl")
         tracer = Tracer()
         sink = tracer.add_sink(JsonLinesSink(path))
-        with tracer.span("outer", circuit="c"):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer", circuit="c"), tracer.span("inner"):
+            pass
         sink.close()
-        lines = open(path, encoding="utf-8").read().splitlines()
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
         records = [json.loads(line) for line in lines]
         assert [r["name"] for r in records] == ["inner", "outer"]
         inner, outer = records

@@ -30,7 +30,7 @@ def networks(draw, max_inputs=6, max_gates=9, max_fanin=5):
     num_gates = draw(st.integers(1, max_gates))
     b = NetworkBuilder("hyp")
     sigs = list(b.inputs(*["i%d" % i for i in range(num_inputs)]))
-    for g in range(num_gates):
+    for _ in range(num_gates):
         fan = draw(st.integers(2, max_fanin))
         indices = draw(
             st.lists(

@@ -270,7 +270,8 @@ class TestCli:
         from repro.cli import main
 
         path = self._record(tmp_path, "a.json")
-        data = json.loads(open(path).read())
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
         for report in data["reports"]:
             report["luts"] += 1
         mutated = tmp_path / "b.json"

@@ -21,7 +21,7 @@ def make_random_network(
     rng = random.Random(seed)
     b = NetworkBuilder("rnd%d" % seed)
     sigs = list(b.inputs(*["i%d" % i for i in range(num_inputs)]))
-    for g in range(num_gates):
+    for _ in range(num_gates):
         fan = rng.randint(2, max_fanin)
         picks = rng.sample(sigs, min(fan, len(sigs)))
         fanins = [Signal(s.name, rng.random() < invert_prob) for s in picks]
