@@ -204,6 +204,7 @@ def run_suite(
     verify: bool = False,
     jobs: int = 1,
     cache=False,
+    progress: object = False,
 ) -> SuiteResult:
     """Sweep circuits x mappers x K and return the collected reports.
 
@@ -216,8 +217,14 @@ def run_suite(
     structural node-table memo for the chortle-engine cells (``True``
     for the process-wide shared cache, or an explicit
     :class:`~repro.perf.memo.NodeTableCache`); in parallel runs each
-    worker process keeps its own cache.
+    worker process keeps its own cache.  ``progress`` takes ``True``
+    (heartbeat lines on stderr) or a
+    :class:`~repro.obs.progress.ProgressEmitter` for per-cell
+    started/finished/ETA events while the sweep runs (parallel sweeps
+    emit finished events only, in completion order).
     """
+    from repro.obs.progress import resolve_progress
+
     if circuits is None:
         circuits = TABLE_CIRCUITS
     # Fail fast on bad mapper names, before any (expensive) mapping runs.
@@ -236,14 +243,25 @@ def run_suite(
         for k in ks
         for mapper_name in mappers
     ]
+    emitter = resolve_progress(progress, total=len(cells))
 
     result = SuiteResult()
     if jobs > 1 and len(cells) > 1:
         from repro.perf.parallel import run_cells_processes
 
+        on_result = None
+        if emitter is not None:
+            def on_result(index: int, row: dict) -> None:
+                net, k, mapper_name = cells[index]
+                emitter.cell_finished(
+                    net.name, k, mapper_name,
+                    seconds=float(row.get("wall_seconds") or 0.0),
+                )
+
         with span("bench.suite", jobs=jobs, cells=len(cells)):
             rows = run_cells_processes(
-                cells, jobs=jobs, verify=verify, use_cache=bool(cache)
+                cells, jobs=jobs, verify=verify, use_cache=bool(cache),
+                on_result=on_result,
             )
         result.reports.extend(MappingReport.from_dict(row) for row in rows)
         return result
@@ -252,7 +270,14 @@ def run_suite(
 
     cache_obj = resolve_cache(cache)
     for net, k, mapper_name in cells:
-        result.reports.append(
-            run_one_cell(net, k, mapper_name, verify=verify, cache=cache_obj)
-        )
+        if emitter is not None:
+            emitter.cell_started(net.name, k, mapper_name)
+        cell_started = time.perf_counter()
+        report = run_one_cell(net, k, mapper_name, verify=verify, cache=cache_obj)
+        if emitter is not None:
+            emitter.cell_finished(
+                net.name, k, mapper_name,
+                seconds=time.perf_counter() - cell_started,
+            )
+        result.reports.append(report)
     return result

@@ -27,6 +27,11 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle qor diff base.json run.json           # classify QoR changes
     chortle qor gate base.json                    # re-run suite, fail on regress
     chortle qor report run.json                   # markdown QoR table
+    chortle perf top                              # self-time hotspot table
+    chortle perf flame -o out.folded              # folded stacks (speedscope)
+    chortle perf record --quick                   # measure + append to history
+    chortle perf diff base.json cur.json          # noise-tolerant perf diff
+    chortle perf gate --quick                     # fail on perf regressions
 """
 
 from __future__ import annotations
@@ -151,16 +156,36 @@ def _trace_sink(path: Optional[str]):
 
 
 def _print_stage_table(sink, stream=None) -> None:
-    """Per-stage timing table (total seconds per span name)."""
+    """Per-stage timing table: self time (hottest first) plus totals.
+
+    Self time — a stage's duration minus its children's — is the column
+    that attributes cost; inclusive wrappers such as ``cli.map`` sink to
+    the bottom instead of dominating the table.
+    """
+    from repro.obs.traceview import aggregate_by_name, build_span_tree
+
     stream = stream if stream is not None else sys.stderr
-    timings = sink.stage_timings()
-    if not timings:
+    stats = aggregate_by_name(build_span_tree(sink.records))
+    if not stats:
         print("no spans recorded", file=stream)
         return
-    width = max(len(name) for name in timings)
-    print("%-*s %10s" % (width, "stage", "total"), file=stream)
-    for name, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
-        print("%-*s %8.3fms" % (width, name, seconds * 1e3), file=stream)
+    width = max(len(stat.name) for stat in stats)
+    print(
+        "%-*s %10s %10s %7s" % (width, "stage", "self", "total", "count"),
+        file=stream,
+    )
+    for stat in stats:
+        print(
+            "%-*s %8.3fms %8.3fms %7d"
+            % (
+                width,
+                stat.name,
+                stat.self_seconds * 1e3,
+                stat.total_seconds * 1e3,
+                stat.count,
+            ),
+            file=stream,
+        )
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -270,6 +295,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("  (none)")
     for name, value in sorted(delta.items()):
         print("  %-32s %d" % (name, value))
+    print()
+    print("stage self time (hottest first):")
+    _print_stage_table(sink, stream=sys.stdout)
     profile = circuit.tree_profile()
     if profile:
         print()
@@ -479,6 +507,7 @@ def _record_suite(args: argparse.Namespace):
         verify=args.verify,
         jobs=getattr(args, "jobs", 1),
         cache=getattr(args, "cache", False),
+        progress=bool(getattr(args, "progress", False)),
     )
     return result.to_records(
         created_at=args.timestamp or _utc_timestamp(), label=args.label
@@ -566,6 +595,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         created_at=args.timestamp or _utc_timestamp(),
         warm_tolerance=args.warm_tolerance,
         cache_dir=args.cache_dir,
+        progress=args.progress,
     )
     if args.output:
         save_bench_perf(result, args.output)
@@ -586,6 +616,201 @@ def _cmd_qor_report(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(text)
     return 0
+
+
+def _perf_trace_records(args: argparse.Namespace):
+    """Span records for ``perf top|flame``: a trace file, or a traced run.
+
+    Without ``--trace`` the requested suite is run serially under one
+    ``perf.suite`` root span, so every span nests under a single root
+    and the self times telescope to the run's wall clock.
+    """
+    from repro.obs.traceview import load_trace
+
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    from repro.bench.runner import run_suite
+
+    # capture() must attach its sink before span() is evaluated, or the
+    # tracer hands back the no-op span and the root never materializes.
+    with capture() as sink, span(
+        "perf.suite", mappers=",".join(args.mappers), ks=str(list(args.ks))
+    ):
+        run_suite(
+            circuits=args.circuits or None,
+            mappers=tuple(args.mappers),
+            ks=tuple(args.ks),
+            jobs=1,
+            cache=getattr(args, "cache", False),
+            progress=bool(getattr(args, "progress", False)),
+        )
+    return sink.records
+
+
+def _cmd_perf_top(args: argparse.Namespace) -> int:
+    """Self-time hotspot table plus the critical span path."""
+    from repro.obs.traceview import (
+        build_span_tree,
+        critical_path,
+        hotspots,
+        render_critical_path,
+        render_hotspots,
+    )
+
+    records = _perf_trace_records(args)
+    if not records:
+        print("no spans recorded", file=sys.stderr)
+        return 1
+    stats, wall = hotspots(records, top=args.top)
+    print(render_hotspots(stats, wall))
+    print()
+    print(render_critical_path(critical_path(build_span_tree(records))))
+    return 0
+
+
+def _cmd_perf_flame(args: argparse.Namespace) -> int:
+    """Folded stacks for ``flamegraph.pl`` / speedscope."""
+    from repro.obs.traceview import folded_stacks
+
+    records = _perf_trace_records(args)
+    lines = folded_stacks(records)
+    text = "\n".join(lines) + "\n" if lines else ""
+    if args.output:
+        _write_text(args.output, text)
+        print(
+            "wrote %d folded stacks to %s" % (len(lines), args.output),
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _perf_measure(args: argparse.Namespace):
+    """Run bench-perf with the measure options and freeze a PerfRecord."""
+    from repro.obs.perfrec import PerfRecord
+    from repro.perf.benchperf import run_bench_perf
+
+    payload = run_bench_perf(
+        jobs=args.jobs,
+        quick=args.quick,
+        created_at=args.timestamp or _utc_timestamp(),
+        progress=bool(getattr(args, "progress", False)),
+    )
+    return PerfRecord.from_bench(payload, label=args.label)
+
+
+def _load_perf_record(path: str):
+    """One perf record from ``path``.
+
+    Accepts a saved record, a raw ``BENCH_perf.json``-shaped payload,
+    or a history file (whose newest record wins), so any perf artifact
+    the repo produces is a valid diff input.
+    """
+    from repro.errors import PerfError
+    from repro.obs.perfrec import PerfHistory, PerfRecord
+
+    try:
+        return PerfRecord.load(path)
+    except PerfError:
+        pass
+    record = PerfHistory.load(path).latest()
+    if record is None:
+        raise PerfError(
+            "%r holds neither a perf record nor a non-empty perf history"
+            % path
+        )
+    return record
+
+
+def _finish_perf_diff(diff, args: argparse.Namespace, history=None,
+                      current=None) -> int:
+    """Print/record a perf diff and turn it into an exit status."""
+    markdown = getattr(args, "markdown", None)
+    if markdown:
+        _write_text(markdown, diff.to_markdown(history, current))
+        print("wrote %s" % markdown, file=sys.stderr)
+    for note in diff.notes:
+        print("note: %s" % note)
+    for cell in diff.regressions:
+        print("REGRESSED %s" % cell.describe())
+    for cell in diff.improvements:
+        print("improved  %s" % cell.describe())
+    n_reg = len(diff.regressions)
+    n_imp = len(diff.improvements)
+    print(
+        "perf diff: %d regressed, %d improved, %d unchanged (%d metrics); "
+        "gate %s"
+        % (
+            n_reg,
+            n_imp,
+            len(diff.cells) - n_reg - n_imp,
+            len(diff.cells),
+            "PASS" if diff.passes_gate() else "FAIL",
+        )
+    )
+    return 0 if diff.passes_gate() else 1
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from repro.obs.perfrec import PerfHistory
+
+    record = _perf_measure(args)
+    if args.output:
+        record.save(args.output)
+        print(
+            "wrote %s: %s" % (args.output, record.describe()), file=sys.stderr
+        )
+    if not args.no_append:
+        history = PerfHistory.load(args.history)
+        history.append(record)
+        history.save(args.history)
+        print(
+            "appended to %s (%d records): %s"
+            % (args.history, len(history.records), record.describe()),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.obs.perfdiff import diff_perf_records
+
+    baseline = _load_perf_record(args.baseline)
+    current = _load_perf_record(args.current)
+    diff = diff_perf_records(baseline, current)
+    return _finish_perf_diff(diff, args, current=current)
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    """Measure (or load) a record and gate it against the history."""
+    from repro.errors import PerfError
+    from repro.obs.perfdiff import diff_perf_records
+    from repro.obs.perfrec import PerfHistory, PerfRecord
+
+    history = PerfHistory.load(args.history)
+    if args.current:
+        current = PerfRecord.load(args.current)
+    else:
+        current = _perf_measure(args)
+    if args.output:
+        current.save(args.output)
+        print(
+            "wrote %s: %s" % (args.output, current.describe()), file=sys.stderr
+        )
+    baseline, env_matched = history.baseline_for(current)
+    if baseline is None:
+        raise PerfError(
+            "perf history %r has no records to gate against" % args.history
+        )
+    if not env_matched:
+        print(
+            "note: no history record matches this machine shape; gating "
+            "portable ratios only",
+            file=sys.stderr,
+        )
+    diff = diff_perf_records(baseline, current)
+    return _finish_perf_diff(diff, args, history=history, current=current)
 
 
 def _add_perf_options(p: argparse.ArgumentParser) -> None:
@@ -802,6 +1027,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="created_at stamp for the payload (default: now, UTC ISO-8601)",
     )
+    p_perf.add_argument(
+        "--progress",
+        action="store_true",
+        help="per-cell heartbeat lines on stderr across all four phases",
+    )
     p_perf.set_defaults(func=_cmd_bench_perf)
 
     p_flows = sub.add_parser(
@@ -980,6 +1210,11 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="memoize node tables during the sweep (bit-identical)",
         )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="per-cell heartbeat lines on stderr while the suite runs",
+        )
 
     q_record = qor_sub.add_parser(
         "record", help="run the suite and save a QoR run record"
@@ -1021,6 +1256,161 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="write the markdown to this file (default stdout)"
     )
     q_report.set_defaults(func=_cmd_qor_report)
+
+    from repro.obs.perfrec import DEFAULT_HISTORY_PATH
+
+    p_perfobs = sub.add_parser(
+        "perf",
+        help="perf observatory: hotspots, flame graphs, records, gating",
+    )
+    perf_sub = p_perfobs.add_subparsers(dest="perf_command", required=True)
+
+    def add_trace_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="analyze an existing --trace JSONL file instead of "
+            "running the suite",
+        )
+        p.add_argument(
+            "--circuits",
+            nargs="*",
+            default=None,
+            metavar="NAME",
+            help="MCNC profile names (default: the Table 1-4 suite)",
+        )
+        p.add_argument(
+            "--ks",
+            nargs="+",
+            type=int,
+            default=[4],
+            metavar="K",
+            help="LUT input counts to sweep (default: 4)",
+        )
+        p.add_argument(
+            "--mappers",
+            nargs="+",
+            default=["chortle"],
+            metavar="MAPPER",
+            help="mappers to trace (default: chortle)",
+        )
+        p.add_argument(
+            "--cache",
+            action="store_true",
+            help="memoize node tables during the traced run",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="heartbeat lines on stderr while the suite runs",
+        )
+
+    def add_measure_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--quick",
+            action="store_true",
+            help="CI-sized bench-perf subset instead of the full suite",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=2,
+            metavar="N",
+            help="worker threads for the parallel phase (default 2)",
+        )
+        p.add_argument("--label", default="", help="free-form record label")
+        p.add_argument(
+            "--timestamp",
+            default=None,
+            help="created_at stamp (default: now, UTC ISO-8601)",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="per-cell heartbeat lines on stderr while measuring",
+        )
+        p.add_argument(
+            "--history",
+            default=DEFAULT_HISTORY_PATH,
+            metavar="FILE",
+            help="perf history file (default: %s)" % DEFAULT_HISTORY_PATH,
+        )
+
+    pf_top = perf_sub.add_parser(
+        "top",
+        help="run the suite under one traced root; print the self-time "
+        "hotspot table and critical path",
+    )
+    add_trace_options(pf_top)
+    pf_top.add_argument(
+        "-n",
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows in the hotspot table (default 15)",
+    )
+    pf_top.set_defaults(func=_cmd_perf_top)
+
+    pf_flame = perf_sub.add_parser(
+        "flame",
+        help="emit folded stacks (self time per unique span stack) for "
+        "flamegraph.pl or speedscope",
+    )
+    add_trace_options(pf_flame)
+    pf_flame.add_argument(
+        "-o", "--output", help="write the folded stacks to this file"
+    )
+    pf_flame.set_defaults(func=_cmd_perf_flame)
+
+    pf_record = perf_sub.add_parser(
+        "record",
+        help="measure the perf trajectory and append it to the history",
+    )
+    add_measure_options(pf_record)
+    pf_record.add_argument(
+        "--no-append",
+        action="store_true",
+        help="do not append the record to the history file",
+    )
+    pf_record.add_argument(
+        "-o", "--output", help="also save the record to this file"
+    )
+    pf_record.set_defaults(func=_cmd_perf_record)
+
+    pf_diff = perf_sub.add_parser(
+        "diff",
+        help="diff two perf records; nonzero exit on gated regressions",
+    )
+    pf_diff.add_argument(
+        "baseline", help="baseline record, bench payload, or history file"
+    )
+    pf_diff.add_argument(
+        "current", help="current record, bench payload, or history file"
+    )
+    pf_diff.add_argument(
+        "--markdown", metavar="FILE", help="also write the markdown dashboard"
+    )
+    pf_diff.set_defaults(func=_cmd_perf_diff)
+
+    pf_gate = perf_sub.add_parser(
+        "gate",
+        help="measure (or load --current) and diff against the history's "
+        "best-matching baseline; nonzero exit on regressions",
+    )
+    add_measure_options(pf_gate)
+    pf_gate.add_argument(
+        "--current",
+        metavar="FILE",
+        help="gate this pre-measured record/payload instead of re-measuring",
+    )
+    pf_gate.add_argument(
+        "-o", "--output", help="also save the fresh record to this file"
+    )
+    pf_gate.add_argument(
+        "--markdown", metavar="FILE", help="also write the markdown dashboard"
+    )
+    pf_gate.set_defaults(func=_cmd_perf_gate)
 
     return parser
 

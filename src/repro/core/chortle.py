@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import time
 from typing import Dict, List, Tuple
 
 from repro.errors import MappingError
@@ -119,13 +120,13 @@ class ChortleMapper:
             return [
                 self._map_one_tree(net, tree, worker=None) for tree in trees
             ]
-        from repro.perf.parallel import map_trees_processes
+        from repro.perf.parallel import map_trees_processes, record_task_telemetry
 
         jobs = min(jobs, len(trees))
         with span(
             "chortle.parallel", jobs=jobs, executor=self.executor,
             trees=len(trees),
-        ):
+        ) as par_sp:
             if self.executor == "process":
                 return map_trees_processes(
                     net,
@@ -135,14 +136,40 @@ class ChortleMapper:
                     jobs=jobs,
                     use_shared_cache=self.cache is not None,
                 )
+
+            # Thread workers submit nothing over a pipe (pickle bytes are
+            # zero by construction), but queue wait and per-tree compute
+            # are still attributed so a flat speedup can be explained.
+            def timed_task(tree, worker: int, submitted_at: float) -> MapCand:
+                started_at = time.perf_counter()
+                cand = self._map_one_tree(net, tree, worker=worker)
+                record_task_telemetry(
+                    queue_wait=max(0.0, started_at - submitted_at),
+                    task_seconds=time.perf_counter() - started_at,
+                )
+                return cand
+
+            counters_before = metrics.counters()
             with concurrent.futures.ThreadPoolExecutor(
                 max_workers=jobs, thread_name_prefix="chortle-map"
             ) as pool:
                 futures = [
-                    pool.submit(self._map_one_tree, net, tree, worker=i % jobs)
+                    pool.submit(
+                        timed_task, tree, i % jobs, time.perf_counter()
+                    )
                     for i, tree in enumerate(trees)
                 ]
-                return [future.result() for future in futures]
+                cands = [future.result() for future in futures]
+            delta = metrics.counter_delta(counters_before)
+            par_sp.set(
+                "queue_wait_seconds",
+                round(delta.get("perf.parallel.queue_wait_us", 0) / 1e6, 4),
+            )
+            par_sp.set(
+                "task_seconds",
+                round(delta.get("perf.parallel.task_us", 0) / 1e6, 4),
+            )
+            return cands
 
     def _map_one_tree(self, net: BooleanNetwork, tree, worker) -> MapCand:
         attrs = {"tree": tree.root, "nodes": tree.num_nodes}

@@ -33,6 +33,10 @@ class FlowError(ReproError):
     """Invalid flow composition (unknown pass, domain mismatch, bad spec)."""
 
 
+class PerfError(ReproError):
+    """Malformed perf record/history file or unreadable trace input."""
+
+
 class VerificationError(ReproError):
     """A mapped circuit is not functionally equivalent to its source."""
 

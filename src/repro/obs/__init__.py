@@ -8,17 +8,28 @@ mapping pipeline:
 * the **metrics registry** (:data:`metrics`) — counters, gauges, and
   running histograms written by the passes unconditionally.
 
-Persistent QoR tooling lives in the sibling modules
-:mod:`repro.obs.qor` (versioned run records) and
-:mod:`repro.obs.qordiff` (baseline diffing and regression gating).
-They are *not* re-exported here: they depend on :mod:`repro.report`,
-which transitively imports this package, so import them explicitly::
+Analytics and persistence live in sibling modules, imported explicitly
+(several depend on :mod:`repro.report` or the bench layer, which
+transitively import this package):
+
+* :mod:`repro.obs.traceview` — span trees, self-time hotspots, folded
+  stacks (``chortle perf top|flame``);
+* :mod:`repro.obs.progress` — per-cell heartbeat streaming for long
+  sweeps (``--progress``);
+* :mod:`repro.obs.qor` / :mod:`repro.obs.qordiff` — versioned QoR run
+  records, baseline diffing, regression gating;
+* :mod:`repro.obs.perfrec` / :mod:`repro.obs.perfdiff` — the perf
+  observatory: durable perf records, append-only history,
+  noise-tolerant trend diffing (``chortle perf record|diff|gate``).
+
+::
 
     from repro.obs.qor import RunRecord
-    from repro.obs.qordiff import diff_records
+    from repro.obs.perfrec import PerfRecord, PerfHistory
+    from repro.obs.traceview import hotspots, folded_stacks
 
 See ``docs/OBSERVABILITY.md`` for the span-name and counter catalogue
-and the QoR record schema.
+and the record schemas.
 """
 
 from repro.obs.metrics import MetricsRegistry, get_metrics, metrics

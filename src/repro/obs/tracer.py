@@ -32,6 +32,7 @@ in execution order.
 
 from __future__ import annotations
 
+import atexit
 import io
 import json
 import sys
@@ -107,13 +108,22 @@ class MemorySink(Sink):
 
 
 class JsonLinesSink(Sink):
-    """Writes one JSON object per finished span to a file or stream."""
+    """Writes one JSON object per finished span to a file or stream.
+
+    The sink is crash-safe: every record is flushed as soon as it is
+    written (an aborted run's trace therefore ends at a line boundary
+    rather than mid-record), and file handles the sink opened itself
+    are additionally closed at interpreter exit via ``atexit``, so a
+    run that never reaches its own ``close()`` still leaves a complete,
+    parseable trace behind.
+    """
 
     def __init__(self, target: Union[str, io.TextIOBase]) -> None:
         if isinstance(target, str):
             # The sink owns this handle; close() releases it.
             self._handle = open(target, "w", encoding="utf-8")  # noqa: SIM115
             self._owns_handle = True
+            atexit.register(self.close)
         else:
             self._handle = target
             self._owns_handle = False
@@ -126,10 +136,13 @@ class JsonLinesSink(Sink):
         with self._lock:
             self._handle.write(line)
             self._handle.write("\n")
+            self._handle.flush()
 
     def close(self) -> None:
         if self._owns_handle:
-            self._handle.close()
+            atexit.unregister(self.close)
+            if not self._handle.closed:
+                self._handle.close()
         else:
             self._handle.flush()
 

@@ -39,8 +39,10 @@ from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
 from repro.bench.runner import mapper_factory, run_one_cell
 from repro.network.network import BooleanNetwork
 from repro.obs import metrics, span
-from repro.obs.qor import collect_environment
+from repro.obs.perfrec import collect_perf_environment, effective_affinity
+from repro.obs.progress import ProgressEmitter, resolve_progress
 from repro.perf.memo import NodeTableCache
+from repro.perf.parallel import worker_buckets
 
 #: Bump when the result layout changes.
 SCHEMA = 1
@@ -62,6 +64,7 @@ def _run_phase(
     cells: Sequence[Tuple[BooleanNetwork, int, str]],
     cache: Optional[NodeTableCache],
     jobs: int,
+    progress: Optional[ProgressEmitter] = None,
 ) -> Tuple[dict, List[list]]:
     """Run every cell once; returns (phase record, per-cell QoR rows)."""
     counters_before = metrics.counters()
@@ -69,6 +72,9 @@ def _run_phase(
     started = time.perf_counter()
     with span("bench.perf_phase", phase=name, cells=len(cells), jobs=jobs):
         for net, k, mapper_name in cells:
+            if progress is not None:
+                progress.cell_started(net.name, k, mapper_name, phase=name)
+            cell_started = time.perf_counter()
             report = run_one_cell(
                 net,
                 k,
@@ -76,6 +82,14 @@ def _run_phase(
                 cache=cache,
                 mapper_opts={"jobs": jobs} if jobs > 1 else None,
             )
+            if progress is not None:
+                progress.cell_finished(
+                    net.name,
+                    k,
+                    mapper_name,
+                    seconds=time.perf_counter() - cell_started,
+                    phase=name,
+                )
             qor.append(
                 [net.name, k, mapper_name, report.luts, report.luts_total,
                  report.depth]
@@ -100,6 +114,11 @@ def _run_phase(
             else 0.0,
             "size": len(cache),
         }
+    if jobs > 1:
+        # Attribute the phase's worker time: compute vs queue wait vs
+        # serialized payload bytes (zero for thread workers), straight
+        # from the perf.parallel.* counter delta.
+        record["workers"] = worker_buckets(delta, jobs=jobs, executor="thread")
     return record, qor
 
 
@@ -112,6 +131,7 @@ def run_bench_perf(
     created_at: str = "",
     warm_tolerance: Optional[float] = None,
     cache_dir: Optional[str] = None,
+    progress: object = False,
 ) -> dict:
     """Measure the perf trajectory; returns the ``BENCH_perf.json`` payload.
 
@@ -119,7 +139,10 @@ def run_bench_perf(
     CI-sized ``--quick`` subset when ``quick`` is set).  ``jobs`` sizes
     the parallel phase's thread pool.  When ``cache_dir`` is given, the
     warm cache is additionally saved to disk there and immediately
-    re-loaded into a fresh cache, recording the round trip.
+    re-loaded into a fresh cache, recording the round trip.  ``progress``
+    takes ``True`` (heartbeat lines on stderr) or a
+    :class:`~repro.obs.progress.ProgressEmitter` for per-cell
+    started/finished/ETA events across all four phases.
 
     The returned payload carries a ``gate`` block; callers that want a
     pass/fail exit check ``gate["pass"]``.
@@ -147,10 +170,13 @@ def run_bench_perf(
         ("warm_cache", cache, 1),
         ("parallel", None, max(2, jobs)),
     ]
+    emitter = resolve_progress(progress, total=len(cells) * len(phase_specs))
     phases: Dict[str, dict] = {}
     qor_by_phase: Dict[str, List[list]] = {}
     for name, phase_cache, phase_jobs in phase_specs:
-        record, qor = _run_phase(name, cells, phase_cache, phase_jobs)
+        record, qor = _run_phase(
+            name, cells, phase_cache, phase_jobs, progress=emitter
+        )
         phases[name] = record
         qor_by_phase[name] = qor
 
@@ -203,8 +229,9 @@ def run_bench_perf(
             "mappers": list(mappers),
             "jobs": max(2, jobs),
             "cpu_count": os.cpu_count(),
+            "cpu_affinity": effective_affinity(),
         },
-        "environment": collect_environment(),
+        "environment": collect_perf_environment(),
         "cells": len(cells),
         "phases": phases,
         "qor_identical": qor_identical,
@@ -242,6 +269,30 @@ def render_bench_perf(result: dict) -> str:
             "  %-16s %8.3fs  %5.2fx vs serial%s"
             % (name, phase["seconds"], phase["speedup_vs_serial"] or 0.0,
                extra)
+        )
+        workers = phase.get("workers")
+        if workers:
+            lines.append(
+                "  %-16s %d tasks: %.3fs compute, %.3fs queue wait, "
+                "%d pickled bytes (%s executor)"
+                % (
+                    "",
+                    workers["tasks"],
+                    workers["compute_seconds"],
+                    workers["queue_wait_seconds"],
+                    workers["pickle_bytes"],
+                    workers["executor"],
+                )
+            )
+    jobs = result["config"]["jobs"]
+    cores = result["config"].get("cpu_affinity")
+    if cores is None:
+        cores = result["config"].get("cpu_count")
+    if isinstance(cores, int) and jobs > cores:
+        lines.append(
+            "  WARNING: parallel phase ran jobs=%d on %d schedulable "
+            "core(s); workers time-slice one core, so speedup <= 1.0x "
+            "measures overhead, not scaling" % (jobs, cores)
         )
     gate = result["gate"]
     lines.append(

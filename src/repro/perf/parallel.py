@@ -21,14 +21,40 @@ Worker functions live at module top level so they pickle under the
 metrics registry; per-cell counter/timing attribution still works
 because each worker measures its own cell and ships the deltas home in
 the report dict.
+
+**Telemetry.**  Every fan-out attributes where worker time went, so a
+disappointing speedup can be explained instead of guessed at.  Each
+submitted work unit records:
+
+* *queue wait* — seconds between the parent submitting the unit and a
+  worker starting it (``time.perf_counter`` is CLOCK_MONOTONIC-backed
+  on Linux, hence comparable across local processes; negative skew is
+  clamped to zero);
+* *task seconds* — in-worker compute time for the unit;
+* *pickle bytes* — the serialized size of the submitted payload, i.e.
+  the per-unit cost the process pool pays that threads do not;
+* *worker cache traffic* — hit/miss/eviction deltas from each worker's
+  process-local memo cache, shipped home with the results.
+
+The parent folds all of it into the process-wide metrics registry
+under ``perf.parallel.*`` (microsecond-integer counters so
+``counter_delta`` attribution works, plus seconds histograms); the
+``bench-perf`` harness turns the deltas into the per-phase ``workers``
+buckets via :func:`worker_buckets`.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Dict, List, Optional, Sequence, Tuple
+import pickle
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.network.network import BooleanNetwork
+from repro.obs import metrics
+
+#: Worker-local cache counters shipped home, and their parent-side names.
+_CACHE_COUNTERS = ("hits", "misses", "evictions")
 
 
 def _chunk_round_robin(n: int, jobs: int) -> List[List[int]]:
@@ -39,22 +65,98 @@ def _chunk_round_robin(n: int, jobs: int) -> List[List[int]]:
     return [chunk for chunk in chunks if chunk]
 
 
+# -- telemetry ---------------------------------------------------------------
+
+
+def _worker_telemetry(
+    submitted_at: float, started_at: float, counters_before: Dict[str, int]
+) -> Dict[str, float]:
+    """Built inside a worker when its unit finishes; shipped to the parent."""
+    delta = metrics.counter_delta(counters_before)
+    telemetry: Dict[str, float] = {
+        "queue_wait": max(0.0, started_at - submitted_at),
+        "task_seconds": time.perf_counter() - started_at,
+    }
+    for key in _CACHE_COUNTERS:
+        telemetry["cache_" + key] = delta.get("perf.cache." + key, 0)
+    return telemetry
+
+
+def record_worker_telemetry(
+    telemetry: Dict[str, float], pickle_bytes: int = 0
+) -> None:
+    """Fold one unit's worker telemetry into the parent registry."""
+    metrics.count("perf.parallel.tasks")
+    metrics.count(
+        "perf.parallel.queue_wait_us", int(telemetry["queue_wait"] * 1e6)
+    )
+    metrics.count("perf.parallel.task_us", int(telemetry["task_seconds"] * 1e6))
+    if pickle_bytes:
+        metrics.count("perf.parallel.pickle_bytes", pickle_bytes)
+    for key in _CACHE_COUNTERS:
+        count = int(telemetry.get("cache_" + key, 0))
+        if count:
+            metrics.count("perf.parallel.cache_" + key, count)
+    metrics.observe("perf.parallel.queue_wait", telemetry["queue_wait"])
+    metrics.observe("perf.parallel.task_seconds", telemetry["task_seconds"])
+
+
+def record_task_telemetry(queue_wait: float, task_seconds: float) -> None:
+    """The thread-executor variant: no pickling, no remote registry."""
+    record_worker_telemetry(
+        {"queue_wait": queue_wait, "task_seconds": task_seconds}
+    )
+
+
+def worker_buckets(
+    delta: Dict[str, int], jobs: int, executor: str
+) -> Dict[str, object]:
+    """Summarize a ``perf.parallel.*`` counter delta into named buckets.
+
+    The bench-perf harness records this as the parallel phase's
+    ``workers`` block: enough to attribute the wall clock to compute vs
+    queue wait vs serialization and decide which one to attack.
+    """
+    buckets: Dict[str, object] = {
+        "jobs": jobs,
+        "executor": executor,
+        "tasks": delta.get("perf.parallel.tasks", 0),
+        "compute_seconds": round(
+            delta.get("perf.parallel.task_us", 0) / 1e6, 4
+        ),
+        "queue_wait_seconds": round(
+            delta.get("perf.parallel.queue_wait_us", 0) / 1e6, 4
+        ),
+        "pickle_bytes": delta.get("perf.parallel.pickle_bytes", 0),
+    }
+    cache = {
+        key: delta.get("perf.parallel.cache_" + key, 0)
+        for key in _CACHE_COUNTERS
+    }
+    if any(cache.values()):
+        buckets["worker_cache"] = cache
+    return buckets
+
+
 # -- tree-level workers ------------------------------------------------------
 
 
-def _map_tree_chunk(payload: tuple) -> List[Tuple[int, object]]:
+def _map_tree_chunk(payload: tuple) -> Tuple[List[Tuple[int, object]], dict]:
     """Map one chunk of forest trees inside a worker process."""
-    net, k, split_threshold, indices, use_shared_cache = payload
+    started_at = time.perf_counter()
+    net, k, split_threshold, indices, use_shared_cache, submitted_at = payload
     from repro.core.forest import build_forest
     from repro.core.tree_mapper import TreeMapper
     from repro.perf.memo import get_cache
 
+    counters_before = metrics.counters()
     cache = get_cache() if use_shared_cache else None
     forest = build_forest(net)
     mapper = TreeMapper(k, split_threshold=split_threshold, cache=cache)
-    return [
+    results = [
         (index, mapper.map_tree(net, forest.trees[index])) for index in indices
     ]
+    return results, _worker_telemetry(submitted_at, started_at, counters_before)
 
 
 def map_trees_processes(
@@ -71,19 +173,29 @@ def map_trees_processes(
     the network as-is).  Each worker keeps its own process-local memo
     cache when ``use_shared_cache`` is set — processes cannot share the
     parent's in-memory cache, but repeated shapes within a chunk still
-    hit.
+    hit (the traffic comes home as ``perf.parallel.cache_*`` counters).
     """
     chunks = _chunk_round_robin(num_trees, jobs)
     results: List[object] = [None] * num_trees
     with concurrent.futures.ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        futures = [
-            pool.submit(
-                _map_tree_chunk, (net, k, split_threshold, chunk, use_shared_cache)
+        futures = []
+        for chunk in chunks:
+            payload = (
+                net,
+                k,
+                split_threshold,
+                chunk,
+                use_shared_cache,
+                time.perf_counter(),
             )
-            for chunk in chunks
-        ]
-        for future in futures:
-            for index, cand in future.result():
+            futures.append(
+                (pool.submit(_map_tree_chunk, payload),
+                 len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)))
+            )
+        for future, payload_bytes in futures:
+            chunk_results, telemetry = future.result()
+            record_worker_telemetry(telemetry, pickle_bytes=payload_bytes)
+            for index, cand in chunk_results:
                 results[index] = cand
     return results
 
@@ -91,11 +203,13 @@ def map_trees_processes(
 # -- suite-level workers -----------------------------------------------------
 
 
-def _run_suite_cell(payload: tuple) -> dict:
+def _run_suite_cell(payload: tuple) -> Tuple[dict, dict]:
     """Run one (circuit, K, mapper) benchmark cell inside a worker."""
-    net, k, mapper_name, verify, use_cache, mapper_opts = payload
+    started_at = time.perf_counter()
+    net, k, mapper_name, verify, use_cache, mapper_opts, submitted_at = payload
     from repro.bench.runner import run_one_cell
 
+    counters_before = metrics.counters()
     report = run_one_cell(
         net,
         k,
@@ -104,7 +218,10 @@ def _run_suite_cell(payload: tuple) -> dict:
         cache=use_cache,
         mapper_opts=mapper_opts,
     )
-    return report.to_dict()
+    return (
+        report.to_dict(),
+        _worker_telemetry(submitted_at, started_at, counters_before),
+    )
 
 
 def run_cells_processes(
@@ -113,21 +230,44 @@ def run_cells_processes(
     verify: bool = False,
     use_cache: bool = False,
     mapper_opts: Optional[Dict[str, object]] = None,
+    on_result: Optional[Callable[[int, dict], None]] = None,
 ) -> List[dict]:
     """Report dicts for every cell, in the order the cells were given.
 
     Workers are handed whole cells (network already built in the
     parent, so synthetic-circuit generation is not repeated per worker)
     and return ``MappingReport.to_dict()`` payloads; the caller turns
-    them back into reports.
+    them back into reports.  ``on_result(cell_index, report_dict)`` is
+    invoked as each cell *completes* (completion order, not submission
+    order) — the hook progress streaming hangs off.
     """
     jobs = min(jobs, len(cells)) or 1
     with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(
-                _run_suite_cell,
-                (net, k, mapper_name, verify, use_cache, mapper_opts or {}),
+        futures = {}
+        payload_bytes = {}
+        for index, (net, k, mapper_name) in enumerate(cells):
+            payload = (
+                net,
+                k,
+                mapper_name,
+                verify,
+                use_cache,
+                mapper_opts or {},
+                time.perf_counter(),
             )
-            for net, k, mapper_name in cells
-        ]
-        return [future.result() for future in futures]
+            future = pool.submit(_run_suite_cell, payload)
+            futures[future] = index
+            payload_bytes[index] = len(
+                pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+            )
+        rows: List[dict] = [{} for _ in cells]
+        for future in concurrent.futures.as_completed(futures):
+            index = futures[future]
+            row, telemetry = future.result()
+            record_worker_telemetry(
+                telemetry, pickle_bytes=payload_bytes[index]
+            )
+            rows[index] = row
+            if on_result is not None:
+                on_result(index, row)
+        return rows

@@ -268,3 +268,142 @@ class TestTracingAndProfile:
             json.loads(line) for line in trace.read_text().splitlines()
         ]
         assert {r["name"] for r in records} >= {"cli.profile", "chortle.map"}
+
+
+class TestPerfCommands:
+    """Smoke tests for the ``chortle perf`` observatory group."""
+
+    @pytest.fixture(scope="class")
+    def perf_artifacts(self, tmp_path_factory):
+        """One quick measurement, saved and appended, reused class-wide."""
+        root = tmp_path_factory.mktemp("perfcli")
+        history = root / "hist.json"
+        record = root / "rec.json"
+        rc = main(
+            ["perf", "record", "--quick", "--history", str(history),
+             "-o", str(record), "--timestamp", "2026-08-08T00:00:00Z",
+             "--label", "test"]
+        )
+        assert rc == 0
+        return history, record
+
+    def test_top_prints_self_time_table(self, capsys):
+        rc = main(["perf", "top", "--circuits", "9symml", "--ks", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hotspots (self time)" in out
+        assert "chortle.map_tree" in out
+        assert "listed self time" in out
+        assert "critical path" in out
+
+    def test_top_reads_trace_file(self, blif_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["map", str(blif_file), "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        rc = main(["perf", "top", "--trace", str(trace), "-n", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli.map" in out or "chortle.map" in out
+
+    def test_flame_emits_folded_stacks(self, tmp_path, capsys):
+        import re
+
+        out_path = tmp_path / "suite.folded"
+        rc = main(
+            ["perf", "flame", "--circuits", "9symml", "--ks", "3",
+             "-o", str(out_path)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        lines = out_path.read_text().splitlines()
+        assert lines, "no folded stacks written"
+        # Strict folded format: semicolon-joined frames, space, integer.
+        for line in lines:
+            assert re.match(r"^[^ ]+(;[^ ]+)* \d+$", line), line
+        assert any(line.startswith("perf.suite") for line in lines)
+
+    def test_record_appends_history(self, perf_artifacts, capsys):
+        import json
+
+        history, record = perf_artifacts
+        capsys.readouterr()
+        data = json.loads(history.read_text())
+        assert len(data["records"]) == 1
+        saved = json.loads(record.read_text())
+        assert saved["label"] == "test"
+        assert set(saved["phases"]) == {
+            "serial_uncached", "cold_cache", "warm_cache", "parallel",
+        }
+
+    def test_gate_passes_on_unchanged_record(self, perf_artifacts, capsys):
+        history, record = perf_artifacts
+        rc = main(
+            ["perf", "gate", "--history", str(history),
+             "--current", str(record)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "gate PASS" in out
+
+    def test_gate_fails_on_synthetic_warm_slowdown(
+        self, perf_artifacts, tmp_path, capsys
+    ):
+        import json
+
+        history, record = perf_artifacts
+        bad = json.loads(record.read_text())
+        bad["phases"]["warm_cache"]["seconds"] = (
+            bad["phases"]["cold_cache"]["seconds"] * 3 + 1.0
+        )
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(bad))
+        dashboard = tmp_path / "dash.md"
+        rc = main(
+            ["perf", "gate", "--history", str(history),
+             "--current", str(bad_path), "--markdown", str(dashboard)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSED warm_vs_cold" in out
+        text = dashboard.read_text()
+        assert "FAIL" in text
+        assert "Parallel phase attribution" in text
+
+    def test_diff_between_artifacts(self, perf_artifacts, capsys):
+        history, record = perf_artifacts
+        # History files are valid diff inputs (newest record wins).
+        rc = main(["perf", "diff", str(history), str(record)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "gate PASS" in out
+
+    def test_gate_on_empty_history_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "none.json"
+        record = tmp_path / "rec.json"
+        record.write_text("{}")
+        rc = main(
+            ["perf", "gate", "--history", str(missing),
+             "--current", str(record)]
+        )
+        assert rc == 2  # ReproError path: clean message, no traceback
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_perf_progress_heartbeats(self, capsys):
+        rc = main(
+            ["bench-perf", "--quick", "--circuits", "9symml", "--ks", "3",
+             "--progress"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[progress]" in err
+        assert "(warm_cache)" in err
+
+    def test_qor_record_progress_heartbeats(self, tmp_path, capsys):
+        out_path = tmp_path / "qor.json"
+        rc = main(
+            ["qor", "record", "--circuits", "9symml", "--ks", "3",
+             "--mappers", "chortle", "--progress", "-o", str(out_path)]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[progress] 1/1" in err

@@ -174,6 +174,39 @@ class TestSinks:
         assert lines[1].startswith("  child")
         assert "luts=2" in lines[1]
 
+    def test_jsonl_flushes_every_record(self, tmp_path):
+        # Crash safety: each record must be on disk the moment its span
+        # finishes, without waiting for close().
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer()
+        sink = tracer.add_sink(JsonLinesSink(path))
+        try:
+            with tracer.span("first"):
+                pass
+            with open(path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+            assert len(lines) == 1
+            assert json.loads(lines[0])["name"] == "first"
+        finally:
+            sink.close()
+
+    def test_jsonl_registers_and_unregisters_atexit(self, tmp_path):
+        import atexit
+
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonLinesSink(path)
+        # close() must unregister so a closed sink is never re-closed at
+        # interpreter exit, and must be idempotent.
+        sink.close()
+        assert sink._handle.closed
+        sink.close()
+        # Stream-target sinks never touch atexit and close() only flushes.
+        buffer = io.StringIO()
+        stream_sink = JsonLinesSink(buffer)
+        stream_sink.close()
+        assert not buffer.closed
+        atexit.unregister(sink.close)  # no-op: already unregistered
+
 
 class TestMetrics:
     def test_counter_accumulation_and_reset(self):
@@ -298,3 +331,98 @@ class TestPipelineIntegration:
         assert delta["verify.runs"] == 1
         record = sink.by_name("verify.equivalence")[0]
         assert record.attrs["vectors"] == width
+
+
+class TestConcurrency:
+    """Thread/process-safety of the obs primitives under real pools."""
+
+    def test_registry_counts_lose_no_updates(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        registry = MetricsRegistry()
+
+        def bump(_):
+            for _ in range(500):
+                registry.count("c.hits")
+                registry.count("c.bytes", 3)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(bump, range(8)))
+        assert registry.counters()["c.hits"] == 8 * 500
+        assert registry.counters()["c.bytes"] == 8 * 500 * 3
+
+    def test_registry_observes_lose_no_updates(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        registry = MetricsRegistry()
+
+        def observe(worker):
+            for i in range(200):
+                registry.observe("h.latency", float(worker * 200 + i))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(observe, range(8)))
+        stats = registry.histogram("h.latency")
+        assert stats.count == 8 * 200
+        assert stats.min == 0.0
+        assert stats.max == float(8 * 200 - 1)
+        assert stats.total == sum(range(8 * 200))
+
+    def test_span_ids_unique_across_worker_threads(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        tracer = Tracer()
+        sink = tracer.add_sink(MemorySink())
+
+        def work(i):
+            with tracer.span("w.outer", worker=i):
+                with tracer.span("w.inner"):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(64)))
+        records = sink.records
+        assert len(records) == 128
+        ids = [r.span_id for r in records]
+        assert len(set(ids)) == len(ids), "span-id allocation raced"
+
+    def test_worker_spans_have_well_formed_parent_links(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        tracer = Tracer()
+        sink = tracer.add_sink(MemorySink())
+
+        def work(i):
+            with tracer.span("w.outer", worker=i):
+                with tracer.span("w.inner", worker=i):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(work, range(32)))
+        by_id = {r.span_id: r for r in sink.records}
+        outers = [r for r in sink.records if r.name == "w.outer"]
+        inners = [r for r in sink.records if r.name == "w.inner"]
+        assert len(outers) == len(inners) == 32
+        # Thread-local stacks: every outer is a root on its thread, and
+        # every inner's parent is the outer from the *same* work item —
+        # never a span from a sibling thread.
+        for outer in outers:
+            assert outer.parent_id is None
+            assert outer.depth == 0
+        for inner in inners:
+            parent = by_id[inner.parent_id]
+            assert parent.name == "w.outer"
+            assert parent.attrs["worker"] == inner.attrs["worker"]
+            assert inner.depth == 1
+
+    def test_global_metrics_registry_under_mapping_pool(self):
+        # End to end: parallel tree mapping writes shared counters from
+        # pool threads; the delta must equal the serial run's.
+        net = mcnc_circuit("count")
+        before = metrics.counters()
+        ChortleMapper(k=4).map(net)
+        serial = metrics.counter_delta(before)["chortle.luts_emitted"]
+        before = metrics.counters()
+        ChortleMapper(k=4, jobs=4).map(net)
+        parallel = metrics.counter_delta(before)["chortle.luts_emitted"]
+        assert parallel == serial

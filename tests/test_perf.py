@@ -315,6 +315,124 @@ class TestBenchPerf:
         assert data["gate"]["pass"] is True
 
 
+class TestWorkerTelemetry:
+    def test_record_and_bucket_round_trip(self):
+        from repro.perf.parallel import (
+            record_worker_telemetry,
+            worker_buckets,
+        )
+
+        before = metrics.counters()
+        record_worker_telemetry(
+            {
+                "queue_wait": 0.5,
+                "task_seconds": 1.25,
+                "cache_hits": 7,
+                "cache_misses": 3,
+            },
+            pickle_bytes=4096,
+        )
+        record_worker_telemetry(
+            {"queue_wait": 0.25, "task_seconds": 0.75}, pickle_bytes=1024
+        )
+        buckets = worker_buckets(
+            metrics.counter_delta(before), jobs=2, executor="process"
+        )
+        assert buckets["tasks"] == 2
+        assert buckets["compute_seconds"] == pytest.approx(2.0, abs=1e-4)
+        assert buckets["queue_wait_seconds"] == pytest.approx(0.75, abs=1e-4)
+        assert buckets["pickle_bytes"] == 5120
+        assert buckets["worker_cache"] == {
+            "hits": 7, "misses": 3, "evictions": 0,
+        }
+
+    def test_thread_variant_reports_zero_pickle(self):
+        from repro.perf.parallel import (
+            record_task_telemetry,
+            worker_buckets,
+        )
+
+        before = metrics.counters()
+        record_task_telemetry(queue_wait=0.1, task_seconds=0.2)
+        buckets = worker_buckets(
+            metrics.counter_delta(before), jobs=2, executor="thread"
+        )
+        assert buckets["pickle_bytes"] == 0
+        assert "worker_cache" not in buckets
+
+    def test_thread_parallel_map_emits_telemetry(self):
+        net = make_random_network(4, num_gates=40)
+        before = metrics.counters()
+        ChortleMapper(k=4, jobs=2).map(net)
+        delta = metrics.counter_delta(before)
+        assert delta.get("perf.parallel.tasks", 0) > 0
+        assert "perf.parallel.task_us" in delta
+
+    def test_bench_perf_parallel_phase_carries_buckets(self):
+        from repro.perf.benchperf import run_bench_perf
+
+        payload = run_bench_perf(
+            circuits=["9symml"], ks=(3,), jobs=2, created_at="t"
+        )
+        workers = payload["phases"]["parallel"]["workers"]
+        # The >=3 attribution buckets the acceptance criteria name.
+        assert workers["tasks"] > 0
+        assert workers["compute_seconds"] > 0.0
+        assert workers["queue_wait_seconds"] >= 0.0
+        assert workers["pickle_bytes"] == 0  # thread executor: zero-copy
+        assert workers["executor"] == "thread"
+        # Serial phases carry no worker block.
+        assert "workers" not in payload["phases"]["serial_uncached"]
+        # Environment captures both core counts (the satellite fix).
+        env = payload["environment"]
+        assert "cpu_count" in env and "cpu_affinity" in env
+        assert payload["config"]["cpu_affinity"] == env["cpu_affinity"]
+
+    def test_render_warns_when_jobs_exceed_cores(self):
+        from repro.perf.benchperf import render_bench_perf
+
+        payload = {
+            "cells": 1,
+            "config": {
+                "circuits": ["c"], "ks": [3], "jobs": 4,
+                "cpu_count": 2, "cpu_affinity": 2,
+            },
+            "phases": {
+                name: {"seconds": 1.0, "speedup_vs_serial": 1.0,
+                       "jobs": 4 if name == "parallel" else 1}
+                for name in (
+                    "serial_uncached", "cold_cache", "warm_cache", "parallel",
+                )
+            },
+            "qor_identical": True,
+            "gate": {"pass": True},
+        }
+        text = render_bench_perf(payload)
+        assert "WARNING" in text
+        assert "jobs=4" in text and "2 schedulable core" in text
+
+    def test_render_silent_when_cores_suffice(self):
+        from repro.perf.benchperf import render_bench_perf
+
+        payload = {
+            "cells": 1,
+            "config": {
+                "circuits": ["c"], "ks": [3], "jobs": 2,
+                "cpu_count": 8, "cpu_affinity": 8,
+            },
+            "phases": {
+                name: {"seconds": 1.0, "speedup_vs_serial": 1.0,
+                       "jobs": 2 if name == "parallel" else 1}
+                for name in (
+                    "serial_uncached", "cold_cache", "warm_cache", "parallel",
+                )
+            },
+            "qor_identical": True,
+            "gate": {"pass": True},
+        }
+        assert "WARNING" not in render_bench_perf(payload)
+
+
 class TestPermTableCache:
     def test_counter_visible_in_metrics(self):
         from repro.truth.canonical import np_canonical

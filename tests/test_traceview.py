@@ -1,0 +1,210 @@
+"""Tests for trace analytics (repro.obs.traceview)."""
+
+import json
+
+import pytest
+
+from repro.errors import PerfError
+from repro.obs import capture, span
+from repro.obs.tracer import SpanRecord
+from repro.obs.traceview import (
+    aggregate_by_name,
+    build_span_tree,
+    critical_path,
+    folded_stacks,
+    hotspots,
+    load_trace,
+    render_critical_path,
+    render_hotspots,
+)
+
+
+def rec(span_id, parent_id, name, start, duration, depth=0):
+    return SpanRecord(
+        span_id=span_id,
+        parent_id=parent_id,
+        depth=depth,
+        name=name,
+        start=start,
+        duration=duration,
+    )
+
+
+@pytest.fixture
+def forest():
+    """root(10s) -> [a(4s) -> leaf(1s), b(3s)]; second root c(2s)."""
+    return [
+        rec(4, 2, "leaf", 1.5, 1.0, depth=2),
+        rec(2, 1, "a", 1.0, 4.0, depth=1),
+        rec(3, 1, "b", 5.0, 3.0, depth=1),
+        rec(1, None, "root", 0.0, 10.0),
+        rec(5, None, "c", 20.0, 2.0),
+    ]
+
+
+class TestSpanTree:
+    def test_roots_and_children(self, forest):
+        roots = build_span_tree(forest)
+        assert [r.name for r in roots] == ["root", "c"]
+        root = roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_orphan_parent_becomes_root(self):
+        # Parent span 99 never finished (aborted run): the child must
+        # still be accounted for, as a root.
+        roots = build_span_tree([rec(1, 99, "orphan", 0.0, 1.0)])
+        assert [r.name for r in roots] == ["orphan"]
+
+    def test_self_time(self, forest):
+        roots = build_span_tree(forest)
+        root, c = roots
+        assert root.self_seconds == pytest.approx(3.0)  # 10 - (4 + 3)
+        assert root.children[0].self_seconds == pytest.approx(3.0)  # 4 - 1
+        assert c.self_seconds == pytest.approx(2.0)
+
+    def test_self_time_floored_at_zero(self):
+        # Timer jitter can make children sum past their parent; the
+        # floor keeps the aggregate sane.
+        roots = build_span_tree(
+            [rec(2, 1, "child", 0.0, 1.1), rec(1, None, "p", 0.0, 1.0)]
+        )
+        assert roots[0].self_seconds == 0.0
+
+    def test_self_time_telescopes_to_root_duration(self, forest):
+        roots = build_span_tree(forest)
+        total_self = sum(
+            s.self_seconds for s in aggregate_by_name(roots)
+        )
+        wall = sum(r.duration for r in roots)
+        assert total_self == pytest.approx(wall)
+
+
+class TestAggregation:
+    def test_sorted_by_self_time(self, forest):
+        stats = aggregate_by_name(build_span_tree(forest))
+        names = [s.name for s in stats]
+        assert names[0] in ("root", "a")  # both 3.0s self
+        assert names[-1] == "leaf"
+
+    def test_counts_and_totals(self):
+        records = [
+            rec(1, None, "x", 0.0, 1.0),
+            rec(2, None, "x", 2.0, 3.0),
+        ]
+        (stat,) = aggregate_by_name(build_span_tree(records))
+        assert stat.count == 2
+        assert stat.total_seconds == pytest.approx(4.0)
+        assert stat.self_seconds == pytest.approx(4.0)
+        assert stat.mean_self_seconds == pytest.approx(2.0)
+
+    def test_hotspots_top_and_wall(self, forest):
+        stats, wall = hotspots(forest, top=2)
+        assert len(stats) == 2
+        assert wall == pytest.approx(12.0)  # 10 + 2, root durations only
+
+    def test_live_capture_sums_to_wall(self):
+        with capture() as sink, span("t.root"):
+            with span("t.a"):
+                with span("t.leaf"):
+                    pass
+            with span("t.b"):
+                pass
+        stats, wall = hotspots(sink.records)
+        total_self = sum(s.self_seconds for s in stats)
+        assert total_self == pytest.approx(wall, rel=1e-9)
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_child(self, forest):
+        path = critical_path(build_span_tree(forest))
+        assert [n.name for n in path] == ["root", "a", "leaf"]
+
+    def test_empty(self):
+        assert critical_path([]) == []
+
+    def test_render(self, forest):
+        text = render_critical_path(critical_path(build_span_tree(forest)))
+        assert "root" in text and "leaf" in text
+
+
+class TestFoldedStacks:
+    def test_format_and_values(self, forest):
+        lines = folded_stacks(forest)
+        folded = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in lines
+        )
+        assert folded["root"] == 3_000_000
+        assert folded["root;a"] == 3_000_000
+        assert folded["root;a;leaf"] == 1_000_000
+        assert folded["root;b"] == 3_000_000
+        assert folded["c"] == 2_000_000
+
+    def test_every_line_is_stack_space_int(self, forest):
+        for line in folded_stacks(forest):
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+            assert all(part for part in stack.split(";"))
+
+    def test_identical_stacks_merge(self):
+        records = [
+            rec(1, None, "x", 0.0, 1.0),
+            rec(2, None, "x", 2.0, 1.0),
+        ]
+        (line,) = folded_stacks(records)
+        assert line == "x 2000000"
+
+    def test_separator_characters_cleaned(self):
+        records = [rec(1, None, "a;b c", 0.0, 1.0)]
+        (line,) = folded_stacks(records)
+        assert line.startswith("a:b_c ")
+
+    def test_zero_self_time_dropped(self):
+        records = [
+            rec(2, 1, "child", 0.0, 1.0),
+            rec(1, None, "wrapper", 0.0, 1.0),
+        ]
+        lines = folded_stacks(records)
+        assert lines == ["wrapper;child 1000000"]
+
+
+class TestLoadTrace:
+    def _write(self, path, records, extra=""):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+            handle.write(extra)
+
+    def test_round_trip(self, tmp_path, forest):
+        path = tmp_path / "t.jsonl"
+        self._write(path, forest)
+        loaded = load_trace(str(path))
+        assert [r.name for r in loaded] == [r.name for r in forest]
+        assert loaded[0].attrs == {}
+
+    def test_truncated_final_line_dropped(self, tmp_path, forest):
+        path = tmp_path / "t.jsonl"
+        self._write(path, forest, extra='{"span_id": 9, "name": "cut')
+        assert len(load_trace(str(path))) == len(forest)
+
+    def test_malformed_interior_line_raises(self, tmp_path, forest):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps(forest[0].to_dict()) + "\n")
+        with pytest.raises(PerfError, match="line 1"):
+            load_trace(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PerfError):
+            load_trace(str(tmp_path / "absent.jsonl"))
+
+
+class TestRendering:
+    def test_hotspot_table(self, forest):
+        stats, wall = hotspots(forest)
+        text = render_hotspots(stats, wall)
+        assert "span" in text and "self" in text and "count" in text
+        assert "listed self time" in text
+        assert "100.0%" in text  # full forest accounts for all root time
