@@ -39,24 +39,68 @@ def _lint_cell_worker(payload: Tuple[str, int, str]) -> List[Diagnostic]:
     return lint_cell(name, k, mapper)
 
 
+def _timed_lint_cell_worker(
+    payload: Tuple[str, int, str],
+) -> Tuple[List[Diagnostic], float]:
+    import time
+
+    started = time.perf_counter()
+    return _lint_cell_worker(payload), time.perf_counter() - started
+
+
 def lint_suite(
     circuits: Optional[Sequence[str]] = None,
     mappers: Sequence[str] = DEFAULT_MAPPERS,
     ks: Sequence[int] = DEFAULT_KS,
     jobs: int = 1,
+    progress: object = False,
 ) -> List[Diagnostic]:
-    """Lint every (circuit, K, mapper) cell of the sweep; all findings."""
+    """Lint every (circuit, K, mapper) cell of the sweep; all findings.
+
+    ``progress`` takes ``True`` (heartbeat lines on stderr) or a
+    :class:`~repro.obs.progress.ProgressEmitter` for per-cell
+    started/finished events while the audit runs (parallel audits emit
+    finished events only, in completion order; findings still come back
+    in submission order).
+    """
+    import time
+
     from repro.bench.mcnc import TABLE_CIRCUITS
+    from repro.obs.progress import resolve_progress
 
     names = list(circuits) if circuits else list(TABLE_CIRCUITS)
     cells = [(n, k, m) for n in names for k in ks for m in mappers]
+    emitter = resolve_progress(progress, total=len(cells))
     findings: List[Diagnostic] = []
     if jobs <= 1 or len(cells) <= 1:
         for cell in cells:
+            name, k, mapper = cell
+            if emitter is not None:
+                emitter.cell_started(name, k, mapper, phase="lint")
+            started = time.perf_counter()
             findings.extend(_lint_cell_worker(cell))
+            if emitter is not None:
+                emitter.cell_finished(
+                    name, k, mapper,
+                    seconds=time.perf_counter() - started,
+                    phase="lint",
+                )
         return findings
     workers = min(jobs, len(cells))
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        for result in pool.map(_lint_cell_worker, cells):
-            findings.extend(result)
+        futures = [
+            pool.submit(_timed_lint_cell_worker, cell) for cell in cells
+        ]
+        if emitter is not None:
+            future_cells = dict(zip(futures, cells))
+            for future in concurrent.futures.as_completed(futures):
+                name, k, mapper = future_cells[future]
+                emitter.cell_finished(
+                    name, k, mapper,
+                    seconds=future.result()[1],
+                    phase="lint",
+                )
+        # Findings in submission order, whatever order the pool ran them.
+        for future in futures:
+            findings.extend(future.result()[0])
     return findings

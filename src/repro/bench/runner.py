@@ -80,7 +80,16 @@ _CSV_FIELDS = [
     "depth",
     "seconds",
     "wall_seconds",
+    "depth_attribution",
 ]
+
+
+def _format_attribution(attribution: Optional[Dict[str, int]]) -> str:
+    """The CSV cell for a depth attribution: ``tree=levels;...`` or ``n/a``."""
+    if not attribution:
+        return "n/a"
+    ranked = sorted(attribution.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ";".join("%s=%d" % (tree, levels) for tree, levels in ranked)
 
 
 @dataclass
@@ -107,6 +116,9 @@ class SuiteResult:
         writer.writeheader()
         for report in self.reports:
             row = {key: getattr(report, key) for key in _CSV_FIELDS}
+            row["depth_attribution"] = _format_attribution(
+                report.depth_attribution
+            )
             writer.writerow(row)
         return buffer.getvalue()
 

@@ -14,6 +14,9 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle map in.blif --profile                 # stage timings on stderr
     chortle map in.blif --cache --jobs 4          # memo cache + parallel trees
     chortle profile in.blif -k 4                  # span tree + counters
+    chortle explain 9symml -k 4                   # decision provenance report
+    chortle explain in.blif --node n1 --format json   # one node, as JSON
+    chortle map in.blif --explain                 # explanation alongside mapping
     chortle bench-perf --quick -o perf.json       # measured perf trajectory
     chortle stats in.blif                         # network statistics
     chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
@@ -113,6 +116,7 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
     flow_spec = getattr(args, "flow", None)
     checked = bool(getattr(args, "checked", False))
     lint = bool(getattr(args, "lint", False))
+    explain = bool(getattr(args, "explain", False))
     jobs = int(getattr(args, "jobs", 1) or 1)
     if flow_spec:
         from repro.flow import FlowMapperAdapter
@@ -124,7 +128,8 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
             config["jobs"] = jobs
         flow = get_registry().resolve(flow_spec)
         return flow.name, FlowMapperAdapter(
-            flow, k=args.k, checked=checked, lint=lint, config=config
+            flow, k=args.k, checked=checked, lint=lint, explain=explain,
+            config=config,
         )
     if (checked or lint) and args.mapper not in get_registry():
         raise ReproError(
@@ -132,7 +137,8 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
             % ("checked" if checked else "lint", ", ".join(get_registry().names()))
         )
     return args.mapper, resolve_mapper(
-        args.mapper, args.k, checked=checked, lint=lint, cache=cache, jobs=jobs
+        args.mapper, args.k, checked=checked, lint=lint, cache=cache,
+        jobs=jobs, explain=explain,
     )
 
 
@@ -209,6 +215,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
     lint_failed = False
     if getattr(args, "lint", False):
         lint_failed = _report_map_lint(getattr(mapper, "diagnostics", []))
+    if getattr(args, "explain", False):
+        _report_map_explain(mapper, mapper_name, args)
     if args.profile:
         _print_stage_table(sink)
     text = write_lut_circuit(circuit)
@@ -251,6 +259,24 @@ def _cmd_map(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if lint_failed else 0
+
+
+def _report_map_explain(mapper, mapper_name: str, args: argparse.Namespace) -> None:
+    """Print/save the decision provenance a ``map --explain`` run recorded."""
+    from repro.obs.explain import render_explanation
+
+    explanation = getattr(mapper, "explanation", None)
+    if explanation is None:
+        print(
+            "explain: n/a (mapper %r records no decisions)" % mapper_name,
+            file=sys.stderr,
+        )
+        return
+    explain_json = getattr(args, "explain_json", None)
+    if explain_json:
+        explanation.save(explain_json)
+        print("wrote explanation to %s" % explain_json, file=sys.stderr)
+    print(render_explanation(explanation), file=sys.stderr)
 
 
 def _report_map_lint(diagnostics) -> bool:
@@ -299,12 +325,74 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("stage self time (hottest first):")
     _print_stage_table(sink, stream=sys.stdout)
     profile = circuit.tree_profile()
+    print()
+    print("largest trees (cost-counted LUTs, from per-LUT provenance):")
     if profile:
-        print()
-        print("largest trees (cost-counted LUTs, from per-LUT provenance):")
         worst = sorted(profile.items(), key=lambda kv: (-kv[1], kv[0]))
         for tree, luts in worst[:10]:
             print("  %-32s %d" % (tree, luts))
+    else:
+        print("  n/a (mapper records no provenance)")
+    return 0
+
+
+def _explain_network(spec: str):
+    """The network named by an explain input: a BLIF path or MCNC profile."""
+    import os
+
+    if os.path.exists(spec):
+        return _load_network(spec, factor=False)
+    if spec in MCNC_PROFILES:
+        return mcnc_circuit(spec)
+    raise ReproError(
+        "explain input %r is neither a readable BLIF file nor an MCNC "
+        "profile (profiles: %s)" % (spec, ", ".join(sorted(MCNC_PROFILES)))
+    )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Map with decision recording on and render the explanation."""
+    from repro.obs.explain import render_explanation
+
+    net = _explain_network(args.input)
+    mapper_name, mapper = _resolve_cli_mapper(args)
+    circuit = mapper.map(net)
+    explanation = getattr(mapper, "explanation", None)
+    if explanation is None:
+        print(
+            "%s: %d LUTs (K=%d), depth %d"
+            % (mapper_name, circuit.cost, args.k, circuit.depth()),
+            file=sys.stderr,
+        )
+        print(
+            "explain: n/a (mapper %r records no decisions)" % mapper_name,
+            file=sys.stderr,
+        )
+        return 1
+    if args.node is not None and explanation.filter_node(args.node).trees == []:
+        known = sorted(
+            {d.node for tree in explanation.trees for d in tree.nodes}
+        )
+        raise ReproError(
+            "no decision recorded for node %r in %s (%d recorded nodes; "
+            "e.g. %s)"
+            % (args.node, explanation.circuit, len(known),
+               ", ".join(known[:5]) or "none")
+        )
+    if args.format == "json":
+        exp = (
+            explanation
+            if args.node is None
+            else explanation.filter_node(args.node)
+        )
+        text = exp.to_json() + "\n"
+    else:
+        text = render_explanation(explanation, node=args.node) + "\n"
+    if args.output:
+        _write_text(args.output, text)
+        print("wrote %s" % args.output, file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -416,6 +504,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 mappers=tuple(args.mappers),
                 ks=ks,
                 jobs=args.jobs,
+                progress=bool(getattr(args, "progress", False)),
             )
         )
     baseline = load_baseline(args.baseline) if args.baseline else None
@@ -908,6 +997,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="include XC3000-style CLB packing figures in the report",
     )
     p_map.add_argument(
+        "--explain",
+        action="store_true",
+        help="record the DP's decisions while mapping and print the "
+        "explanation (area/depth attribution, per-node choices) to stderr",
+    )
+    p_map.add_argument(
+        "--explain-json",
+        metavar="FILE",
+        help="with --explain: also save the explanation as schema-versioned "
+        "JSON to FILE",
+    )
+    p_map.add_argument(
         "--trace",
         metavar="FILE",
         help="write a JSON-lines trace of mapping spans to FILE",
@@ -957,6 +1058,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_perf_options(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="map with decision recording on; print the explanation "
+        "(who pays area/depth, per-node DP choices)",
+    )
+    p_explain.add_argument(
+        "input",
+        help="input BLIF file, or an MCNC profile name (e.g. 9symml)",
+    )
+    p_explain.add_argument(
+        "-k", type=int, default=4, help="LUT input count (default 4)"
+    )
+    p_explain.add_argument(
+        "--mapper",
+        choices=mapper_names(),
+        default="chortle",
+        help="mapper or flow to explain (default chortle; mappers without "
+        "decision recording report n/a)",
+    )
+    p_explain.add_argument(
+        "--flow",
+        metavar="NAME_OR_SPEC",
+        help="explain a registered flow or comma-separated pass spec; "
+        "overrides --mapper",
+    )
+    p_explain.add_argument(
+        "--node",
+        metavar="NAME",
+        help="drill down to the decision records for one tree node",
+    )
+    p_explain.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default text)",
+    )
+    p_explain.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="map forest trees on N worker threads (records are "
+        "bit-identical to serial)",
+    )
+    p_explain.add_argument(
+        "-o", "--output", help="write the explanation to this file"
+    )
+    p_explain.set_defaults(func=_cmd_explain, explain=True)
 
     p_perf = sub.add_parser(
         "bench-perf",
@@ -1126,6 +1276,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="fan --cell/--suite cells across N worker processes",
+    )
+    p_lint.add_argument(
+        "--progress",
+        action="store_true",
+        help="per-cell heartbeat lines on stderr while --cell/--suite "
+        "audits run",
     )
     p_lint.add_argument(
         "-o", "--output", help="write the report to this file instead of stdout"

@@ -35,6 +35,15 @@ class ChortleMapper:
     uncached run.  ``executor`` selects thread workers (default; shares
     the memo cache, zero-copy) or process workers (sidesteps the GIL at
     the price of pickling the network per worker).
+
+    ``recorder`` (a :class:`~repro.obs.explain.DecisionRecorder`) turns
+    on decision provenance: the mapper records every tree-DP choice and
+    exposes a built :class:`~repro.obs.explain.MappingExplanation` as
+    :attr:`explanation` after each ``map`` call.  Recording is
+    cache-exclusive (the memo cache is bypassed so records are exact and
+    reproducible) and thread-compatible, but requires the ``thread``
+    executor — worker processes cannot stream decisions back.  The
+    mapped circuit is bit-identical with recording on or off.
     """
 
     name = "chortle"  # spec name under the common Mapper protocol
@@ -47,10 +56,16 @@ class ChortleMapper:
         cache=None,
         jobs: int = 1,
         executor: str = "thread",
+        recorder=None,
     ):
         if executor not in ("thread", "process"):
             raise MappingError(
                 "executor must be 'thread' or 'process', got %r" % executor
+            )
+        if recorder is not None and executor == "process":
+            raise MappingError(
+                "decision recording requires the thread (or serial) "
+                "executor; process workers cannot stream decisions back"
             )
         self.k = k
         self.split_threshold = split_threshold
@@ -60,8 +75,14 @@ class ChortleMapper:
         self.cache = resolve_cache(cache)
         self.jobs = jobs
         self.executor = executor
+        self.recorder = recorder
+        # The explanation for the most recent map() call (recorder set).
+        self.explanation = None
         self._tree_mapper = TreeMapper(
-            k, split_threshold=split_threshold, cache=self.cache
+            k,
+            split_threshold=split_threshold,
+            cache=self.cache,
+            recorder=recorder,
         )
 
     def map(self, network: BooleanNetwork) -> LUTCircuit:
@@ -81,12 +102,22 @@ class ChortleMapper:
             with recursion_limit(4 * len(net) + 1000):
                 circuit = self._map_swept(net)
             sp.set("luts", circuit.cost)
+            if self.recorder is not None:
+                from repro.obs.explain import build_explanation
+
+                self.explanation = build_explanation(
+                    net, circuit, self.recorder, k=self.k, mapper=self.name
+                )
             return circuit
 
     def _map_swept(self, net: BooleanNetwork) -> LUTCircuit:
         forest = build_forest(net)
         check_forest(forest)
         metrics.count("chortle.trees_mapped", len(forest.trees))
+        if self.recorder is not None:
+            # Records come back in forest order no matter which worker
+            # thread finished a tree first.
+            self.recorder.set_order([tree.root for tree in forest.trees])
 
         circuit = LUTCircuit("%s_k%d" % (net.name, self.k))
         for name in net.inputs:

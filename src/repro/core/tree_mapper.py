@@ -155,9 +155,22 @@ def _chain_to_tuple(chain: _Chain) -> Tuple:
 
 
 class TreeMapper:
-    """Maps fanout-free trees into minimum-cost circuits of K-input LUTs."""
+    """Maps fanout-free trees into minimum-cost circuits of K-input LUTs.
 
-    def __init__(self, k: int, split_threshold: int = 10, cache=None):
+    ``recorder`` (a :class:`~repro.obs.explain.DecisionRecorder`) turns
+    on decision provenance: one record per tree node naming the chosen
+    utilization division, its cost/depth, the alternatives enumerated,
+    and the runner-up's cost delta.  Recording is *cache-exclusive* —
+    a recording mapper computes every node table fresh, never reading
+    or writing the memo cache, so candidate counts are exact and the
+    records (like the mapping itself) are bit-identical across serial,
+    parallel, and warm-cache runs.  The recorder observes the DP; it
+    never changes the mapped circuit.
+    """
+
+    def __init__(
+        self, k: int, split_threshold: int = 10, cache=None, recorder=None
+    ):
         if k < 2:
             raise MappingError("K must be at least 2, got %d" % k)
         if split_threshold < 2:
@@ -170,6 +183,7 @@ class TreeMapper:
         # Shared across trees, networks, and K sweeps; results are
         # bit-identical to the uncached path by construction.
         self.cache = cache
+        self.recorder = recorder
 
     # -- public API ---------------------------------------------------------
 
@@ -177,6 +191,10 @@ class TreeMapper:
         """Optimal mapping of one fanout-free tree; returns the root candidate."""
         tables: Dict[str, NodeTable] = {}
         sigs: Dict[str, Optional[tuple]] = {}
+        recording = self.recorder is not None
+        # (name, op, fanins, split, candidates) per node, in topological
+        # order — the raw material for the per-node decision records.
+        node_info: List[Tuple[str, str, int, bool, int]] = []
         for name in network.topological_order():
             if name not in tree.internal:
                 continue
@@ -191,19 +209,129 @@ class TreeMapper:
                     )
                 else:
                     items.append(ExtItem(sig.name, sig.inv))
-            tables[name], sigs[name] = self.cached_node_table(node.op, items)
+            if recording:
+                stats = [0, 0]
+                tables[name] = self.compute_node_table(node.op, items, stats)
+                sigs[name] = None
+                node_info.append(
+                    (
+                        name,
+                        node.op,
+                        len(items),
+                        len(items) > self.split_threshold,
+                        stats[0],
+                    )
+                )
+            else:
+                tables[name], sigs[name] = self.cached_node_table(node.op, items)
         root_table = tables.get(tree.root)
         if root_table is None:
             raise MappingError("tree root %r was never mapped" % tree.root)
         best = root_table[self.k]
         if best is None:
             raise MappingError("no feasible mapping for tree %r" % tree.root)
+        if recording:
+            self._record_tree(tree.root, tables, node_info, best)
         return best
+
+    # -- decision recording -------------------------------------------------
+
+    def _record_tree(
+        self,
+        root: str,
+        tables: Dict[str, NodeTable],
+        node_info: List[Tuple[str, str, int, bool, int]],
+        best: MapCand,
+    ) -> None:
+        """Build and store one tree's decision records (recorder set).
+
+        The per-node *chosen* entry is resolved top-down from the root
+        candidate: walking the winning placement chain visits, exactly
+        once per tree node, the node-table entry the emission will
+        actually use — as the node's own LUT (``wire``) or absorbed into
+        its parent's root table (``merged``).
+        """
+        from repro.obs.explain import Alternative, NodeDecision, TreeDecisions
+
+        entry_owner: Dict[int, str] = {}
+        for name, table in tables.items():
+            for cand in table:
+                if cand is not None:
+                    entry_owner[id(cand)] = name
+        chosen: Dict[str, Tuple[MapCand, str]] = {root: (best, "root")}
+        stack: List[MapCand] = [best]
+        while stack:
+            cand = stack.pop()
+            for placement in cand.placements:
+                kind = placement[0]
+                if kind == "ext":
+                    continue
+                child = placement[1]
+                owner = entry_owner.get(id(child))
+                if owner is not None and owner != root:
+                    chosen[owner] = (child, kind)
+                stack.append(child)
+
+        decisions = []
+        for name, op, fanins, split, candidates in node_info:
+            table = tables[name]
+            cand, placement = chosen.get(name, (table[self.k], "wire"))
+            # Two table entries are the same *mapping* when cost, depth,
+            # and placement shape agree — the monotonize step can leave
+            # equal-content duplicates behind distinct objects, which
+            # must not masquerade as runner-up ties.
+            chosen_key = (cand.cost, cand.depth, cand.placement_kinds())
+            alternatives = []
+            seen_keys = set()
+            for u in range(2, self.k + 1):
+                entry = table[u]
+                if entry is None:
+                    continue
+                key = (entry.cost, entry.depth, entry.placement_kinds())
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                alternatives.append(
+                    Alternative(
+                        utilization=u,
+                        cost=entry.cost,
+                        depth=entry.depth,
+                        placements=entry.placement_kinds(),
+                    )
+                )
+            runner_costs = [
+                alt.cost
+                for alt in alternatives
+                if (alt.cost, alt.depth, alt.placements) != chosen_key
+            ]
+            decisions.append(
+                NodeDecision(
+                    node=name,
+                    op=op,
+                    fanins=fanins,
+                    split=split,
+                    placement=placement,
+                    utilization=len(cand.placements),
+                    cost=cand.cost,
+                    depth=cand.depth,
+                    placements=cand.placement_kinds(),
+                    candidates=candidates,
+                    alternatives=tuple(alternatives),
+                    runner_up_delta=(
+                        min(runner_costs) - cand.cost if runner_costs else None
+                    ),
+                )
+            )
+        self.recorder.record_tree(
+            TreeDecisions(
+                root=root, luts=best.cost, depth=best.depth, nodes=decisions
+            )
+        )
 
     # -- node table construction ------------------------------------------------
 
     def cached_node_table(
-        self, op: str, items: Sequence[FaninItem]
+        self, op: str, items: Sequence[FaninItem], stats: Optional[list] = None
     ) -> Tuple[NodeTable, Optional[tuple]]:
         """``compute_node_table`` through the memo cache, plus the signature.
 
@@ -212,9 +340,14 @@ class TreeMapper:
         canonical table is rehydrated against the live ``items`` — same
         costs, depths, and placement structure, with this call's leaf
         names and child candidates substituted in.
+
+        A ``stats`` accumulator (decision recording) forces the uncached
+        path: a rehydrated table enumerates nothing, so exact candidate
+        counts are only available — and the records only reproducible —
+        when every table is computed fresh.
         """
-        if self.cache is None:
-            return self.compute_node_table(op, items), None
+        if self.cache is None or stats is not None:
+            return self.compute_node_table(op, items, stats), None
         from repro.perf.memo import (
             canonicalize_table,
             node_signature,
@@ -232,8 +365,15 @@ class TreeMapper:
         self.cache.put(key, canonicalize_table(table, items))
         return table, sig
 
-    def compute_node_table(self, op: str, items: Sequence[FaninItem]) -> NodeTable:
-        """``minmap(n, U)`` for all U, for a node with the given fanin items."""
+    def compute_node_table(
+        self, op: str, items: Sequence[FaninItem], stats: Optional[list] = None
+    ) -> NodeTable:
+        """``minmap(n, U)`` for all U, for a node with the given fanin items.
+
+        ``stats`` is an optional ``[candidates, entries]`` accumulator
+        (decision recording); when ``None`` — the default — the hot path
+        is byte-for-byte the unrecorded computation.
+        """
         items = list(items)
         if len(items) < 1:
             raise MappingError("a node must have at least one fanin")
@@ -242,26 +382,32 @@ class TreeMapper:
                 "single-fanin gates must be swept before mapping"
             )
         if len(items) > self.split_threshold:
-            return self._split_and_map(op, items)
-        return self._subset_dp(op, items)
+            return self._split_and_map(op, items, stats)
+        return self._subset_dp(op, items, stats)
 
-    def _split_and_map(self, op: str, items: List[FaninItem]) -> NodeTable:
+    def _split_and_map(
+        self, op: str, items: List[FaninItem], stats: Optional[list] = None
+    ) -> NodeTable:
         """Section 3.1.4: split a wide node into two roughly equal halves."""
         metrics.count("chortle.node_splits")
         half = len(items) // 2
-        left = self._table_or_passthrough(op, items[:half])
-        right = self._table_or_passthrough(op, items[half:])
-        return self._subset_dp(op, [left, right])
+        left = self._table_or_passthrough(op, items[:half], stats)
+        right = self._table_or_passthrough(op, items[half:], stats)
+        return self._subset_dp(op, [left, right], stats)
 
-    def _table_or_passthrough(self, op: str, items: List[FaninItem]) -> FaninItem:
+    def _table_or_passthrough(
+        self, op: str, items: List[FaninItem], stats: Optional[list] = None
+    ) -> FaninItem:
         if len(items) == 1:
             return items[0]
-        table, sig = self.cached_node_table(op, items)
+        table, sig = self.cached_node_table(op, items, stats)
         return TableItem(tuple(table), False, sig)
 
     # -- the subset DP ------------------------------------------------------------
 
-    def _subset_dp(self, op: str, items: List[FaninItem]) -> NodeTable:
+    def _subset_dp(
+        self, op: str, items: List[FaninItem], stats: Optional[list] = None
+    ) -> NodeTable:
         k = self.k
         n = len(items)
         full = (1 << n) - 1
@@ -291,6 +437,9 @@ class TreeMapper:
 
         metrics.count("chortle.decomp_candidates", acc[0])
         metrics.count("chortle.minmap_entries", acc[1])
+        if stats is not None:
+            stats[0] += acc[0]
+            stats[1] += acc[1]
         return sub[full]
 
     def _singleton_options(self, item: FaninItem) -> List[Tuple[int, int, tuple]]:

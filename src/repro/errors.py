@@ -43,3 +43,7 @@ class VerificationError(ReproError):
 
 class LintError(ReproError):
     """Invalid lint configuration, or a gated lint run found diagnostics."""
+
+
+class ExplainError(ReproError):
+    """Malformed decision-provenance record or invalid explain request."""

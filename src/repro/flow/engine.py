@@ -51,6 +51,7 @@ class FlowContext:
     k: int = 4
     checked: bool = False
     lint: bool = False
+    explain: bool = False
     verify_vectors: int = 1024
     config: Dict[str, object] = field(default_factory=dict)
     sinks: Tuple = ()
@@ -59,6 +60,10 @@ class FlowContext:
     # lint rules raised on any stage's output, attributed to the
     # emitting stage via its flow.stage.<n>.<name> span name.
     diagnostics: List[object] = field(default_factory=list)
+    # Filled by a decision-recording map pass when ``explain`` is set: a
+    # repro.obs.explain.MappingExplanation for the mapped circuit (None
+    # when the flow's mapper records no decisions).
+    explanation: Optional[object] = None
 
     def option(self, name: str, default=None):
         """A pass option from ``config``, or ``default``."""

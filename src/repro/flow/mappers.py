@@ -58,6 +58,7 @@ class FlowMapperAdapter:
         k: int = 4,
         checked: bool = False,
         lint: bool = False,
+        explain: bool = False,
         config: Optional[dict] = None,
     ):
         if not flow.is_mapping_flow:
@@ -71,17 +72,27 @@ class FlowMapperAdapter:
         self.k = k
         self.checked = checked
         self.lint = lint
+        self.explain = explain
         self.config = dict(config or {})
         # Stage-attributed lint findings from the most recent map() call
         # (empty unless constructed with lint=True).
         self.diagnostics: List[object] = []
+        # Decision provenance from the most recent map() call (None
+        # unless constructed with explain=True and the flow contains a
+        # decision-recording map pass).
+        self.explanation = None
 
     def map(self, network: BooleanNetwork) -> LUTCircuit:
         ctx = FlowContext(
-            k=self.k, checked=self.checked, lint=self.lint, config=self.config
+            k=self.k,
+            checked=self.checked,
+            lint=self.lint,
+            explain=self.explain,
+            config=self.config,
         )
         result = self.flow.run(network, ctx)
         self.diagnostics = list(ctx.diagnostics)
+        self.explanation = ctx.explanation
         return result
 
 
@@ -97,6 +108,7 @@ def resolve_mapper(
     lint: bool = False,
     cache=None,
     jobs: int = 1,
+    explain: bool = False,
 ) -> Mapper:
     """A ready-to-run mapper for a raw-mapper name, flow name, or flow spec.
 
@@ -105,6 +117,12 @@ def resolve_mapper(
     :mod:`repro.perf`); they reach the chortle engine whether it is
     resolved raw or as a stage of a flow, and are ignored by mappers
     without that engine.
+
+    ``explain`` turns on decision provenance: a mapper that records
+    decisions (raw chortle, or any flow containing the chortle pass)
+    exposes a :class:`~repro.obs.explain.MappingExplanation` as its
+    ``explanation`` attribute after each ``map`` call; other mappers
+    leave it ``None``.
 
     Raises :class:`FlowError` for names that are neither known mappers
     nor parseable flow specs, and for ``checked`` on a raw mapper (only
@@ -119,11 +137,18 @@ def resolve_mapper(
                 "(registered flows: %s)"
                 % (name, mode, ", ".join(registry.names()))
             )
-        return CORE_MAPPERS[name](k, cache=cache, jobs=jobs)
+        opts: Dict[str, object] = {"cache": cache, "jobs": jobs}
+        if explain and name == "chortle":
+            from repro.obs.explain import DecisionRecorder
+
+            opts["recorder"] = DecisionRecorder()
+        return CORE_MAPPERS[name](k, **opts)
     flow = registry.resolve(name)
     config: Dict[str, object] = {}
     if cache is not None:
         config["cache"] = cache
     if jobs != 1:
         config["jobs"] = jobs
-    return FlowMapperAdapter(flow, k=k, checked=checked, lint=lint, config=config)
+    return FlowMapperAdapter(
+        flow, k=k, checked=checked, lint=lint, explain=explain, config=config
+    )

@@ -134,14 +134,23 @@ class ChortlePass(MapPass):
     name = "chortle"
 
     def run(self, value: BooleanNetwork, ctx) -> LUTCircuit:
+        recorder = None
+        if getattr(ctx, "explain", False):
+            from repro.obs.explain import DecisionRecorder
+
+            recorder = DecisionRecorder()
         mapper = ChortleMapper(
             k=ctx.k,
             split_threshold=ctx.option("split_threshold", 10),
             cache=ctx.option("cache"),
             jobs=ctx.option("jobs", 1),
             executor=ctx.option("executor", "thread"),
+            recorder=recorder,
         )
-        return mapper.map(value)
+        circuit = mapper.map(value)
+        if recorder is not None:
+            ctx.explanation = mapper.explanation
+        return circuit
 
 
 class DepthBoundedPass(MapPass):

@@ -20,9 +20,12 @@ dashboard and drives the ``chortle qor diff``/``gate`` exit status.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.qor import CellKey, RunRecord
+
+if TYPE_CHECKING:
+    from repro.obs.explain import DecisionDelta, MappingExplanation
 
 IMPROVED = "improved"
 UNCHANGED = "unchanged"
@@ -107,6 +110,10 @@ class CellDiff:
     status: str
     gated: bool
     tree_deltas: List[TreeDelta] = field(default_factory=list)
+    # Decision-level drill-down: the individual DP choices that changed
+    # inside the worsened trees (filled by attach_decision_drilldown
+    # when explanations are on hand).
+    decision_deltas: List[DecisionDelta] = field(default_factory=list)
 
     @property
     def delta(self) -> float:
@@ -244,6 +251,23 @@ class QorDiff:
                         % (cell.circuit, cell.k, cell.mapper,
                            t.tree, t.baseline, t.current, t.delta)
                     )
+        explained = [c for c in self.cells if c.decision_deltas]
+        if explained:
+            lines.append("")
+            lines.append("### Changed decisions")
+            lines.append("")
+            for cell in explained:
+                for delta in cell.decision_deltas[:10]:
+                    lines.append(
+                        "- %s, K=%d, %s: %s"
+                        % (cell.circuit, cell.k, cell.mapper, delta.describe())
+                    )
+                hidden = len(cell.decision_deltas) - 10
+                if hidden > 0:
+                    lines.append(
+                        "- %s, K=%d, %s: (%d more changed decisions)"
+                        % (cell.circuit, cell.k, cell.mapper, hidden)
+                    )
         table("Improvements", self.improvements)
         lines.append("")
         return "\n".join(lines)
@@ -291,6 +315,39 @@ def diff_records(
                 )
             diff.cells.append(cell)
     return diff
+
+
+def attach_decision_drilldown(
+    diff: QorDiff,
+    baselines: Mapping[CellKey, "MappingExplanation"],
+    currents: Mapping[CellKey, "MappingExplanation"],
+) -> int:
+    """Resolve worsened-tree attributions down to individual DP choices.
+
+    ``baselines``/``currents`` map (circuit, K, mapper) cell keys to
+    :class:`~repro.obs.explain.MappingExplanation` objects (from
+    ``map --explain`` runs or saved explain JSON).  Every LUT cell that
+    changed and has explanations on both sides gets its
+    ``decision_deltas`` filled, restricted to the trees its
+    ``tree_deltas`` already blamed (or every shared tree when the
+    reports carried no per-tree provenance).  Returns the number of
+    decision deltas attached.
+    """
+    from repro.obs.explain import decision_drilldown
+
+    attached = 0
+    for cell in diff.cells:
+        if cell.metric != "luts" or cell.status == UNCHANGED:
+            continue
+        key = (cell.circuit, cell.k, cell.mapper)
+        base_exp = baselines.get(key)
+        cur_exp = currents.get(key)
+        if base_exp is None or cur_exp is None:
+            continue
+        trees = [t.tree for t in cell.tree_deltas] or None
+        cell.decision_deltas = decision_drilldown(base_exp, cur_exp, trees=trees)
+        attached += len(cell.decision_deltas)
+    return attached
 
 
 def render_record(record: RunRecord) -> str:

@@ -46,6 +46,9 @@ class MappingReport:
     # Cost-counted LUTs per source tree, from per-LUT provenance; None for
     # mappers that do not record provenance (see LUTCircuit.tree_profile).
     tree_luts: Optional[Dict[str, int]] = None
+    # Critical-path LUT levels per source tree (sums to ``depth``; see
+    # repro.obs.explain.depth_attribution); None without provenance.
+    depth_attribution: Optional[Dict[str, int]] = None
 
     @property
     def average_utilization(self) -> float:
@@ -129,6 +132,20 @@ class MappingReport:
                 "  largest trees: %s"
                 % ", ".join("%s=%d" % (tree, n) for tree, n in worst[:5])
             )
+        else:
+            lines.append("  largest trees: n/a (mapper records no provenance)")
+        if self.depth_attribution:
+            deepest = sorted(
+                self.depth_attribution.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            lines.append(
+                "  critical-path levels: %s"
+                % ", ".join("%s=%d" % (tree, n) for tree, n in deepest[:5])
+            )
+        else:
+            lines.append(
+                "  critical-path levels: n/a (mapper records no provenance)"
+            )
         return "\n".join(lines)
 
 
@@ -153,6 +170,13 @@ def build_report(
         clbs = packing.num_clbs
         ratio = round(packing.packing_ratio, 3)
     tree_luts = circuit.tree_profile() or None
+    attribution = None
+    if tree_luts:
+        # Only meaningful with per-LUT provenance: without it every
+        # critical-path level lands in the (interface) bucket.
+        from repro.obs.explain import depth_attribution
+
+        attribution = depth_attribution(circuit)[0] or None
     return MappingReport(
         circuit_name=network.name,
         k=k,
@@ -172,4 +196,5 @@ def build_report(
         timings=timings,
         counters=counters,
         tree_luts=tree_luts,
+        depth_attribution=attribution,
     )

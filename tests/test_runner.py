@@ -159,7 +159,7 @@ class TestExports:
         assert header.split(",") == _CSV_FIELDS == [
             "circuit_name", "k", "mapper", "num_inputs", "num_outputs",
             "source_gates", "luts", "luts_total", "depth", "seconds",
-            "wall_seconds",
+            "wall_seconds", "depth_attribution",
         ]
 
     def test_to_records_bundles_reports(self, small_sweep):
