@@ -32,9 +32,10 @@ FLOW = "flow"
 
 DOMAINS: Tuple[str, ...] = (NETWORK, CIRCUIT, FLOW)
 
-#: Placement kinds a LUTProvenance record may legally carry (the three
-#: input-placement classes of the tree decomposition; see core/tree.py).
-_PLACEMENT_KINDS = frozenset(("ext", "wire", "merged"))
+#: Placement kinds a LUTProvenance record may legally carry: the three
+#: input-placement classes of the tree decomposition (see core/tree.py)
+#: plus ``cut`` — one entry per leaf of a DAG-cover mapper's chosen cut.
+_PLACEMENT_KINDS = frozenset(("ext", "wire", "merged", "cut"))
 
 CheckFn = Callable[[object, LintContext], Iterator[Diagnostic]]
 
@@ -568,7 +569,7 @@ def _stale_provenance(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnos
                 % (lut.name, ", ".join(map(repr, sorted(set(bad_kinds))))),
                 subject=subject,
                 location=lut.name,
-                hint="placement kinds must be ext, wire, or merged",
+                hint="placement kinds must be ext, wire, merged, or cut",
             )
         elif prov.merged == 0 and len(lut.inputs) > len(prov.placements):
             # Each ext/wire placement contributes exactly one input wire
@@ -612,6 +613,53 @@ def _depth_mismatch(circuit: LUTCircuit, ctx: LintContext) -> Iterator[Diagnosti
             subject=ctx.subject_for(circuit),
             hint="rebuild the report after any pass that edits the circuit",
         )
+
+
+@register(
+    "CHRT211",
+    "bad-cut-provenance",
+    CIRCUIT,
+    ERROR,
+    "cut-cover provenance mixes kinds or mismatches the LUT width",
+)
+def _bad_cut_provenance(
+    circuit: LUTCircuit, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    """Structural invariants of DAG-cover (``cut``) provenance.
+
+    A cut-mapped LUT realizes one cone over exactly its cut leaves, so
+    its provenance must be *all* ``cut`` placements (the tree kinds
+    describe decomposition divisions that never coexist with a cut
+    cover) and must record exactly one placement per input wire.
+    """
+    subject = ctx.subject_for(circuit)
+    for lut in circuit.luts():
+        prov = lut.provenance
+        if prov is None or "cut" not in prov.placements:
+            continue
+        kinds = set(prov.placements)
+        if kinds != {"cut"}:
+            yield Diagnostic(
+                "CHRT211",
+                ERROR,
+                "LUT %r mixes cut provenance with %s"
+                % (lut.name, ", ".join(map(repr, sorted(kinds - {"cut"})))),
+                subject=subject,
+                location=lut.name,
+                hint="a cut cover has no tree-decomposition divisions",
+            )
+        elif len(prov.placements) != len(lut.inputs):
+            yield Diagnostic(
+                "CHRT211",
+                ERROR,
+                "LUT %r has %d inputs but its cut provenance records "
+                "%d leaves" % (
+                    lut.name, len(lut.inputs), len(prov.placements)
+                ),
+                subject=subject,
+                location=lut.name,
+                hint="cut provenance carries one placement per cut leaf",
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -660,20 +708,33 @@ def _bad_cache_key(artifacts: FlowArtifacts, ctx: LintContext) -> Iterator[Diagn
     if items is None:
         return
     for key, _value in items():
+        # Two legal layouts share the cache: tree-DP node tables keyed
+        # (k, split_threshold, ("nt", ...)) and cut-cover cone tables
+        # keyed ("cut", k, ("cone", ...)).
         ok = (
             isinstance(key, tuple)
             and len(key) == 3
-            and isinstance(key[0], int)
-            and isinstance(key[1], int)
-            and isinstance(key[2], tuple)
-            and key[2][:1] == ("nt",)
+            and (
+                (
+                    isinstance(key[0], int)
+                    and isinstance(key[1], int)
+                    and isinstance(key[2], tuple)
+                    and key[2][:1] == ("nt",)
+                )
+                or (
+                    key[0] == "cut"
+                    and isinstance(key[1], int)
+                    and isinstance(key[2], tuple)
+                    and key[2][:1] == ("cone",)
+                )
+            )
         )
         if not ok:
             yield Diagnostic(
                 "CHRT302",
                 ERROR,
-                "cache key %r is not (k, split_threshold, node-signature)"
-                % (key,),
+                "cache key %r is not (k, split_threshold, node-signature) "
+                "or ('cut', k, cone-signature)" % (key,),
                 subject=artifacts.name,
                 location=repr(key)[:80],
                 hint="keys missing the discriminators alias across K values",

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
 
-DEFAULT_MAPPERS: Tuple[str, ...] = ("chortle", "mis")
+DEFAULT_MAPPERS: Tuple[str, ...] = ("chortle", "mis", "cutmap")
 DEFAULT_KS: Tuple[int, ...] = (2, 3, 4, 5)
 
 
@@ -68,8 +68,18 @@ def lint_suite(
     from repro.bench.mcnc import TABLE_CIRCUITS
     from repro.obs.progress import resolve_progress
 
+    from repro.flow.mappers import supports_k
+
     names = list(circuits) if circuits else list(TABLE_CIRCUITS)
-    cells = [(n, k, m) for n in names for k in ks for m in mappers]
+    # Same capability filter as the benchmark runner: cells a mapper
+    # cannot do at that K (mis beyond K=5) are skipped, not failed.
+    cells = [
+        (n, k, m)
+        for n in names
+        for k in ks
+        for m in mappers
+        if supports_k(m, k)
+    ]
     emitter = resolve_progress(progress, total=len(cells))
     findings: List[Diagnostic] = []
     if jobs <= 1 or len(cells) <= 1:

@@ -23,7 +23,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple
 from repro.errors import MappingError
 from repro.baseline.library import Library, library_for
 from repro.baseline.subject import decompose_to_binary
-from repro.core.chortle import wire_outputs
+from repro.core.substrate import wire_outputs
 from repro.core.forest import Tree, build_forest, check_forest
 from repro.core.lut import LUTCircuit
 from repro.network.network import AND, BooleanNetwork

@@ -11,15 +11,27 @@ Chortle searches all decompositions.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.network.network import BooleanNetwork, Signal
 
 
 def _decompose_gate(
-    net: BooleanNetwork, name: str, op: str, fanins: List[Signal]
+    net: BooleanNetwork,
+    name: str,
+    op: str,
+    fanins: List[Signal],
+    origins: Optional[Dict[str, str]] = None,
+    style: str = "balanced",
 ) -> None:
     counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        sub = net.fresh_name("%s_b%d" % (name, counter[0]))
+        if origins is not None:
+            origins[sub] = name
+        return sub
 
     def build(sigs: List[Signal]) -> Signal:
         if len(sigs) == 1:
@@ -27,12 +39,16 @@ def _decompose_gate(
         half = len(sigs) // 2
         left = build(sigs[:half])
         right = build(sigs[half:])
-        counter[0] += 1
-        sub = net.fresh_name("%s_b%d" % (name, counter[0]))
-        return net.add_gate(sub, op, [left, right])
+        return net.add_gate(fresh(), op, [left, right])
 
     if len(fanins) <= 2:
         net.add_gate(name, op, fanins)
+        return
+    if style == "chain":
+        acc = fanins[0]
+        for sig in fanins[1:-1]:
+            acc = net.add_gate(fresh(), op, [acc, sig])
+        net.add_gate(name, op, [acc, fanins[-1]])
         return
     half = len(fanins) // 2
     left = build(fanins[:half])
@@ -40,15 +56,42 @@ def _decompose_gate(
     net.add_gate(name, op, [left, right])
 
 
-def decompose_to_binary(network: BooleanNetwork) -> BooleanNetwork:
-    """Return a copy of the network with every gate fanin at most two."""
+def decompose_to_binary(
+    network: BooleanNetwork,
+    origins: Optional[Dict[str, str]] = None,
+    style: str = "balanced",
+) -> BooleanNetwork:
+    """Return a copy of the network with every gate fanin at most two.
+
+    ``style`` selects the shape a wide gate decomposes into:
+    ``balanced`` (the default — a balanced tree, minimum subject-graph
+    depth, what MIS's ``tech_decomp -a 2 -o 2`` produces) or ``chain``
+    (a left-deep linear chain — maximum cut flexibility, letting a
+    DAG-cover mapper realize a ``w``-input gate in the optimal
+    ``ceil((w-1)/(K-1))`` LUTs at the price of subject depth).
+
+    When ``origins`` is given (an empty dict to fill), every node of the
+    result is mapped back to the original node it came from: original
+    names map to themselves, the fresh internal ``_b`` nodes of a wide
+    gate's decomposition map to that gate's name.  DAG-cover mappers use
+    this to attribute emitted LUTs to source-network nodes.
+    """
+    if style not in ("balanced", "chain"):
+        raise ValueError(
+            "decomposition style must be 'balanced' or 'chain', got %r"
+            % style
+        )
     out = BooleanNetwork(network.name)
     for name in network.topological_order():
         node = network.node(name)
+        if origins is not None:
+            origins[name] = name
         if node.op == "input":
             out.add_input(name)
         elif node.is_gate:
-            _decompose_gate(out, name, node.op, list(node.fanins))
+            _decompose_gate(
+                out, name, node.op, list(node.fanins), origins, style
+            )
         else:
             out.add_const(name, node.op == "const1")
     for port, sig in network.outputs.items():

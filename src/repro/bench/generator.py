@@ -116,6 +116,108 @@ def random_network(config: GeneratorConfig) -> BooleanNetwork:
     return sweep(net)
 
 
+# -- reconvergent / XOR-heavy presets ----------------------------------------
+#
+# The paper concedes its one structural loss to MIS: reconvergent XOR
+# patterns at K=2, which the forest partition maps piecewise (each XOR
+# motif's multi-fanout operands sever the forest, costing three 2-input
+# LUTs where a DAG cover needs one).  These presets generate exactly that
+# texture — chains and meshes of structural XOR motifs
+# ``OR(AND(a, ~b), AND(~a, b))`` — as the committed regression fixtures
+# for the cut mapper's win over the tree mapper.
+
+
+@dataclass(frozen=True)
+class ReconvergentConfig:
+    """Knobs of the XOR-heavy reconvergent-network generator."""
+
+    num_inputs: int
+    num_stages: int
+    seed: int = 0
+    window: int = 8  # operand pool: the last `window` signals + inputs
+    invert_prob: float = 0.2  # edge inversion on the motif's operands
+    num_outputs: int = 4
+    chain: bool = True  # ladder (prev result always feeds the next stage)
+    # versus free mesh (both operands drawn from the window)
+
+
+def reconvergent_network(config: ReconvergentConfig) -> BooleanNetwork:
+    """A deterministic network of chained/meshed structural XOR motifs.
+
+    Every stage emits the three-gate XOR shape over two operands; both
+    operands fan out into the stage's two AND gates, so every stage is a
+    reconvergence point — the worst case for a forest partition and the
+    home turf of a whole-DAG cut cover.
+    """
+    rng = random.Random(config.seed)
+    net = BooleanNetwork("recon_s%d" % config.seed)
+    pool: List[str] = []
+    for i in range(config.num_inputs):
+        name = "pi%d" % i
+        net.add_input(name)
+        pool.append(name)
+
+    prev: str = pool[0]
+    for s in range(config.num_stages):
+        window = pool[-config.window :]
+        if config.chain:
+            a = prev
+            b = rng.choice([w for w in window if w != a] or [pool[0]])
+        else:
+            a, b = rng.sample(window if len(window) >= 2 else pool, 2)
+        sa = Signal(a, rng.random() < config.invert_prob)
+        sb = Signal(b, rng.random() < config.invert_prob)
+        and1 = net.add_gate(
+            "x%d_a" % s, AND, [sa, Signal(sb.name, not sb.inv)]
+        )
+        and2 = net.add_gate(
+            "x%d_b" % s, AND, [Signal(sa.name, not sa.inv), sb]
+        )
+        xor = net.add_gate("x%d" % s, OR, [and1, and2])
+        pool.append(xor.name)
+        prev = xor.name
+
+    taps = pool[-config.num_outputs :]
+    for i, name in enumerate(taps):
+        net.set_output("po%d" % i, Signal(name))
+    net.validate()
+    return net
+
+
+#: The committed reconvergent scenario presets (fixtures live under
+#: ``benchmarks/fixtures/``; tests/test_generator.py pins their BLIF).
+RECONVERGENT_PRESETS: Dict[str, ReconvergentConfig] = {
+    "xor_ladder": ReconvergentConfig(
+        num_inputs=10, num_stages=18, seed=0x5EC1, window=6, chain=True
+    ),
+    "xor_mesh": ReconvergentConfig(
+        num_inputs=12, num_stages=28, seed=0x5EC2, window=10, chain=False
+    ),
+    "xor_wide": ReconvergentConfig(
+        num_inputs=18,
+        num_stages=40,
+        seed=0x5EC3,
+        window=14,
+        num_outputs=6,
+        chain=False,
+    ),
+}
+
+
+def reconvergent_preset(name: str) -> BooleanNetwork:
+    """Generate one of the committed reconvergent presets by name."""
+    try:
+        config = RECONVERGENT_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown reconvergent preset %r (have: %s)"
+            % (name, ", ".join(sorted(RECONVERGENT_PRESETS)))
+        ) from None
+    net = reconvergent_network(config)
+    net.name = name  # the fixture file stem, not the seed-derived default
+    return net
+
+
 def _assign_outputs(net: BooleanNetwork, rng: random.Random, num_outputs: int) -> None:
     fanouts = net.fanout_counts()
     sinks = [n.name for n in net.gates() if fanouts[n.name] == 0]

@@ -25,7 +25,7 @@ from typing import (
 
 from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
 from repro.errors import BenchError, FlowError
-from repro.flow.mappers import mapper_names, resolve_mapper
+from repro.flow.mappers import mapper_names, resolve_mapper, supports_k
 from repro.network.network import BooleanNetwork
 from repro.obs import capture, metrics, span
 from repro.report import MappingReport, build_report
@@ -249,12 +249,19 @@ def run_suite(
         else:
             networks.append(mcnc_circuit(str(entry)))
 
+    # Mixed sweeps may pair a mapper with a K it cannot do (mis stops at
+    # K=5, the cut mappers at K=6); those cells are skipped rather than
+    # failing the whole sweep, and the skip count is observable.
     cells: List[Tuple[BooleanNetwork, int, str]] = [
         (net, k, mapper_name)
         for net in networks
         for k in ks
         for mapper_name in mappers
+        if supports_k(mapper_name, k)
     ]
+    skipped = len(networks) * len(ks) * len(mappers) - len(cells)
+    if skipped:
+        metrics.count("bench.cells_skipped", skipped)
     emitter = resolve_progress(progress, total=len(cells))
 
     result = SuiteResult()

@@ -417,6 +417,34 @@ def _cmd_flows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mappers(args: argparse.Namespace) -> int:
+    """List every resolvable mapper with its capability flags."""
+    from repro.flow import mapper_capabilities
+
+    rows = mapper_capabilities()
+    width = max(len(row.name) for row in rows)
+    print(
+        "%-*s  %-5s  %-10s  %-5s  %-7s  %s"
+        % (width, "mapper", "kind", "provenance", "cache", "K", "description")
+    )
+    for row in rows:
+        lo, hi = row.k_range
+        k_range = "%d-%s" % (lo, hi if hi is not None else "")
+        print(
+            "%-*s  %-5s  %-10s  %-5s  %-7s  %s"
+            % (
+                width,
+                row.name,
+                row.kind,
+                "yes" if row.records_provenance else "no",
+                "yes" if row.cache_aware else "no",
+                k_range,
+                row.description,
+            )
+        )
+    return 0
+
+
 def _mapped_circuit_from_blif(path: str):
     """Parse an already-mapped BLIF file (one table per LUT) as a circuit."""
     from repro.core.lut import LUTCircuit
@@ -1189,6 +1217,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_flows.set_defaults(func=_cmd_flows)
 
+    p_mappers = sub.add_parser(
+        "mappers",
+        help="list registered mappers with their capability flags "
+        "(provenance recording, cache awareness, supported K range)",
+    )
+    p_mappers.set_defaults(func=_cmd_mappers)
+
     p_analyze = sub.add_parser(
         "analyze", help="timing/wiring analysis of a mapped BLIF circuit"
     )
@@ -1229,12 +1264,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="map and lint every cell of the Table 1-4 QoR sweep",
     )
+    from repro.analysis.suite import DEFAULT_MAPPERS as _LINT_MAPPERS
+
     p_lint.add_argument(
         "--mappers",
         nargs="+",
-        default=["chortle", "mis"],
+        default=list(_LINT_MAPPERS),
         metavar="MAPPER",
-        help="mappers for --cell/--suite (default: chortle mis)",
+        help="mappers for --cell/--suite (default: %s)"
+        % " ".join(_LINT_MAPPERS),
     )
     p_lint.add_argument(
         "--ks",

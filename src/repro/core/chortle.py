@@ -11,17 +11,23 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import time
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.errors import MappingError
-from repro.core.expr import Leaf, NotExpr, OpExpr, leaf_keys, to_truth_table
 from repro.core.forest import build_forest, check_forest
-from repro.core.lut import LUTCircuit, LUTProvenance
+from repro.core.lut import LUTCircuit
+from repro.core.substrate import emit_candidate, wire_outputs
 from repro.core.tree_mapper import MapCand, TreeMapper
-from repro.network.network import CONST0, CONST1, BooleanNetwork
+from repro.network.network import BooleanNetwork
 from repro.network.transform import sweep
 from repro.obs import metrics, recursion_limit, span
-from repro.truth.truthtable import TruthTable
+
+#: Backward-compatible aliases: emission and output plumbing moved to the
+#: mapper-agnostic substrate (:mod:`repro.core.substrate`) so tree-DP and
+#: DAG-cover mappers share one back end.
+_emit_candidate = emit_candidate
+
+__all__ = ["ChortleMapper", "map_network", "wire_outputs", "_emit_candidate"]
 
 
 class ChortleMapper:
@@ -125,7 +131,7 @@ class ChortleMapper:
 
         cands = self._map_trees(net, forest.trees)
         for tree, cand in zip(forest.trees, cands):
-            emitted = _emit_candidate(cand, circuit, tree.root)
+            emitted = emit_candidate(cand, circuit, tree.root)
             if emitted != cand.cost:
                 raise MappingError(
                     "internal accounting error in tree %r: predicted %d "
@@ -217,83 +223,3 @@ def map_network(
 ) -> LUTCircuit:
     """Convenience wrapper around :class:`ChortleMapper`."""
     return ChortleMapper(k=k, split_threshold=split_threshold).map(network)
-
-
-def _emit_candidate(cand: MapCand, circuit: LUTCircuit, wire_name: str) -> int:
-    """Materialize a candidate as LUTs; returns the number emitted.
-
-    Every emitted table is stamped with a :class:`LUTProvenance` naming
-    the tree root (``wire_name``) and the placement shape of the
-    candidate that produced it, so downstream QoR tooling can attribute
-    per-tree area.
-    """
-    counter = [0]
-    emitted = [0]
-
-    def fresh_internal() -> str:
-        counter[0] += 1
-        return circuit.fresh_name("%s_l%d" % (wire_name, counter[0]))
-
-    def resolve(c: MapCand):
-        children = []
-        for placement in c.placements:
-            kind = placement[0]
-            if kind == "ext":
-                children.append(Leaf(placement[1], placement[2]))
-            elif kind == "wire":
-                child_name = fresh_internal()
-                emit(placement[1], child_name)
-                children.append(Leaf(child_name, placement[2]))
-            else:  # merged: the child's root table folds into this one
-                sub = resolve(placement[1])
-                children.append(NotExpr(sub) if placement[2] else sub)
-        return OpExpr(c.op, children)
-
-    def emit(c: MapCand, name: str) -> None:
-        expr = resolve(c)
-        keys = leaf_keys(expr)
-        tt = to_truth_table(expr, keys)
-        circuit.add_lut(
-            name,
-            keys,
-            tt,
-            provenance=LUTProvenance(
-                tree=wire_name,
-                op=c.op,
-                placements=c.placement_kinds(),
-                root=name == wire_name,
-            ),
-        )
-        emitted[0] += 1
-
-    emit(cand, wire_name)
-    return emitted[0]
-
-
-def wire_outputs(net: BooleanNetwork, circuit: LUTCircuit) -> None:
-    """Connect output ports, adding inverters/buffers/constants as needed.
-
-    Single-input and zero-input tables added here are interface plumbing
-    and are excluded from the cost metric (see
-    :attr:`~repro.core.lut.LUTCircuit.cost`).
-    """
-    materialized: Dict[Tuple[str, bool], str] = {}
-    for port, sig in net.outputs.items():
-        node = net.node(sig.name)
-        if node.op in (CONST0, CONST1):
-            value = (node.op == CONST1) != sig.inv
-            key = ("__const__", value)
-            if key not in materialized:
-                name = circuit.fresh_name(port)
-                circuit.add_lut(name, (), TruthTable.const(value, 0))
-                materialized[key] = name
-            circuit.set_output(port, materialized[key])
-        elif sig.inv:
-            key = (sig.name, True)
-            if key not in materialized:
-                name = circuit.fresh_name(port)
-                circuit.add_lut(name, (sig.name,), ~TruthTable.var(0, 1))
-                materialized[key] = name
-            circuit.set_output(port, materialized[key])
-        else:
-            circuit.set_output(port, sig.name)

@@ -1,0 +1,486 @@
+"""DAG covering with priority cuts: the mapper that escapes the trees.
+
+Chortle (the paper, and :class:`~repro.core.chortle.ChortleMapper`)
+partitions the network into fanout-free trees and optimizes each tree
+exactly.  The partition is also its acknowledged weakness: every
+multi-fanout point severs the DAG, so reconvergent logic — the XOR
+patterns the paper concedes to MIS at K=2 — is mapped piecewise.
+
+:class:`CutMapper` covers the *whole* DAG instead, with the standard
+structural-mapping pipeline the FPGA literature converged on after
+Chortle (FlowMap-r, CutMap, ABC's ``if``, iMap's ``klut_mapping``):
+
+1. decompose into a two-input subject graph
+   (:func:`~repro.baseline.subject.decompose_to_binary`, origins kept
+   for provenance);
+2. enumerate priority-pruned K-feasible cuts per node
+   (:mod:`repro.core.cuts`), ranked by area flow (``mode="area"``) or
+   depth (``mode="depth"``);
+3. select a cover with a required-node backward pass: walk from the
+   output drivers in reverse topological order, realize each required
+   node with its best cut, and mark the cut's gate leaves required;
+4. run ``rounds`` of area recovery: re-enumerate with the fanout
+   estimates replaced by the previous cover's actual reference counts,
+   so the area-flow amortization discounts sharing only where the cover
+   shares, and keep the best cover seen;
+5. emit one LUT per covered node through the shared substrate
+   (:func:`~repro.core.substrate.cone_truth_table`), stamped with
+   ``"cut"`` provenance attributed to the node's *origin* (the
+   pre-decomposition node), and plumb outputs with
+   :func:`~repro.core.substrate.wire_outputs`.
+
+Like the tree mapper, ``cache`` (cone truth tables keyed by
+:func:`~repro.core.substrate.cone_signature`) and ``jobs`` (thread-
+parallel cone evaluation) are QoR-neutral accelerators, and a
+``recorder`` turns on decision provenance — per covered node the chosen
+cut, the retained runner-up cuts, and the cost distance between them
+(area flow recorded in milli-LUT units, since decision costs are
+integers).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.explain import DecisionRecorder, MappingExplanation
+
+from repro.baseline.subject import decompose_to_binary
+from repro.core.cuts import (
+    DEFAULT_PRIORITY_SIZE,
+    Cut,
+    NodeCuts,
+    check_cut_size,
+    enumerate_cuts,
+)
+from repro.core.lut import LUTCircuit, LUTProvenance
+from repro.core.substrate import cone_signature, cone_truth_table, wire_outputs
+from repro.errors import MappingError
+from repro.network.network import BooleanNetwork
+from repro.network.transform import sweep
+from repro.obs import metrics, recursion_limit, span
+from repro.truth.truthtable import TruthTable
+
+#: Runner-up cuts retained per node decision when recording provenance.
+_MAX_ALTERNATIVES = 4
+
+
+def _milli(flow: float) -> int:
+    """Area flow in milli-LUT units (decision records hold integers)."""
+    return int(round(flow * 1000))
+
+
+class CutMapper:
+    """Priority-cut DAG-covering technology mapper for K-input LUTs.
+
+    Satisfies the same ``Mapper`` protocol as
+    :class:`~repro.core.chortle.ChortleMapper`: construct with ``k``,
+    call :meth:`map`, get a :class:`~repro.core.lut.LUTCircuit`.
+
+    ``priority_size`` bounds the cuts kept per node (quality/runtime
+    knob); ``mode`` selects the cover objective (``area`` or ``depth``);
+    ``rounds`` is the number of area-recovery re-enumerations; ``cache``
+    memoizes cone truth tables across calls and K sweeps (``True`` for
+    the shared process cache, or an explicit
+    :class:`~repro.perf.memo.NodeTableCache`); ``jobs`` evaluates cone
+    truth tables on worker threads (``None`` = one per CPU).  Cache and
+    jobs are QoR-neutral: the mapped circuit is bit-identical to a
+    serial, uncached run.
+
+    ``recorder`` (a :class:`~repro.obs.explain.DecisionRecorder`)
+    enables decision provenance; the built
+    :class:`~repro.obs.explain.MappingExplanation` is exposed as
+    :attr:`explanation` after each :meth:`map` call.  Decisions are
+    grouped per origin node of the source network, mirroring the tree
+    mapper's per-tree grouping.
+    """
+
+    name = "cutmap"  # spec name under the common Mapper protocol
+
+    def __init__(
+        self,
+        k: int = 4,
+        priority_size: int = DEFAULT_PRIORITY_SIZE,
+        mode: str = "area",
+        rounds: int = 2,
+        preprocess: bool = True,
+        cache: object = None,
+        jobs: int = 1,
+        recorder: Optional["DecisionRecorder"] = None,
+    ) -> None:
+        check_cut_size(k)
+        if mode not in ("area", "depth"):
+            raise MappingError(
+                "cut mapper mode must be 'area' or 'depth', got %r" % mode
+            )
+        if rounds < 0:
+            raise MappingError("rounds must be >= 0, got %d" % rounds)
+        self.k = k
+        self.priority_size = priority_size
+        self.mode = mode
+        self.rounds = rounds
+        self.preprocess = preprocess
+        from repro.perf.memo import resolve_cache
+
+        self.cache = resolve_cache(cache)
+        self.jobs = jobs
+        self.recorder = recorder
+        # The explanation for the most recent map() call (recorder set).
+        self.explanation: Optional["MappingExplanation"] = None
+
+    # -- public API ----------------------------------------------------------
+
+    def map(self, network: BooleanNetwork) -> LUTCircuit:
+        """Map the network into a circuit of K-input lookup tables."""
+        with span(
+            "cutmap.map", network=network.name, k=self.k, mode=self.mode
+        ) as sp:
+            net = sweep(network) if self.preprocess else network
+            net.validate()
+            origins: Dict[str, str] = {}
+            # Area covering wants the chain shape (a w-input gate costs
+            # the optimal ceil((w-1)/(K-1)) LUTs); depth covering wants
+            # the balanced shape (log-depth subject graph).
+            style = "chain" if self.mode == "area" else "balanced"
+            subject = decompose_to_binary(net, origins=origins, style=style)
+
+            # The exact-area deref/ref walk recurses along cover depth;
+            # be generous for deep K=2 chains.
+            with recursion_limit(4 * len(subject) + 1000):
+                cover, cuts = self._select_with_recovery(subject)
+            circuit = self._emit(subject, cover, origins)
+            wire_outputs(subject, circuit)
+            circuit.validate(self.k)
+            sp.set("luts", circuit.cost)
+            metrics.count("cutmap.luts_emitted", circuit.cost)
+            metrics.count("cutmap.nodes_covered", len(cover))
+
+            if self.recorder is not None:
+                self._record(subject, cover, cuts, origins)
+                from repro.obs.explain import build_explanation
+
+                self.explanation = build_explanation(
+                    net, circuit, self.recorder, k=self.k, mapper=self.name
+                )
+            return circuit
+
+    # -- cover selection -----------------------------------------------------
+
+    def _select_with_recovery(
+        self, subject: BooleanNetwork
+    ) -> Tuple[Dict[str, Cut], Dict[str, NodeCuts]]:
+        """The best cover over the initial pass + ``rounds`` recoveries."""
+        cuts = enumerate_cuts(
+            subject, self.k, priority_size=self.priority_size, mode=self.mode
+        )
+        cover = self._select_cover(subject, cuts)
+        best = (self._cover_key(cover), cover, cuts)
+        for _ in range(self.rounds):
+            est = self._reference_counts(subject, cover)
+            cuts = enumerate_cuts(
+                subject,
+                self.k,
+                priority_size=self.priority_size,
+                mode=self.mode,
+                fanout_est=est,
+            )
+            cover = self._select_cover(subject, cuts)
+            key = self._cover_key(cover)
+            if key < best[0]:
+                best = (key, cover, cuts)
+        metrics.count("cutmap.recovery_rounds", self.rounds)
+        cover = self._refine_exact_area(subject, best[2], best[1])
+        return cover, best[2]
+
+    def _refine_exact_area(
+        self,
+        subject: BooleanNetwork,
+        cuts: Dict[str, NodeCuts],
+        cover: Dict[str, Cut],
+    ) -> Dict[str, Cut]:
+        """Exact-area local refinement of a cover (the deref/ref pass).
+
+        Area flow only *estimates* sharing; this pass measures it.  For
+        every covered node it detaches the chosen cut's references,
+        evaluates each retained candidate by the exact number of LUTs it
+        would add (recursively pulling in currently-unreferenced leaves),
+        and keeps the cheapest.  Repeats until a full pass changes
+        nothing.  In depth mode, substitutions are restricted to cuts
+        that do not worsen the node's depth.
+        """
+        chosen: Dict[str, Cut] = {
+            name: nc.best for name, nc in cuts.items() if nc.cuts
+        }
+        chosen.update(cover)
+        refs: Dict[str, int] = {}
+
+        def is_gate(name: str) -> bool:
+            return bool(cuts[name].cuts)
+
+        def area_of(cut: Cut) -> int:
+            # Mirror LUTCircuit.cost: single-input tables are free.
+            return 1 if cut.size >= 2 else 0
+
+        def ref(name: str) -> int:
+            refs[name] = refs.get(name, 0) + 1
+            if refs[name] > 1:
+                return 0
+            cut = chosen[name]
+            return area_of(cut) + sum(
+                ref(leaf) for leaf in cut.leaves if is_gate(leaf)
+            )
+
+        def deref(name: str) -> int:
+            refs[name] -= 1
+            if refs[name] > 0:
+                return 0
+            cut = chosen[name]
+            return area_of(cut) + sum(
+                deref(leaf) for leaf in cut.leaves if is_gate(leaf)
+            )
+
+        for sig in subject.outputs.values():
+            if is_gate(sig.name):
+                ref(sig.name)
+
+        order = [n for n in subject.topological_order() if is_gate(n)]
+        improved = True
+        passes = 0
+        while improved and passes < 4:
+            improved = False
+            passes += 1
+            for name in order:
+                if refs.get(name, 0) <= 0:
+                    continue
+                current = chosen[name]
+                for leaf in current.leaves:
+                    if is_gate(leaf):
+                        deref(leaf)
+                # Cost the detached current cut first so ties keep it.
+                best_cut = current
+                gained = sum(
+                    ref(leaf) for leaf in current.leaves if is_gate(leaf)
+                )
+                best_cost = (
+                    area_of(current) + gained, current.depth, current.leaves
+                )
+                for leaf in current.leaves:
+                    if is_gate(leaf):
+                        deref(leaf)
+                for cand in cuts[name].cuts:
+                    if cand.leaves == current.leaves:
+                        continue
+                    if self.mode == "depth" and cand.depth > current.depth:
+                        continue
+                    added = area_of(cand) + sum(
+                        ref(leaf) for leaf in cand.leaves if is_gate(leaf)
+                    )
+                    cost = (added, cand.depth, cand.leaves)
+                    for leaf in cand.leaves:
+                        if is_gate(leaf):
+                            deref(leaf)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_cut = cand
+                for leaf in best_cut.leaves:
+                    if is_gate(leaf):
+                        ref(leaf)
+                if best_cut is not current:
+                    chosen[name] = best_cut
+                    improved = True
+        metrics.count("cutmap.exact_area_passes", passes)
+        return {
+            name: chosen[name]
+            for name in order
+            if refs.get(name, 0) > 0
+        }
+
+    def _select_cover(
+        self, subject: BooleanNetwork, cuts: Dict[str, NodeCuts]
+    ) -> Dict[str, Cut]:
+        """Required-node backward pass: outputs pull in their best cuts,
+        whose gate leaves become required in turn."""
+        required = {
+            sig.name
+            for sig in subject.outputs.values()
+            if subject.node(sig.name).is_gate
+        }
+        chosen: Dict[str, Cut] = {}
+        for name in reversed(subject.topological_order()):
+            if name not in required:
+                continue
+            cut = cuts[name].best
+            chosen[name] = cut
+            for leaf in cut.leaves:
+                if subject.node(leaf).is_gate:
+                    required.add(leaf)
+        return chosen
+
+    def _cover_key(self, cover: Dict[str, Cut]) -> Tuple[int, int]:
+        """The comparison key of a cover under the mapper's objective."""
+        luts = sum(1 for cut in cover.values() if cut.size >= 2)
+        depth = max((cut.depth for cut in cover.values()), default=0)
+        if self.mode == "depth":
+            return (depth, luts)
+        return (luts, depth)
+
+    def _reference_counts(
+        self, subject: BooleanNetwork, cover: Dict[str, Cut]
+    ) -> Dict[str, int]:
+        """How often each node is actually referenced by the cover.
+
+        Covered nodes are read by the cuts that use them as leaves and
+        by the output ports; the counts replace structural fanout in the
+        next enumeration's area-flow amortization.  Nodes the cover
+        absorbed entirely keep their structural fanout (they are not in
+        the returned dict).
+        """
+        refs: Dict[str, int] = {}
+        for cut in cover.values():
+            for leaf in cut.leaves:
+                refs[leaf] = refs.get(leaf, 0) + 1
+        for sig in subject.outputs.values():
+            if subject.node(sig.name).is_gate:
+                refs[sig.name] = refs.get(sig.name, 0) + 1
+        return {name: max(1, n) for name, n in refs.items()}
+
+    # -- emission ------------------------------------------------------------
+
+    def _emit(
+        self,
+        subject: BooleanNetwork,
+        cover: Dict[str, Cut],
+        origins: Dict[str, str],
+    ) -> LUTCircuit:
+        circuit = LUTCircuit("%s_cut_k%d" % (subject.name, self.k))
+        for name in subject.inputs:
+            circuit.add_input(name)
+        order = [n for n in subject.topological_order() if n in cover]
+        tables = self._cone_tables(subject, cover, order)
+        for name in order:
+            cut = cover[name]
+            origin = origins.get(name, name)
+            circuit.add_lut(
+                name,
+                cut.leaves,
+                tables[name],
+                provenance=LUTProvenance(
+                    tree=origin,
+                    op=subject.node(name).op,
+                    placements=("cut",) * cut.size,
+                    root=name == origin,
+                ),
+            )
+        return circuit
+
+    def _cone_tables(
+        self,
+        subject: BooleanNetwork,
+        cover: Dict[str, Cut],
+        order: List[str],
+    ) -> Dict[str, TruthTable]:
+        """Cone truth tables for every covered node, memoized and
+        (optionally) evaluated on worker threads.
+
+        Both accelerators are exact: the cache key is the canonical cone
+        structure (:func:`~repro.core.substrate.cone_signature`), and
+        thread results are collected in submission order.
+        """
+
+        def one(name: str) -> TruthTable:
+            leaves = cover[name].leaves
+            if self.cache is None:
+                return cone_truth_table(subject, name, leaves)
+            key = ("cut", self.k, cone_signature(subject, name, leaves))
+            tt = self.cache.get(key)
+            if tt is None:
+                tt = cone_truth_table(subject, name, leaves)
+                self.cache.put(key, tt)
+            return tt
+
+        jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+        if jobs <= 1 or len(order) < 2:
+            return {name: one(name) for name in order}
+        with span("cutmap.parallel", jobs=jobs, cones=len(order)):
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(jobs, len(order)),
+                thread_name_prefix="cutmap-tt",
+            ) as pool:
+                return dict(zip(order, pool.map(one, order)))
+
+    # -- decision provenance -------------------------------------------------
+
+    def _record(
+        self,
+        subject: BooleanNetwork,
+        cover: Dict[str, Cut],
+        cuts: Dict[str, NodeCuts],
+        origins: Dict[str, str],
+    ) -> None:
+        """Stream the cover's decisions into the recorder, grouped by the
+        origin node of the source network (the cut-cover analogue of the
+        tree mapper's per-tree grouping)."""
+        from repro.obs.explain import Alternative, NodeDecision, TreeDecisions
+
+        groups: Dict[str, List[str]] = {}
+        for name in subject.topological_order():
+            if name in cover:
+                groups.setdefault(origins.get(name, name), []).append(name)
+        self.recorder.set_order(list(groups))
+
+        for root, names in groups.items():
+            decisions: List[NodeDecision] = []
+            luts = 0
+            depth = 0
+            for name in names:
+                cut = cover[name]
+                retained = cuts[name].cuts
+                alternatives = tuple(
+                    Alternative(
+                        utilization=alt.size,
+                        cost=_milli(alt.area_flow),
+                        depth=alt.depth,
+                        placements=("cut",) * alt.size,
+                    )
+                    for alt in retained[1 : 1 + _MAX_ALTERNATIVES]
+                )
+                runner_up_delta = (
+                    _milli(retained[1].area_flow) - _milli(cut.area_flow)
+                    if len(retained) > 1
+                    else None
+                )
+                node = subject.node(name)
+                decisions.append(
+                    NodeDecision(
+                        node=name,
+                        op=node.op,
+                        fanins=node.fanin_count,
+                        split=False,
+                        placement="cut",
+                        utilization=cut.size,
+                        cost=_milli(cut.area_flow),
+                        depth=cut.depth,
+                        placements=("cut",) * cut.size,
+                        candidates=len(retained),
+                        alternatives=alternatives,
+                        runner_up_delta=runner_up_delta,
+                    )
+                )
+                if cut.size >= 2:
+                    luts += 1
+                depth = max(depth, cut.depth)
+            self.recorder.record_tree(
+                TreeDecisions(root=root, luts=luts, depth=depth, nodes=decisions)
+            )
+
+
+def cut_map_network(
+    network: BooleanNetwork,
+    k: int = 4,
+    priority_size: int = DEFAULT_PRIORITY_SIZE,
+    mode: str = "area",
+) -> LUTCircuit:
+    """Convenience wrapper around :class:`CutMapper`."""
+    return CutMapper(k=k, priority_size=priority_size, mode=mode).map(network)

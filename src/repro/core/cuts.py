@@ -1,0 +1,261 @@
+"""Per-node K-feasible cut enumeration with priority-cut pruning.
+
+Chortle's forest partition severs the DAG at every multi-fanout point,
+so reconvergent logic (the XOR patterns the paper concedes to MIS at
+K=2) is mapped piecewise.  Cut enumeration works on the *whole* DAG
+instead: for every node of a two-input subject graph it computes a set
+of K-feasible cuts — leaf sets of at most ``cut_size`` signals that
+separate the node from the primary inputs — by merging the fanins' cut
+sets bottom-up.
+
+Exhaustive cut sets grow exponentially, so this module implements the
+standard *priority cuts* pruning (Mishchenko et al.; the
+``cut_size``/``priority_size`` knob pair of iMap's ``klut_mapping``):
+
+* **dominance filtering** — a cut whose leaf set contains another cut's
+  leaf set is never better and is dropped;
+* **priority pruning** — per node only the ``priority_size`` best cuts
+  survive, ranked by the mapping objective (area flow, then depth, then
+  leaf count), plus the trivial cut ``{node}`` so parents can always
+  fall back to reading the node as a wire.
+
+Cuts carry the two costs cover selection needs:
+
+* ``depth`` — LUT levels if this cut is realized as one lookup table
+  over its leaves (1 + the deepest leaf's best depth);
+* ``area_flow`` — the fanout-amortized area estimate
+  ``(1 + sum(leaf area flows)) / fanout(node)``, the classic area-flow
+  relaxation of exact area over a DAG.
+
+Leaf sets are represented as bitsets over a dense topological node
+numbering, so feasibility (``popcount <= K``) and dominance
+(``a & ~b == 0``) are single integer operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.network.network import BooleanNetwork
+from repro.obs import metrics
+
+#: The supported cut widths.  Two is the smallest meaningful lookup
+#: table; six is where exhaustive-ish enumeration under priority pruning
+#: stops being cheap (and where commercial LUT architectures stop).
+MIN_CUT_SIZE = 2
+MAX_CUT_SIZE = 6
+
+#: Default number of cuts kept per node (iMap defaults to 10 within a
+#: recommended [6, 20]; 12 buys a little extra quality on reconvergent
+#: MCNC profiles for negligible runtime).
+DEFAULT_PRIORITY_SIZE = 12
+
+
+class Cut(NamedTuple):
+    """One K-feasible cut of a node.
+
+    ``leaves`` is the sorted tuple of leaf signal names; ``mask`` the
+    same set as a bitset over the enumeration's node numbering;
+    ``depth`` and ``area_flow`` are the costs of realizing the node as
+    one LUT over these leaves.
+    """
+
+    leaves: Tuple[str, ...]
+    mask: int
+    depth: int
+    area_flow: float
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+
+class NodeCuts(NamedTuple):
+    """The enumeration result for one node.
+
+    ``cuts`` are the retained non-trivial cuts, best first under the
+    enumeration's ranking; ``best`` is ``cuts[0]`` (the representative
+    whose costs the node contributes when it appears as a *leaf* of a
+    parent's cut); ``trivial`` is the ``{node}`` self-cut parents merge
+    against.
+    """
+
+    cuts: Tuple[Cut, ...]
+    best: Cut
+    trivial: Cut
+
+
+def _rank_key(mode: str) -> Callable[[Cut], Tuple[Any, ...]]:
+    """The cut ordering for ``mode``: what 'best' means per node."""
+    if mode == "depth":
+        return lambda cut: (cut.depth, cut.area_flow, cut.size, cut.leaves)
+    return lambda cut: (cut.area_flow, cut.depth, cut.size, cut.leaves)
+
+
+def check_cut_size(k: int) -> None:
+    """Validate a cut width; raises :class:`MappingError` outside 2..6."""
+    if not (MIN_CUT_SIZE <= k <= MAX_CUT_SIZE):
+        raise MappingError(
+            "cut_size must be between %d and %d, got %d"
+            % (MIN_CUT_SIZE, MAX_CUT_SIZE, k)
+        )
+
+
+def enumerate_cuts(
+    net: BooleanNetwork,
+    k: int,
+    priority_size: int = DEFAULT_PRIORITY_SIZE,
+    mode: str = "area",
+    fanout_est: Optional[Dict[str, int]] = None,
+) -> Dict[str, NodeCuts]:
+    """Priority-pruned K-feasible cuts for every node of a subject graph.
+
+    ``net`` must be two-input-decomposed (every gate fanin count <= 2;
+    see :func:`repro.baseline.subject.decompose_to_binary`).  ``mode``
+    selects the ranking: ``area`` (area flow first) or ``depth`` (depth
+    first).  ``fanout_est`` overrides the structural fanout counts used
+    to amortize area flow — the area-recovery iterations of
+    :class:`~repro.core.cut_mapper.CutMapper` pass the reference counts
+    of the previous cover so shared logic is only discounted where the
+    cover actually shares it.
+
+    Returns a dict from node name to :class:`NodeCuts`; primary inputs
+    and constants get only their trivial self-cut (depth 0, area 0).
+    """
+    check_cut_size(k)
+    if priority_size < 1:
+        raise MappingError(
+            "priority_size must be positive, got %d" % priority_size
+        )
+    if mode not in ("area", "depth"):
+        raise MappingError("cut mode must be 'area' or 'depth', got %r" % mode)
+    rank = _rank_key(mode)
+    fanouts = net.fanout_counts()
+    if fanout_est is not None:
+        fanouts = dict(fanouts)
+        fanouts.update(fanout_est)
+
+    order = net.topological_order()
+    bit: Dict[str, int] = {name: i for i, name in enumerate(order)}
+    # Per-node costs of the *best retained realization* — what the node
+    # contributes when it appears as a leaf of a parent's cut.  Making
+    # cut costs a function of the leaf set alone (rather than of the
+    # fanin cut pair that first produced it) keeps dedup-by-mask exact.
+    leaf_depth: Dict[str, int] = {}
+    leaf_flow: Dict[str, float] = {}
+    result: Dict[str, NodeCuts] = {}
+    candidates_total = 0
+
+    for name in order:
+        node = net.node(name)
+        self_mask = 1 << bit[name]
+        if not node.is_gate:
+            trivial = Cut((name,), self_mask, 0, 0.0)
+            leaf_depth[name] = 0
+            leaf_flow[name] = 0.0
+            result[name] = NodeCuts((), trivial, trivial)
+            continue
+        if node.fanin_count > 2:
+            raise MappingError(
+                "cut enumeration needs a two-input subject graph; gate %r "
+                "has %d fanins (run decompose_to_binary first)"
+                % (name, node.fanin_count)
+            )
+        share = max(1, fanouts.get(name, 1))
+        fanin_lists = [
+            _leaf_candidates(result[s.name]) for s in node.fanins
+        ]
+        if len(fanin_lists) == 1:
+            masks = [c.mask for c in fanin_lists[0]]
+        else:
+            masks = [
+                a.mask | b.mask
+                for a in fanin_lists[0]
+                for b in fanin_lists[1]
+            ]
+        candidates_total += len(masks)
+        merged: List[Cut] = []
+        seen_masks = set()
+        for mask in masks:
+            if mask.bit_count() > k or mask in seen_masks:
+                continue
+            seen_masks.add(mask)
+            leaves = _mask_leaves(mask, order)
+            depth = 1 + max(leaf_depth[leaf] for leaf in leaves)
+            flow = (1.0 + sum(leaf_flow[leaf] for leaf in leaves)) / share
+            merged.append(Cut(leaves, mask, depth, flow))
+        if not merged:
+            raise MappingError(
+                "no %d-feasible cut for gate %r (subject graph malformed?)"
+                % (k, name)
+            )
+        merged.sort(key=rank)
+        kept = _dominance_filter(merged, priority_size)
+        best = kept[0]
+        leaf_depth[name] = best.depth
+        leaf_flow[name] = best.area_flow
+        # The trivial self-cut: parents may always read this node as a
+        # wire; its leaf costs are the node's best realization costs.
+        trivial = Cut((name,), self_mask, best.depth, best.area_flow)
+        result[name] = NodeCuts(tuple(kept), best, trivial)
+
+    metrics.count("cuts.nodes_enumerated", len(order))
+    metrics.count("cuts.candidates", candidates_total)
+    metrics.count(
+        "cuts.kept", sum(len(nc.cuts) for nc in result.values())
+    )
+    return result
+
+
+def _mask_leaves(mask: int, order: Sequence[str]) -> Tuple[str, ...]:
+    """The leaf-name tuple of a bitset cut, in topological-index order."""
+    leaves = []
+    while mask:
+        low = mask & -mask
+        leaves.append(order[low.bit_length() - 1])
+        mask ^= low
+    return tuple(leaves)
+
+
+def _leaf_candidates(nc: NodeCuts) -> List[Cut]:
+    """The cut list a *parent* merges against: retained cuts, then the
+    trivial self-cut.  For leaves (PIs, constants) only the self-cut."""
+    if not nc.cuts:
+        return [nc.trivial]
+    out = list(nc.cuts)
+    out.append(nc.trivial)
+    return out
+
+
+def _dominance_filter(ranked: Sequence[Cut], priority_size: int) -> List[Cut]:
+    """Drop dominated cuts, keep the ``priority_size`` best survivors.
+
+    A cut ``a`` dominates ``b`` when ``a``'s leaves are a subset of
+    ``b``'s: any cover using ``b`` could use ``a`` at no worse cost.
+    ``ranked`` must already be sorted best-first; scanning in that order
+    means every kept cut only needs checking against better ones.
+    """
+    kept: List[Cut] = []
+    for cut in ranked:
+        dominated = False
+        for better in kept:
+            if better.mask & ~cut.mask == 0:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(cut)
+            if len(kept) >= priority_size:
+                break
+    return kept
+
+
+def cut_cover_stats(cuts: Dict[str, NodeCuts]) -> Dict[str, int]:
+    """Summary counters for one enumeration (observability hook)."""
+    gate_nodes = [nc for nc in cuts.values() if nc.cuts]
+    return {
+        "nodes": len(cuts),
+        "gates": len(gate_nodes),
+        "cuts_kept": sum(len(nc.cuts) for nc in gate_nodes),
+        "max_cuts": max((len(nc.cuts) for nc in gate_nodes), default=0),
+    }

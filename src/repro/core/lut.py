@@ -19,11 +19,13 @@ class LUTProvenance(NamedTuple):
     """Where a lookup table came from: the mapping decision that emitted it.
 
     ``tree`` is the root node of the fanout-free tree whose decomposition
-    produced this table; ``op`` is the operation of the (possibly virtual)
+    produced this table (for DAG-cover mappers: the pre-decomposition
+    origin node); ``op`` is the operation of the (possibly virtual)
     node the table realizes; ``placements`` are the placement kinds of the
-    root table's inputs (``ext`` / ``wire`` / ``merged``), i.e. the shape
-    of the winning utilization division; ``root`` marks the tree-root
-    table itself.
+    root table's inputs (``ext`` / ``wire`` / ``merged`` for the tree
+    mappers, ``cut`` — one per cut leaf — for the cut mapper), i.e. the
+    shape of the winning utilization division; ``root`` marks the
+    tree-root table itself.
     """
 
     tree: str

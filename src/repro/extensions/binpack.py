@@ -16,7 +16,7 @@ import sys
 from typing import Dict, List, Tuple
 
 from repro.errors import MappingError
-from repro.core.chortle import _emit_candidate, wire_outputs
+from repro.core.substrate import emit_candidate as _emit_candidate, wire_outputs
 from repro.core.forest import build_forest, check_forest
 from repro.core.lut import LUTCircuit
 from repro.core.tree_mapper import MapCand, placement_depth

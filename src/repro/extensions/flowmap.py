@@ -29,9 +29,9 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import MappingError
 from repro.baseline.subject import decompose_to_binary
-from repro.core.chortle import wire_outputs
 from repro.core.lut import LUTCircuit
-from repro.network.network import AND, BooleanNetwork
+from repro.core.substrate import cone_truth_table, wire_outputs
+from repro.network.network import BooleanNetwork
 from repro.network.transform import sweep
 from repro.truth.truthtable import TruthTable
 
@@ -234,38 +234,12 @@ class FlowMapper:
 def _cone_function(
     net: BooleanNetwork, target: str, cut: Tuple[str, ...]
 ) -> TruthTable:
-    """Evaluate the cone of ``target`` over the cut signals, bit-parallel."""
-    n = len(cut)
-    width = 1 << n
-    mask = (1 << width) - 1
-    values: Dict[str, int] = {}
-    for j, leaf in enumerate(cut):
-        period = 1 << j
-        block = ((1 << period) - 1) << period
-        word = 0
-        for start in range(0, width, 2 * period):
-            word |= block << start
-        values[leaf] = word
+    """Evaluate the cone of ``target`` over the cut signals, bit-parallel.
 
-    def eval_node(name: str) -> int:
-        if name in values:
-            return values[name]
-        node = net.node(name)
-        acc = None
-        for sig in node.fanins:
-            word = eval_node(sig.name)
-            if sig.inv:
-                word = ~word & mask
-            if acc is None:
-                acc = word
-            elif node.op == AND:
-                acc &= word
-            else:
-                acc |= word
-        values[name] = acc
-        return acc
-
-    return TruthTable(n, eval_node(target))
+    Backward-compatible wrapper over the shared substrate's
+    :func:`~repro.core.substrate.cone_truth_table`.
+    """
+    return cone_truth_table(net, target, cut)
 
 
 def flowmap_network(network: BooleanNetwork, k: int = 4) -> LUTCircuit:

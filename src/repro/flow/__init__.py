@@ -23,6 +23,8 @@ from repro.flow.mappers import (
     CORE_MAPPERS,
     FlowMapperAdapter,
     Mapper,
+    MapperCapabilities,
+    mapper_capabilities,
     mapper_names,
     resolve_mapper,
 )
@@ -37,7 +39,9 @@ from repro.flow.passes import (
 from repro.flow.registry import (
     PASSES,
     FlowRegistry,
+    area_cut_flow,
     area_flow,
+    delay_cut_flow,
     delay_flow,
     get_registry,
 )
@@ -52,14 +56,18 @@ __all__ = [
     "FlowRegistry",
     "MapPass",
     "Mapper",
+    "MapperCapabilities",
     "NETWORK",
     "NetworkPass",
     "PASSES",
     "Pass",
     "StageResult",
+    "area_cut_flow",
     "area_flow",
+    "delay_cut_flow",
     "delay_flow",
     "get_registry",
+    "mapper_capabilities",
     "mapper_names",
     "resolve_mapper",
 ]

@@ -14,10 +14,12 @@ same way::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, NamedTuple, Optional, Protocol, Tuple
 
 from repro.baseline.mis_mapper import MisMapper
 from repro.core.chortle import ChortleMapper
+from repro.core.cut_mapper import CutMapper
+from repro.core.cuts import MAX_CUT_SIZE, MIN_CUT_SIZE
 from repro.core.lut import LUTCircuit
 from repro.errors import FlowError
 from repro.extensions.binpack import BinPackMapper
@@ -42,11 +44,98 @@ class Mapper(Protocol):
 #: engine simply ignore the perf options.
 CORE_MAPPERS: Dict[str, Callable[..., Mapper]] = {
     "chortle": lambda k, **opts: ChortleMapper(k=k, **opts),
+    "cutmap": lambda k, **opts: CutMapper(k=k, **opts),
     "mis": lambda k, **opts: MisMapper(k=k),
     "flowmap": lambda k, **opts: FlowMapper(k=k),
     "binpack": lambda k, **opts: BinPackMapper(k=k),
     "depthbounded": lambda k, **opts: DepthBoundedMapper(k=k, slack=0),
 }
+
+#: Raw mappers that accept a ``recorder`` and expose decision provenance.
+RECORDING_MAPPERS = ("chortle", "cutmap")
+
+
+class MapperCapabilities(NamedTuple):
+    """What one resolvable mapper name can do (the ``mappers`` listing).
+
+    ``kind`` is ``core`` (a raw algorithmic mapper) or ``flow`` (a
+    registered pass chain); ``records_provenance`` marks mappers that
+    can stream decision records into the explain engine; ``cache_aware``
+    marks mappers honouring the structural memo cache; ``k_range`` is
+    the supported LUT-width range, ``None`` meaning unbounded above.
+    """
+
+    name: str
+    kind: str
+    records_provenance: bool
+    cache_aware: bool
+    k_range: Tuple[int, Optional[int]]
+    description: str
+
+
+#: Capability rows for the raw mappers (flows derive theirs from the
+#: passes they contain).
+_CORE_CAPABILITIES: Dict[str, MapperCapabilities] = {
+    "chortle": MapperCapabilities(
+        "chortle", "core", True, True, (2, None),
+        "tree-DP area mapper (the paper's algorithm)",
+    ),
+    "cutmap": MapperCapabilities(
+        "cutmap", "core", True, True, (MIN_CUT_SIZE, MAX_CUT_SIZE),
+        "priority-cut DAG covering (area flow + exact-area recovery)",
+    ),
+    "mis": MapperCapabilities(
+        "mis", "core", False, False, (2, 5),
+        "MIS II library-matching baseline (kernel libraries stop at K=5)",
+    ),
+    "flowmap": MapperCapabilities(
+        "flowmap", "core", False, False, (2, None),
+        "depth-optimal max-flow min-cut mapping",
+    ),
+    "binpack": MapperCapabilities(
+        "binpack", "core", False, False, (2, None),
+        "fast first-fit-decreasing bin packing",
+    ),
+    "depthbounded": MapperCapabilities(
+        "depthbounded", "core", False, False, (2, None),
+        "minimum area under a depth bound",
+    ),
+}
+
+#: Map passes that bound K from the cut enumerator.
+_CUT_PASSES = ("cutmap", "cutmap_delay")
+
+
+def mapper_capabilities() -> List[MapperCapabilities]:
+    """Capability rows for every resolvable mapper name, sorted by name.
+
+    Core mappers report their intrinsic capabilities; registered flows
+    inherit from the passes they chain (a flow records provenance and
+    honours the cache iff it contains a recording map pass, and is
+    K-bounded iff it contains a cut-enumeration pass).
+    """
+    rows = [
+        _CORE_CAPABILITIES.get(
+            name,
+            MapperCapabilities(name, "core", False, False, (2, None), ""),
+        )
+        for name in CORE_MAPPERS
+    ]
+    for flow in get_registry().flows():
+        pass_names = {p.name for p in flow.passes}
+        records = bool(pass_names & set(RECORDING_MAPPERS + _CUT_PASSES))
+        k_range: Tuple[int, Optional[int]] = (
+            (MIN_CUT_SIZE, MAX_CUT_SIZE)
+            if pass_names & set(_CUT_PASSES)
+            else (2, None)
+        )
+        rows.append(
+            MapperCapabilities(
+                flow.name, "flow", records, records, k_range,
+                flow.description or "",
+            )
+        )
+    return sorted(rows)
 
 
 class FlowMapperAdapter:
@@ -101,6 +190,25 @@ def mapper_names() -> List[str]:
     return sorted(set(CORE_MAPPERS) | set(get_registry().names()))
 
 
+def supported_k_range(name: str) -> Tuple[int, Optional[int]]:
+    """The LUT-width range the named mapper or flow supports.
+
+    ``(lo, hi)`` with ``hi = None`` meaning unbounded above.  Unknown
+    names get the permissive default — resolution will fail later with
+    a clearer error than a range check could give here.
+    """
+    for row in mapper_capabilities():
+        if row.name == name:
+            return row.k_range
+    return (2, None)
+
+
+def supports_k(name: str, k: int) -> bool:
+    """Whether the named mapper or flow can map at LUT width ``k``."""
+    lo, hi = supported_k_range(name)
+    return k >= lo and (hi is None or k <= hi)
+
+
 def resolve_mapper(
     name: str,
     k: int,
@@ -138,7 +246,7 @@ def resolve_mapper(
                 % (name, mode, ", ".join(registry.names()))
             )
         opts: Dict[str, object] = {"cache": cache, "jobs": jobs}
-        if explain and name == "chortle":
+        if explain and name in RECORDING_MAPPERS:
             from repro.obs.explain import DecisionRecorder
 
             opts["recorder"] = DecisionRecorder()

@@ -153,6 +153,44 @@ class ChortlePass(MapPass):
         return circuit
 
 
+class CutMapPass(MapPass):
+    """Priority-cut DAG covering (:class:`~repro.core.cut_mapper.CutMapper`).
+
+    One shared class serves both objectives: ``CutMapPass()`` registers
+    as ``cutmap`` (area-flow covering), ``CutMapPass(mode="depth")`` as
+    ``cutmap_delay`` (depth-first covering).  Honours the context
+    options ``priority_size``, ``rounds``, ``cache``, and ``jobs``, and
+    records decision provenance when the context asks for it.
+    """
+
+    def __init__(self, mode: str = "area"):
+        self.mode = mode
+        self.name = "cutmap" if mode == "area" else "cutmap_delay"
+
+    def run(self, value: BooleanNetwork, ctx) -> LUTCircuit:
+        from repro.core.cut_mapper import CutMapper
+        from repro.core.cuts import DEFAULT_PRIORITY_SIZE
+
+        recorder = None
+        if getattr(ctx, "explain", False):
+            from repro.obs.explain import DecisionRecorder
+
+            recorder = DecisionRecorder()
+        mapper = CutMapper(
+            k=ctx.k,
+            priority_size=ctx.option("priority_size", DEFAULT_PRIORITY_SIZE),
+            mode=self.mode,
+            rounds=ctx.option("rounds", 2),
+            cache=ctx.option("cache"),
+            jobs=ctx.option("jobs", 1),
+            recorder=recorder,
+        )
+        circuit = mapper.map(value)
+        if recorder is not None:
+            ctx.explanation = mapper.explanation
+        return circuit
+
+
 class DepthBoundedPass(MapPass):
     """Minimum-area mapping under a depth bound (``slack`` from the context)."""
 
@@ -231,6 +269,8 @@ def builtin_passes():
         StrashPass(),
         RefactorPass(),
         ChortlePass(),
+        CutMapPass(),
+        CutMapPass(mode="depth"),
         DepthBoundedPass(),
         MisPass(),
         FlowMapPass(),

@@ -1,14 +1,16 @@
 """Flow registry: named flows, plus parse-from-string custom flows.
 
-The default registry ships the two composed flows the repository has
-always offered:
+The default registry ships four composed flows:
 
 * ``area``  — sweep, strash, refactor, strash, chortle, merge — the best
-  area this package knows how to get (what :func:`repro.pipeline.map_area`
-  runs);
+  tree-DP area this package knows how to get (what
+  :func:`repro.pipeline.map_area` runs);
 * ``delay`` — sweep, strash, refactor, strash, depthbounded,
   merge_guarded — minimum depth with area recovered (what
-  :func:`repro.pipeline.map_delay` runs).
+  :func:`repro.pipeline.map_delay` runs);
+* ``area_cut`` / ``delay_cut`` — the same front end feeding the
+  priority-cut DAG-covering mapper (``cutmap`` / ``cutmap_delay``), the
+  pair that escapes the forest partition's tree restriction.
 
 Any other chain can be built from a comma-separated spec::
 
@@ -72,6 +74,32 @@ def delay_flow(refactor: bool = True, merge: bool = True) -> Flow:
     )
 
 
+def area_cut_flow(refactor: bool = True, merge: bool = True) -> Flow:
+    """The DAG-covering area flow (priority cuts instead of tree DP)."""
+    names = list(FRONT_END if refactor else ("sweep", "strash"))
+    names.append("cutmap")
+    if merge:
+        names.append("merge")
+    return Flow(
+        "area_cut",
+        _passes(names),
+        description="minimum area: priority-cut DAG covering with LUT merging",
+    )
+
+
+def delay_cut_flow(refactor: bool = True, merge: bool = True) -> Flow:
+    """The DAG-covering delay flow (depth-ranked cuts, guarded merge)."""
+    names = list(FRONT_END if refactor else ("sweep", "strash"))
+    names.append("cutmap_delay")
+    if merge:
+        names.append("merge_guarded")
+    return Flow(
+        "delay_cut",
+        _passes(names),
+        description="minimum depth: depth-first cut covering, merge guarded",
+    )
+
+
 class FlowRegistry:
     """Named flows plus spec parsing; one default instance per process."""
 
@@ -126,4 +154,6 @@ def get_registry() -> FlowRegistry:
         _REGISTRY = FlowRegistry()
         _REGISTRY.register(area_flow())
         _REGISTRY.register(delay_flow())
+        _REGISTRY.register(area_cut_flow())
+        _REGISTRY.register(delay_cut_flow())
     return _REGISTRY

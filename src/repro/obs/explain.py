@@ -77,7 +77,9 @@ class NodeDecision:
 
     ``placement`` says how the node's table entered the circuit:
     ``root`` (the tree root's own LUT), ``wire`` (its own LUT feeding
-    the parent), or ``merged`` (absorbed into the parent's root table).
+    the parent), ``merged`` (absorbed into the parent's root table), or
+    ``cut`` (realized as one LUT over a chosen K-feasible cut by a
+    DAG-covering mapper).
     ``candidates`` counts every utilization division the subset DP
     enumerated for this node; ``runner_up_delta`` is the cost distance
     to the best *different* retained entry (``None`` when every retained
@@ -447,7 +449,7 @@ def validate_explanation(data: Mapping) -> None:
                     "node record %r missing fields %s"
                     % (node.get("node"), missing)
                 )
-            if node["placement"] not in ("root", "wire", "merged"):
+            if node["placement"] not in ("root", "wire", "merged", "cut"):
                 raise ExplainError(
                     "node %r has unknown placement %r"
                     % (node.get("node"), node["placement"])

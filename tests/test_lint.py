@@ -106,11 +106,11 @@ def test_rule_catalogue_is_complete():
     assert catalogue == {
         "CHRT101", "CHRT102", "CHRT103", "CHRT104", "CHRT105", "CHRT106",
         "CHRT201", "CHRT202", "CHRT203", "CHRT204", "CHRT205", "CHRT206",
-        "CHRT207", "CHRT208", "CHRT209", "CHRT210",
+        "CHRT207", "CHRT208", "CHRT209", "CHRT210", "CHRT211",
         "CHRT301", "CHRT302", "CHRT303",
     }
     assert len(rules_for("network")) == 6
-    assert len(rules_for("circuit")) == 10
+    assert len(rules_for("circuit")) == 11
     assert len(rules_for("flow")) == 3
     with pytest.raises(LintError):
         rules_for("quantum")
