@@ -707,10 +707,12 @@ def _bad_cache_key(artifacts: FlowArtifacts, ctx: LintContext) -> Iterator[Diagn
     items = getattr(cache, "items_snapshot", None)
     if items is None:
         return
+    from repro.perf.memo import InternedSignature
+
     for key, _value in items():
         # Two legal layouts share the cache: tree-DP node tables keyed
-        # (k, split_threshold, ("nt", ...)) and cut-cover cone tables
-        # keyed ("cut", k, ("cone", ...)).
+        # (k, split_threshold, <interned "nt" signature>) and cut-cover
+        # cone tables keyed ("cut", k, ("cone", ...)).
         ok = (
             isinstance(key, tuple)
             and len(key) == 3
@@ -718,8 +720,8 @@ def _bad_cache_key(artifacts: FlowArtifacts, ctx: LintContext) -> Iterator[Diagn
                 (
                     isinstance(key[0], int)
                     and isinstance(key[1], int)
-                    and isinstance(key[2], tuple)
-                    and key[2][:1] == ("nt",)
+                    and isinstance(key[2], InternedSignature)
+                    and key[2].shape[:1] == ("nt",)
                 )
                 or (
                     key[0] == "cut"

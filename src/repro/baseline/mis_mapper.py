@@ -17,7 +17,6 @@ the library — the two effects the paper measures.
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.errors import MappingError
@@ -86,9 +85,6 @@ class MisMapper:
         net = sweep(network) if self.preprocess else network
         net = decompose_to_binary(net)
         net.validate()
-
-        limit = max(sys.getrecursionlimit(), 4 * len(net) + 1000)
-        sys.setrecursionlimit(limit)
 
         forest = build_forest(net)
         check_forest(forest)
@@ -207,16 +203,22 @@ class MisMapper:
         best_cut: Dict[str, Cut],
         circuit: LUTCircuit,
     ) -> None:
-        def emit_node(name: str) -> None:
+        # Post-order over chosen cuts on an explicit stack (match chains
+        # run as deep as the tree): leaves left to right before the node,
+        # the same table order the recursive formulation produced.
+        stack: List[Tuple[str, bool]] = [(tree.root, False)]
+        while stack:
+            name, ready = stack.pop()
             if name in circuit:
-                return
+                continue
             cut = best_cut[name]
-            for leaf in cut.leaves:
-                if leaf in tree.internal:
-                    emit_node(leaf)
-            circuit.add_lut(name, cut.leaves, cut.tt)
-
-        emit_node(tree.root)
+            if ready:
+                circuit.add_lut(name, cut.leaves, cut.tt)
+                continue
+            stack.append((name, True))
+            for leaf in reversed(cut.leaves):
+                if leaf in tree.internal and leaf not in circuit:
+                    stack.append((leaf, False))
 
 
 def mis_map_network(

@@ -713,6 +713,7 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
         warm_tolerance=args.warm_tolerance,
         cache_dir=args.cache_dir,
         progress=args.progress,
+        matrix=not args.no_matrix,
     )
     if args.output:
         save_bench_perf(result, args.output)
@@ -1176,6 +1177,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="worker threads for the parallel phase (default 2)",
+    )
+    p_perf.add_argument(
+        "--no-matrix",
+        action="store_true",
+        help="skip the process-executor jobs x pool-reuse matrix legs",
     )
     p_perf.add_argument(
         "--cache-dir",

@@ -14,13 +14,13 @@ import time
 from typing import List
 
 from repro.errors import MappingError
-from repro.core.forest import build_forest, check_forest
+from repro.core.forest import build_forest, check_forest, tree_orders
 from repro.core.lut import LUTCircuit
 from repro.core.substrate import emit_candidate, wire_outputs
 from repro.core.tree_mapper import MapCand, TreeMapper
 from repro.network.network import BooleanNetwork
 from repro.network.transform import sweep
-from repro.obs import metrics, recursion_limit, span
+from repro.obs import metrics, span
 
 #: Backward-compatible aliases: emission and output plumbing moved to the
 #: mapper-agnostic substrate (:mod:`repro.core.substrate`) so tree-DP and
@@ -103,10 +103,7 @@ class ChortleMapper:
                         % (node.name, node.fanin_count)
                     )
 
-            # Emission recurses along tree depth; be generous for deep
-            # chains, and restore the interpreter-wide limit afterwards.
-            with recursion_limit(4 * len(net) + 1000):
-                circuit = self._map_swept(net)
+            circuit = self._map_swept(net)
             sp.set("luts", circuit.cost)
             if self.recorder is not None:
                 from repro.obs.explain import build_explanation
@@ -129,7 +126,7 @@ class ChortleMapper:
         for name in net.inputs:
             circuit.add_input(name)
 
-        cands = self._map_trees(net, forest.trees)
+        cands = self._map_trees(net, forest.trees, tree_orders(forest))
         for tree, cand in zip(forest.trees, cands):
             emitted = emit_candidate(cand, circuit, tree.root)
             if emitted != cand.cost:
@@ -144,18 +141,21 @@ class ChortleMapper:
         circuit.validate(self.k)
         return circuit
 
-    def _map_trees(self, net: BooleanNetwork, trees) -> List[MapCand]:
+    def _map_trees(self, net: BooleanNetwork, trees, orders) -> List[MapCand]:
         """Root candidates for every tree, in forest order.
 
-        With ``jobs > 1`` the independent tree problems are fanned
-        across a ``concurrent.futures`` executor; results are collected
-        in submission order, so the emitted circuit — names, LUT order,
+        ``orders`` carries each tree's internal nodes in topological
+        order, computed once per network (``tree_orders``).  With
+        ``jobs > 1`` the independent tree problems are fanned across a
+        ``concurrent.futures`` executor; results are collected in
+        submission order, so the emitted circuit — names, LUT order,
         functions — is identical to a serial run.
         """
         jobs = self.jobs if self.jobs is not None else (os.cpu_count() or 1)
         if jobs <= 1 or len(trees) < 2:
             return [
-                self._map_one_tree(net, tree, worker=None) for tree in trees
+                self._map_one_tree(net, tree, order, worker=None)
+                for tree, order in zip(trees, orders)
             ]
         from repro.perf.parallel import map_trees_processes, record_task_telemetry
 
@@ -177,9 +177,9 @@ class ChortleMapper:
             # Thread workers submit nothing over a pipe (pickle bytes are
             # zero by construction), but queue wait and per-tree compute
             # are still attributed so a flat speedup can be explained.
-            def timed_task(tree, worker: int, submitted_at: float) -> MapCand:
+            def timed_task(tree, order, worker: int, submitted_at: float) -> MapCand:
                 started_at = time.perf_counter()
-                cand = self._map_one_tree(net, tree, worker=worker)
+                cand = self._map_one_tree(net, tree, order, worker=worker)
                 record_task_telemetry(
                     queue_wait=max(0.0, started_at - submitted_at),
                     task_seconds=time.perf_counter() - started_at,
@@ -192,7 +192,8 @@ class ChortleMapper:
             ) as pool:
                 futures = [
                     pool.submit(
-                        timed_task, tree, i % jobs, time.perf_counter()
+                        timed_task, tree, orders[i], i % jobs,
+                        time.perf_counter(),
                     )
                     for i, tree in enumerate(trees)
                 ]
@@ -208,12 +209,12 @@ class ChortleMapper:
             )
             return cands
 
-    def _map_one_tree(self, net: BooleanNetwork, tree, worker) -> MapCand:
+    def _map_one_tree(self, net: BooleanNetwork, tree, order, worker) -> MapCand:
         attrs = {"tree": tree.root, "nodes": tree.num_nodes}
         if worker is not None:
             attrs["worker"] = worker
         with span("chortle.map_tree", **attrs) as tree_sp:
-            cand = self._tree_mapper.map_tree(net, tree)
+            cand = self._tree_mapper.map_tree(net, tree, order=order)
             tree_sp.set("luts", cand.cost)
         return cand
 

@@ -60,7 +60,7 @@ from repro.core.substrate import cone_signature, cone_truth_table, wire_outputs
 from repro.errors import MappingError
 from repro.network.network import BooleanNetwork
 from repro.network.transform import sweep
-from repro.obs import metrics, recursion_limit, span
+from repro.obs import metrics, span
 from repro.truth.truthtable import TruthTable
 
 #: Runner-up cuts retained per node decision when recording provenance.
@@ -146,10 +146,7 @@ class CutMapper:
             style = "chain" if self.mode == "area" else "balanced"
             subject = decompose_to_binary(net, origins=origins, style=style)
 
-            # The exact-area deref/ref walk recurses along cover depth;
-            # be generous for deep K=2 chains.
-            with recursion_limit(4 * len(subject) + 1000):
-                cover, cuts = self._select_with_recovery(subject)
+            cover, cuts = self._select_with_recovery(subject)
             circuit = self._emit(subject, cover, origins)
             wire_outputs(subject, circuit)
             circuit.validate(self.k)
@@ -223,23 +220,38 @@ class CutMapper:
             # Mirror LUTCircuit.cost: single-input tables are free.
             return 1 if cut.size >= 2 else 0
 
+        # Both walks push gate leaves onto an explicit stack — reference
+        # counting is a commutative sum, so traversal order is free and
+        # cover depth never touches the interpreter recursion limit.
         def ref(name: str) -> int:
-            refs[name] = refs.get(name, 0) + 1
-            if refs[name] > 1:
-                return 0
-            cut = chosen[name]
-            return area_of(cut) + sum(
-                ref(leaf) for leaf in cut.leaves if is_gate(leaf)
-            )
+            total = 0
+            stack: List[str] = [name]
+            while stack:
+                cur = stack.pop()
+                refs[cur] = refs.get(cur, 0) + 1
+                if refs[cur] > 1:
+                    continue
+                cut = chosen[cur]
+                total += area_of(cut)
+                for leaf in cut.leaves:
+                    if is_gate(leaf):
+                        stack.append(leaf)
+            return total
 
         def deref(name: str) -> int:
-            refs[name] -= 1
-            if refs[name] > 0:
-                return 0
-            cut = chosen[name]
-            return area_of(cut) + sum(
-                deref(leaf) for leaf in cut.leaves if is_gate(leaf)
-            )
+            total = 0
+            stack: List[str] = [name]
+            while stack:
+                cur = stack.pop()
+                refs[cur] -= 1
+                if refs[cur] > 0:
+                    continue
+                cut = chosen[cur]
+                total += area_of(cut)
+                for leaf in cut.leaves:
+                    if is_gate(leaf):
+                        stack.append(leaf)
+            return total
 
         for sig in subject.outputs.values():
             if is_gate(sig.name):

@@ -106,6 +106,28 @@ def build_forest(network: BooleanNetwork) -> Forest:
     return forest
 
 
+def tree_orders(forest: Forest) -> List[List[str]]:
+    """Per-tree topological node orders from ONE whole-network sort.
+
+    ``TreeMapper.map_tree`` needs its tree's internal nodes in
+    topological order; deriving that per tree from
+    ``network.topological_order()`` is O(trees x network) — quadratic on
+    tree-heavy networks.  One sort plus one slicing pass is linear, and
+    each slice preserves the global order, so the DP visits nodes in
+    exactly the same sequence either way.
+    """
+    owner: Dict[str, int] = {}
+    for index, tree in enumerate(forest.trees):
+        for name in tree.internal:
+            owner[name] = index
+    orders: List[List[str]] = [[] for _ in forest.trees]
+    for name in forest.network.topological_order():
+        index = owner.get(name)
+        if index is not None:
+            orders[index].append(name)
+    return orders
+
+
 def check_forest(forest: Forest) -> None:
     """Verify the forest partitions the network's gates and edges."""
     seen: Set[str] = set()

@@ -152,6 +152,19 @@ def cone_signature(
 # -- candidate emission (the tree-DP back end) -------------------------------
 
 
+class _EmitFrame:
+    """One in-flight candidate of the iterative emission walk."""
+
+    __slots__ = ("cand", "name", "inv", "children", "index")
+
+    def __init__(self, cand, name, inv):
+        self.cand = cand
+        self.name = name  # LUT name for emit frames, None for merged
+        self.inv = inv
+        self.children: list = []
+        self.index = 0
+
+
 def emit_candidate(cand, circuit: LUTCircuit, wire_name: str) -> int:
     """Materialize a tree-DP candidate as LUTs; returns the number emitted.
 
@@ -159,48 +172,57 @@ def emit_candidate(cand, circuit: LUTCircuit, wire_name: str) -> int:
     the tree root (``wire_name``) and the placement shape of the
     candidate that produced it, so downstream QoR tooling can attribute
     per-tree area.
+
+    The walk runs on an explicit frame stack — candidate chains grow
+    with tree depth, so recursion would cap mappable circuits at the
+    interpreter limit.  Wire names are assigned at discovery and child
+    tables are added before their readers, the same event order as the
+    recursive formulation, so emitted circuits are bit-identical.
     """
-    counter = [0]
-    emitted = [0]
-
-    def fresh_internal() -> str:
-        counter[0] += 1
-        return circuit.fresh_name("%s_l%d" % (wire_name, counter[0]))
-
-    def resolve(c):
-        children = []
-        for placement in c.placements:
+    counter = 0
+    emitted = 0
+    stack = [_EmitFrame(cand, wire_name, False)]
+    while stack:
+        frame = stack[-1]
+        placements = frame.cand.placements
+        if frame.index < len(placements):
+            placement = placements[frame.index]
+            frame.index += 1
             kind = placement[0]
             if kind == "ext":
-                children.append(Leaf(placement[1], placement[2]))
+                frame.children.append(Leaf(placement[1], placement[2]))
             elif kind == "wire":
-                child_name = fresh_internal()
-                emit(placement[1], child_name)
-                children.append(Leaf(child_name, placement[2]))
+                counter += 1
+                child_name = circuit.fresh_name(
+                    "%s_l%d" % (wire_name, counter)
+                )
+                frame.children.append(Leaf(child_name, placement[2]))
+                stack.append(_EmitFrame(placement[1], child_name, False))
             else:  # merged: the child's root table folds into this one
-                sub = resolve(placement[1])
-                children.append(NotExpr(sub) if placement[2] else sub)
-        return OpExpr(c.op, children)
-
-    def emit(c, name: str) -> None:
-        expr = resolve(c)
-        keys = leaf_keys(expr)
-        tt = to_truth_table(expr, keys)
-        circuit.add_lut(
-            name,
-            keys,
-            tt,
-            provenance=LUTProvenance(
-                tree=wire_name,
-                op=c.op,
-                placements=c.placement_kinds(),
-                root=name == wire_name,
-            ),
-        )
-        emitted[0] += 1
-
-    emit(cand, wire_name)
-    return emitted[0]
+                stack.append(_EmitFrame(placement[1], None, placement[2]))
+            continue
+        stack.pop()
+        expr = OpExpr(frame.cand.op, frame.children)
+        if frame.name is not None:
+            keys = leaf_keys(expr)
+            tt = to_truth_table(expr, keys)
+            circuit.add_lut(
+                frame.name,
+                keys,
+                tt,
+                provenance=LUTProvenance(
+                    tree=wire_name,
+                    op=frame.cand.op,
+                    placements=frame.cand.placement_kinds(),
+                    root=frame.name == wire_name,
+                ),
+            )
+            emitted += 1
+        else:
+            stack[-1].children.append(
+                NotExpr(expr) if frame.inv else expr
+            )
+    return emitted
 
 
 # -- output-port plumbing ----------------------------------------------------

@@ -119,15 +119,16 @@ class ExtItem(NamedTuple):
 class TableItem(NamedTuple):
     """A fanin edge to an already-mapped child (or split-virtual) node.
 
-    ``sig`` is the child table's structural signature
-    (:func:`repro.perf.memo.node_signature`) when the table was computed
+    ``sig`` is the child table's structural signature — an
+    :class:`repro.perf.memo.InternedSignature` from
+    :func:`repro.perf.memo.node_signature` — when the table was computed
     through the memoizing path; ``None`` marks the item — and therefore
     any node table built from it — as not cacheable.
     """
 
     table: tuple  # actually NodeTable; tuple for hashability of the item
     inv: bool
-    sig: Optional[tuple] = None
+    sig: Optional[object] = None
 
 
 FaninItem = Union[ExtItem, TableItem]
@@ -187,17 +188,35 @@ class TreeMapper:
 
     # -- public API ---------------------------------------------------------
 
-    def map_tree(self, network: BooleanNetwork, tree: Tree) -> MapCand:
-        """Optimal mapping of one fanout-free tree; returns the root candidate."""
+    def map_tree(
+        self,
+        network: BooleanNetwork,
+        tree: Tree,
+        order: Optional[Sequence[str]] = None,
+    ) -> MapCand:
+        """Optimal mapping of one fanout-free tree; returns the root candidate.
+
+        ``order`` is an optional precomputed topological order of the
+        tree's internal nodes.  Without it, each call derives the order
+        from the whole network — callers mapping many trees of one
+        network (:class:`~repro.core.chortle.ChortleMapper`) compute one
+        network order and slice it per tree instead of paying a full
+        traversal per tree.
+        """
         tables: Dict[str, NodeTable] = {}
-        sigs: Dict[str, Optional[tuple]] = {}
+        sigs: Dict[str, Optional[object]] = {}
         recording = self.recorder is not None
+        if order is None:
+            internal = tree.internal
+            order = [
+                name
+                for name in network.topological_order()
+                if name in internal
+            ]
         # (name, op, fanins, split, candidates) per node, in topological
         # order — the raw material for the per-node decision records.
         node_info: List[Tuple[str, str, int, bool, int]] = []
-        for name in network.topological_order():
-            if name not in tree.internal:
-                continue
+        for name in order:
             node = network.node(name)
             items: List[FaninItem] = []
             for sig in node.fanins:
@@ -332,7 +351,7 @@ class TreeMapper:
 
     def cached_node_table(
         self, op: str, items: Sequence[FaninItem], stats: Optional[list] = None
-    ) -> Tuple[NodeTable, Optional[tuple]]:
+    ) -> Tuple[NodeTable, Optional[object]]:
         """``compute_node_table`` through the memo cache, plus the signature.
 
         Without a cache (or for items carrying no signature) this is
@@ -404,160 +423,265 @@ class TreeMapper:
         return TableItem(tuple(table), False, sig)
 
     # -- the subset DP ------------------------------------------------------------
+    #
+    # The DP over fanin subsets is organized as two families of tables:
+    #
+    # * ``sub`` — per mask with >= 2 items, the node table of the virtual
+    #   node ``op(mask)``; only its at-most-K entry feeds other masks
+    #   (as an intermediate-node "wire" block), so strict-subset masks
+    #   materialize just that one candidate and the full table is built
+    #   only for the complete fanin set (the value returned).
+    # * ``F`` — per mask, the best ways to feed the mask's items into an
+    #   enclosing root table.  A mask is only ever read as the *rest* of
+    #   a larger mask after that mask's lowest-indexed item is peeled
+    #   off, so no readable mask contains item 0 — F tables for masks
+    #   with bit 0 set (half of them, including the full set) are never
+    #   computed, only their candidate counts are accounted.
+    #
+    # Both tables are preallocated flat lists indexed ``mask * (k+1) + u``
+    # and the singleton options of every item (each with its precomputed
+    # placement depth) are enumerated once per node rather than once per
+    # mask.  The enumeration order — singletons, then blocks in
+    # descending submask order, then the ascending monotonize sweep — is
+    # the original recursive-helper order, so tie-breaks and therefore
+    # the mapped circuits are bit-identical.
 
     def _subset_dp(
         self, op: str, items: List[FaninItem], stats: Optional[list] = None
     ) -> NodeTable:
         k = self.k
+        k1 = k + 1
         n = len(items)
         full = (1 << n) - 1
+        # [candidates considered, minmap entries] — identical arithmetic
+        # to the pre-flattening kernel, including the F tables that are
+        # no longer materialized (decision records pin these counts).
+        acc0 = 0
+        acc1 = 0
 
-        # F[mask] : list over u in 0..k of (cost, input_depth, chain) or None.
-        F: Dict[int, List[Optional[Tuple[int, int, _Chain]]]] = {}
-        F[0] = [(0, 0, None)] + [None] * k
-        # sub[mask] : NodeTable for the virtual node op(items in mask).
-        sub: Dict[int, NodeTable] = {}
-        # [candidates considered, minmap entries]; flushed to the metrics
-        # registry once per node so the per-mask loops stay dict-free.
-        acc = [0, 0]
+        # Singleton options per item: (consumed, cost, placement_depth,
+        # placement), in wire-then-merged order.
+        singles: List[List[Tuple[int, int, int, tuple]]] = []
+        for item in items:
+            options: List[Tuple[int, int, int, tuple]] = []
+            if isinstance(item, ExtItem):
+                options.append((1, 0, 0, ("ext", item.name, item.inv)))
+            else:
+                table = item.table
+                cand = table[k]
+                if cand is not None:
+                    options.append(
+                        (1, cand.cost, cand.input_depth + 1,
+                         ("wire", cand, item.inv))
+                    )
+                for uc in range(2, k1):
+                    cand = table[uc]
+                    if cand is not None:
+                        options.append(
+                            (uc, cand.cost - 1, cand.input_depth,
+                             ("merged", cand, item.inv))
+                        )
+            singles.append(options)
+
+        # Flat tables: entry for (mask, u) lives at mask * k1 + u.
+        F: List[Optional[Tuple[int, int, _Chain]]] = [None] * ((full + 1) * k1)
+        F[0] = (0, 0, None)
+        sub_best: List[Optional[MapCand]] = [None] * (full + 1)
 
         # Bucket masks by popcount in one ascending fill; int.bit_count is
-        # a single CPython opcode (py >= 3.10), far cheaper than the old
-        # bin(mask).count("1") string round trip.  Ascending mask order
+        # a single CPython opcode (py >= 3.10).  Ascending mask order
         # within each bucket preserves the DP's tie-break enumeration.
-        masks_by_popcount: List[List[int]] = [[] for _ in range(n + 1)]
+        buckets: List[List[int]] = [[] for _ in range(n + 1)]
         for mask in range(1, full + 1):
-            masks_by_popcount[mask.bit_count()].append(mask)
+            buckets[mask.bit_count()].append(mask)
 
+        full_table: NodeTable = [None] * k1
         for p in range(1, n + 1):
-            for mask in masks_by_popcount[p]:
-                if p >= 2:
-                    sub[mask] = self._make_table(op, items, mask, F, sub, acc)
-                F[mask] = self._make_f(op, items, mask, F, sub, acc)
+            for mask in buckets[p]:
+                first_bit = mask & -mask
+                rest0 = mask ^ first_bit
+                rest_base = rest0 * k1
+                need_f = not (mask & 1)
 
-        metrics.count("chortle.decomp_candidates", acc[0])
-        metrics.count("chortle.minmap_entries", acc[1])
+                # Singleton blocks of the lowest-indexed item, shared by
+                # the node-table and F enumerations (both start with
+                # them, in the same order).
+                best: List[Optional[Tuple[int, int, _Chain]]] = [None] * k1
+                first_singles = singles[first_bit.bit_length() - 1]
+                for consumed, cost, pdepth, placement in first_singles:
+                    for u in range(consumed, k1):
+                        rest_entry = F[rest_base + u - consumed]
+                        if rest_entry is None:
+                            continue
+                        total = cost + rest_entry[0]
+                        rdepth = rest_entry[1]
+                        depth = pdepth if pdepth > rdepth else rdepth
+                        cur = best[u]
+                        # Cost first (the paper's objective); among
+                        # equal-cost choices prefer the shallower circuit.
+                        if (
+                            cur is None
+                            or total < cur[0]
+                            or (total == cur[0] and depth < cur[1])
+                        ):
+                            best[u] = (total, depth, (placement, rest_entry[2]))
+
+                if p == 1:
+                    acc0 += len(first_singles)
+                    if need_f:
+                        for u in range(1, k1):
+                            prev = best[u - 1]
+                            cur = best[u]
+                            if prev is not None and (
+                                cur is None
+                                or prev[0] < cur[0]
+                                or (prev[0] == cur[0] and prev[1] < cur[1])
+                            ):
+                                best[u] = prev
+                        base = mask * k1
+                        F[base:base + k1] = best
+                    continue
+
+                # Non-singleton blocks: intermediate nodes over strict
+                # subsets containing the first item (Section 3.1.3: an
+                # intermediate node provides a single input to the root
+                # lookup table, so u_i = 1), in descending submask order.
+                blocks: List[Tuple[MapCand, int]] = []
+                t = rest0
+                while t:
+                    block = first_bit | t
+                    if block != mask:
+                        cand = sub_best[block]
+                        if cand is not None:
+                            blocks.append((cand, mask ^ block))
+                    t = (t - 1) & rest0
+
+                best_f = list(best) if need_f else None
+                for cand, rest_mask in blocks:
+                    cost = cand.cost
+                    pdepth = cand.input_depth + 1
+                    placement = ("wire", cand, False)
+                    rbase = rest_mask * k1
+                    for u in range(1, k1):
+                        rest_entry = F[rbase + u - 1]
+                        if rest_entry is None:
+                            continue
+                        total = cost + rest_entry[0]
+                        rdepth = rest_entry[1]
+                        depth = pdepth if pdepth > rdepth else rdepth
+                        cur = best[u]
+                        if (
+                            cur is None
+                            or total < cur[0]
+                            or (total == cur[0] and depth < cur[1])
+                        ):
+                            best[u] = (total, depth, (placement, rest_entry[2]))
+                acc0 += len(first_singles) + len(blocks)
+
+                # Monotonize: entry at u is the best using at most u inputs.
+                for u in range(1, k1):
+                    prev = best[u - 1]
+                    cur = best[u]
+                    if prev is not None and (
+                        cur is None
+                        or prev[0] < cur[0]
+                        or (prev[0] == cur[0] and prev[1] < cur[1])
+                    ):
+                        best[u] = prev
+
+                # Materialize the node table for this mask: every entry
+                # for the full fanin set (the returned table), just the
+                # at-most-K candidate for strict subsets (the only entry
+                # other masks read).  Feasible-entry counts cover all u,
+                # matching the old always-materializing kernel.
+                if mask == full:
+                    for u in range(2, k1):
+                        entry = best[u]
+                        if entry is None:
+                            continue
+                        full_table[u] = MapCand(
+                            entry[0] + 1, op, _chain_to_tuple(entry[2]),
+                            input_depth=entry[1],
+                        )
+                        acc1 += 1
+                else:
+                    for u in range(2, k1):
+                        if best[u] is not None:
+                            acc1 += 1
+                    entry = best[k]
+                    whole = None
+                    if entry is not None:
+                        whole = MapCand(
+                            entry[0] + 1, op, _chain_to_tuple(entry[2]),
+                            input_depth=entry[1],
+                        )
+                        sub_best[mask] = whole
+
+                # The F enumeration repeats the same candidates with one
+                # extra block — the whole mask as a single intermediate
+                # node — considered right after the singletons.
+                whole_cand = full_table[k] if mask == full else sub_best[mask]
+                acc0 += len(first_singles) + len(blocks) + (
+                    1 if whole_cand is not None else 0
+                )
+                if not need_f:
+                    continue
+                if whole_cand is not None:
+                    cost = whole_cand.cost
+                    pdepth = whole_cand.input_depth + 1
+                    placement = ("wire", whole_cand, False)
+                    for u in range(1, k1):
+                        rest_entry = F[u - 1]  # rest mask 0
+                        if rest_entry is None:
+                            continue
+                        total = cost + rest_entry[0]
+                        rdepth = rest_entry[1]
+                        depth = pdepth if pdepth > rdepth else rdepth
+                        cur = best_f[u]
+                        if (
+                            cur is None
+                            or total < cur[0]
+                            or (total == cur[0] and depth < cur[1])
+                        ):
+                            best_f[u] = (
+                                total, depth, (placement, rest_entry[2])
+                            )
+                for cand, rest_mask in blocks:
+                    cost = cand.cost
+                    pdepth = cand.input_depth + 1
+                    placement = ("wire", cand, False)
+                    rbase = rest_mask * k1
+                    for u in range(1, k1):
+                        rest_entry = F[rbase + u - 1]
+                        if rest_entry is None:
+                            continue
+                        total = cost + rest_entry[0]
+                        rdepth = rest_entry[1]
+                        depth = pdepth if pdepth > rdepth else rdepth
+                        cur = best_f[u]
+                        if (
+                            cur is None
+                            or total < cur[0]
+                            or (total == cur[0] and depth < cur[1])
+                        ):
+                            best_f[u] = (
+                                total, depth, (placement, rest_entry[2])
+                            )
+                for u in range(1, k1):
+                    prev = best_f[u - 1]
+                    cur = best_f[u]
+                    if prev is not None and (
+                        cur is None
+                        or prev[0] < cur[0]
+                        or (prev[0] == cur[0] and prev[1] < cur[1])
+                    ):
+                        best_f[u] = prev
+                base = mask * k1
+                F[base:base + k1] = best_f
+
+        metrics.count("chortle.decomp_candidates", acc0)
+        metrics.count("chortle.minmap_entries", acc1)
         if stats is not None:
-            stats[0] += acc[0]
-            stats[1] += acc[1]
-        return sub[full]
-
-    def _singleton_options(self, item: FaninItem) -> List[Tuple[int, int, tuple]]:
-        """(consumed, cost, placement) options for a singleton block."""
-        k = self.k
-        options: List[Tuple[int, int, tuple]] = []
-        if isinstance(item, ExtItem):
-            options.append((1, 0, ("ext", item.name, item.inv)))
-        else:
-            table = item.table
-            wire_cand = table[k]
-            if wire_cand is not None:
-                options.append((1, wire_cand.cost, ("wire", wire_cand, item.inv)))
-            for uc in range(2, k + 1):
-                cand = table[uc]
-                if cand is None:
-                    continue
-                options.append((uc, cand.cost - 1, ("merged", cand, item.inv)))
-        return options
-
-    def _combine(
-        self,
-        op: str,
-        items: List[FaninItem],
-        mask: int,
-        F: Dict[int, List],
-        sub: Dict[int, NodeTable],
-        allow_whole_block: bool,
-        acc: List[int],
-    ) -> List[Optional[Tuple[int, _Chain]]]:
-        """Best distributions of ``mask``'s items over at most u root inputs.
-
-        The block containing the lowest-indexed item of ``mask`` is
-        enumerated explicitly; the remaining items are taken from the
-        already-computed ``F`` table of the rest.  ``allow_whole_block``
-        distinguishes the unrestricted F table (True) from the node-table
-        computation, which must not degenerate into a single block (False).
-        """
-        k = self.k
-        best: List[Optional[Tuple[int, int, _Chain]]] = [None] * (k + 1)
-        first_bit = mask & -mask
-        first_idx = first_bit.bit_length() - 1
-        rest0 = mask ^ first_bit
-
-        def consider(consumed: int, cost: int, placement: tuple, rest_mask: int):
-            rest_table = F[rest_mask]
-            pdepth = placement_depth(placement)
-            for u in range(consumed, k + 1):
-                rest_entry = rest_table[u - consumed]
-                if rest_entry is None:
-                    continue
-                total = cost + rest_entry[0]
-                depth = pdepth if pdepth > rest_entry[1] else rest_entry[1]
-                cur = best[u]
-                # Cost first (the paper's objective); among equal-cost
-                # choices prefer the shallower circuit.
-                if cur is None or (total, depth) < (cur[0], cur[1]):
-                    best[u] = (total, depth, (placement, rest_entry[2]))
-
-        considered = 0
-        for consumed, cost, placement in self._singleton_options(items[first_idx]):
-            consider(consumed, cost, placement, rest0)
-            considered += 1
-
-        # Non-singleton blocks: intermediate nodes over subsets containing
-        # the first item (Section 3.1.3: an intermediate node provides a
-        # single input to the root lookup table, so u_i = 1).
-        t = rest0
-        while t:
-            block = first_bit | t
-            if block != mask or allow_whole_block:
-                cand = sub[block][k]
-                if cand is not None:
-                    consider(1, cand.cost, ("wire", cand, False), mask ^ block)
-                    considered += 1
-            t = (t - 1) & rest0
-        acc[0] += considered
-
-        # Monotonize: entry at u is the best using at most u inputs.
-        for u in range(1, k + 1):
-            prev = best[u - 1]
-            if prev is not None and (
-                best[u] is None or (prev[0], prev[1]) < (best[u][0], best[u][1])
-            ):
-                best[u] = prev
-        return best
-
-    def _make_table(
-        self,
-        op: str,
-        items: List[FaninItem],
-        mask: int,
-        F: Dict[int, List],
-        sub: Dict[int, NodeTable],
-        acc: List[int],
-    ) -> NodeTable:
-        dist = self._combine(op, items, mask, F, sub, False, acc)
-        table: NodeTable = [None] * (self.k + 1)
-        entries = 0
-        for u in range(2, self.k + 1):
-            entry = dist[u]
-            if entry is None:
-                continue
-            cost, depth, chain = entry
-            table[u] = MapCand(
-                cost + 1, op, _chain_to_tuple(chain), input_depth=depth
-            )
-            entries += 1
-        acc[1] += entries
-        return table
-
-    def _make_f(
-        self,
-        op: str,
-        items: List[FaninItem],
-        mask: int,
-        F: Dict[int, List],
-        sub: Dict[int, NodeTable],
-        acc: List[int],
-    ) -> List[Optional[Tuple[int, _Chain]]]:
-        return self._combine(op, items, mask, F, sub, True, acc)
+            stats[0] += acc0
+            stats[1] += acc1
+        return full_table

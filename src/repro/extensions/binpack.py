@@ -12,7 +12,6 @@ handles any fanin, at a usually-small area penalty.
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, List, Tuple
 
 from repro.errors import MappingError
@@ -69,8 +68,6 @@ class BinPackMapper:
     def map(self, network: BooleanNetwork) -> LUTCircuit:
         net = sweep(network) if self.preprocess else network
         net.validate()
-        limit = max(sys.getrecursionlimit(), 4 * len(net) + 1000)
-        sys.setrecursionlimit(limit)
 
         forest = build_forest(net)
         check_forest(forest)

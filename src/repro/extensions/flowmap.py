@@ -24,7 +24,6 @@ K+1 augmentations are needed per node.
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import MappingError
@@ -53,8 +52,6 @@ class FlowMapper:
         net = sweep(network) if self.preprocess else network
         net = decompose_to_binary(net)
         net.validate()
-        limit = max(sys.getrecursionlimit(), 4 * len(net) + 1000)
-        sys.setrecursionlimit(limit)
 
         labels, cuts = self._label_phase(net)
         circuit = self._mapping_phase(net, cuts)
@@ -215,19 +212,27 @@ class FlowMapper:
         for name in net.inputs:
             circuit.add_input(name)
 
-        def emit(name: str) -> None:
-            if name in circuit:
-                return
-            cut = cuts[name]
-            for leaf in cut:
-                if net.node(leaf).is_gate:
-                    emit(leaf)
-            tt = _cone_function(net, name, cut)
-            circuit.add_lut(name, cut, tt)
-
+        # Post-order over the chosen-cut DAG on an explicit stack (the
+        # cut network can be as deep as the subject graph): each node's
+        # cut leaves are emitted left to right before the node itself,
+        # the same table order the recursive formulation produced.
         for sig in net.outputs.values():
-            if net.node(sig.name).is_gate:
-                emit(sig.name)
+            if not net.node(sig.name).is_gate:
+                continue
+            stack: List[Tuple[str, bool]] = [(sig.name, False)]
+            while stack:
+                name, ready = stack.pop()
+                if name in circuit:
+                    continue
+                cut = cuts[name]
+                if ready:
+                    tt = _cone_function(net, name, cut)
+                    circuit.add_lut(name, cut, tt)
+                    continue
+                stack.append((name, True))
+                for leaf in reversed(cut):
+                    if net.node(leaf).is_gate and leaf not in circuit:
+                        stack.append((leaf, False))
         return circuit
 
 

@@ -20,7 +20,6 @@ Two user-facing tools result:
 
 from __future__ import annotations
 
-import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import MappingError
@@ -62,8 +61,11 @@ def _chain_to_tuple(chain) -> tuple:
 def candidate_leaf_levels(cand: MapCand) -> Dict[str, int]:
     """LUT levels from each external leaf up through the candidate root."""
     levels: Dict[str, int] = {}
-
-    def walk(c: MapCand, base: int) -> None:
+    # Candidate chains follow tree depth; walk them on an explicit
+    # stack.  Only the per-leaf max survives, so visit order is free.
+    stack: List[Tuple[MapCand, int]] = [(cand, 0)]
+    while stack:
+        c, base = stack.pop()
         for placement in c.placements:
             kind = placement[0]
             if kind == "ext":
@@ -72,11 +74,9 @@ def candidate_leaf_levels(cand: MapCand) -> Dict[str, int]:
                 if depth > levels.get(name, 0):
                     levels[name] = depth
             elif kind == "wire":
-                walk(placement[1], base + 1)
+                stack.append((placement[1], base + 1))
             else:  # merged: same LUT level as this root
-                walk(placement[1], base)
-
-    walk(cand, 0)
+                stack.append((placement[1], base))
     return levels
 
 
@@ -274,8 +274,6 @@ class DepthBoundedMapper:
     def map(self, network: BooleanNetwork) -> LUTCircuit:
         net = sweep(network) if self.preprocess else network
         net.validate()
-        limit = max(sys.getrecursionlimit(), 4 * len(net) + 1000)
-        sys.setrecursionlimit(limit)
 
         forest = build_forest(net)
         check_forest(forest)

@@ -217,6 +217,7 @@ def resolve_mapper(
     cache=None,
     jobs: int = 1,
     explain: bool = False,
+    executor: str = "thread",
 ) -> Mapper:
     """A ready-to-run mapper for a raw-mapper name, flow name, or flow spec.
 
@@ -224,7 +225,9 @@ def resolve_mapper(
     node-table memoization and parallel tree mapping; see
     :mod:`repro.perf`); they reach the chortle engine whether it is
     resolved raw or as a stage of a flow, and are ignored by mappers
-    without that engine.
+    without that engine.  ``executor`` selects thread or process
+    workers for the raw chortle engine's parallel path; other mappers
+    and flows ignore it.
 
     ``explain`` turns on decision provenance: a mapper that records
     decisions (raw chortle, or any flow containing the chortle pass)
@@ -246,6 +249,8 @@ def resolve_mapper(
                 % (name, mode, ", ".join(registry.names()))
             )
         opts: Dict[str, object] = {"cache": cache, "jobs": jobs}
+        if name == "chortle" and executor != "thread":
+            opts["executor"] = executor
         if explain and name in RECORDING_MAPPERS:
             from repro.obs.explain import DecisionRecorder
 

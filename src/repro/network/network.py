@@ -71,6 +71,17 @@ class BooleanNetwork:
         self._nodes: Dict[str, Node] = {}
         self._inputs: List[str] = []
         self._outputs: Dict[str, Signal] = {}
+        # Bumped by every structural mutation; lets derived results
+        # (e.g. the sweep memo) detect staleness without deep hashing.
+        self._mutations = 0
+
+    def __getstate__(self) -> dict:
+        # The sweep memo holds another (possibly self-referential)
+        # network; keep pickles — worker-pool subject blobs in
+        # particular — down to the structure itself.
+        state = self.__dict__.copy()
+        state.pop("_sweep_memo", None)
+        return state
 
     # -- construction -----------------------------------------------------
 
@@ -83,6 +94,7 @@ class BooleanNetwork:
     def add_input(self, name: str) -> Signal:
         """Declare a primary input and return its signal."""
         self._check_fresh(name)
+        self._mutations += 1
         self._nodes[name] = Node(name, INPUT, ())
         self._inputs.append(name)
         return Signal(name)
@@ -90,6 +102,7 @@ class BooleanNetwork:
     def add_const(self, name: str, value: bool) -> Signal:
         """Add a constant node (used transiently; swept before mapping)."""
         self._check_fresh(name)
+        self._mutations += 1
         self._nodes[name] = Node(name, CONST1 if value else CONST0, ())
         return Signal(name)
 
@@ -101,6 +114,7 @@ class BooleanNetwork:
         sigs = tuple(as_signal(f) for f in fanins)
         if not sigs:
             raise NetworkError("gate %r must have at least one fanin" % name)
+        self._mutations += 1
         self._nodes[name] = Node(name, op, sigs)
         return Signal(name)
 
@@ -111,6 +125,7 @@ class BooleanNetwork:
         sig = as_signal(ref)
         if inv:
             sig = ~sig
+        self._mutations += 1
         self._outputs[port] = sig
 
     def remove_node(self, name: str) -> None:
@@ -118,6 +133,7 @@ class BooleanNetwork:
         node = self.node(name)
         if node.op == INPUT:
             self._inputs.remove(name)
+        self._mutations += 1
         del self._nodes[name]
 
     def replace_node(self, name: str, op: str, fanins: Iterable) -> None:
@@ -129,6 +145,7 @@ class BooleanNetwork:
         sigs = tuple(as_signal(f) for f in fanins)
         if not sigs:
             raise NetworkError("gate %r must have at least one fanin" % name)
+        self._mutations += 1
         self._nodes[name] = Node(name, op, sigs)
 
     def fresh_name(self, stem: str) -> str:

@@ -68,7 +68,17 @@ def sweep(network: BooleanNetwork) -> BooleanNetwork:
     polarities, removes duplicate fanins, and drops nodes unreachable from
     the outputs.  Primary inputs are always preserved to keep the external
     interface stable.
+
+    The result is memoized on the instance (invalidated by any structural
+    mutation), so sweeping the same network twice — every ``map()`` call
+    preprocesses — returns the *same object*.  Identity stability is what
+    lets the worker-pool subject registry recognize a network across
+    repeated mapping runs instead of re-shipping it.
     """
+    memo = getattr(network, "_sweep_memo", None)
+    if memo is not None and memo[0] == network._mutations:
+        metrics.count("sweep.memo_hits")
+        return memo[1]
     with span("transform.sweep", network=network.name) as sp:
         out = _sweep_impl(network)
         removed = len(network) - len(out)
@@ -77,6 +87,9 @@ def sweep(network: BooleanNetwork) -> BooleanNetwork:
             metrics.count("sweep.nodes_removed", removed)
         sp.set("nodes_in", len(network))
         sp.set("nodes_out", len(out))
+    # Sweep is idempotent: the output sweeps to itself.
+    out._sweep_memo = (out._mutations, out)
+    network._sweep_memo = (network._mutations, out)
     return out
 
 

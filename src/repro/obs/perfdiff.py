@@ -195,12 +195,49 @@ class PerfDiff:
         return "\n".join(lines)
 
 
+def _extra_phase_policies(
+    baseline: PerfRecord,
+    current: PerfRecord,
+    known: Sequence[PerfPolicy],
+) -> Tuple[PerfPolicy, ...]:
+    """Non-gating seconds rows for phase names the static policies miss.
+
+    The bench-perf harness grows phase names over time (the process
+    executor's jobs x pool-reuse matrix legs, for instance); records in
+    a committed ``perf_history.json`` predate them.  New names get
+    informational seconds rows when both records carry them, and are
+    simply skipped — never treated as regressions — when one side lacks
+    them, so extending the harness never invalidates existing history.
+    """
+    covered = {policy.phase for policy in known}
+    shared = set(baseline.phases) & set(current.phases)
+    return tuple(
+        PerfPolicy(
+            "%s_seconds" % name,
+            name,
+            rel_tol=0.50,
+            abs_tol=0.25,
+            gate=False,
+            portable=False,
+        )
+        for name in sorted(shared - covered)
+    )
+
+
 def diff_perf_records(
     baseline: PerfRecord,
     current: PerfRecord,
     policies: Sequence[PerfPolicy] = DEFAULT_PERF_POLICIES,
 ) -> PerfDiff:
-    """Classify every shared metric of two perf records under the policies."""
+    """Classify every shared metric of two perf records under the policies.
+
+    Phases only one record knows (older or newer harness versions) are
+    skipped; phases both records carry but no static policy covers get
+    non-gating seconds rows via :func:`_extra_phase_policies`.
+    """
+    policies = tuple(policies) + _extra_phase_policies(
+        baseline, current, policies
+    )
     env_matched = baseline.environment_key() == current.environment_key()
     diff = PerfDiff(
         cells=[],

@@ -55,7 +55,9 @@ from repro.core.tree_mapper import (
 from repro.perf.lru import LruCache
 
 #: Bump when the canonical-table layout changes; stale disk caches are ignored.
-DISK_SCHEMA = 1
+#: v2: cache keys carry interned signatures (flat pickle expansion) instead
+#: of raw nested tuples.
+DISK_SCHEMA = 2
 _DISK_MAGIC = "chortle-node-table-cache"
 _DISK_FILENAME = "node_tables.v%d.pkl" % DISK_SCHEMA
 
@@ -74,14 +76,197 @@ def default_cache_dir() -> str:
 # -- signatures --------------------------------------------------------------
 
 
-def node_signature(op: str, items: Sequence[FaninItem]) -> Optional[tuple]:
+class InternedSignature:
+    """One structural signature, interned so it hashes in O(1).
+
+    Signatures nest — a node's signature embeds its table-item
+    children's signatures — so raw tuples re-hash the whole subtree on
+    every cache lookup, and on deep chains even *pickling* them
+    overflows the C stack.  Interning fixes both: the hash is computed
+    once from the shallow shape (whose child references are themselves
+    interned, already-hashed objects), structurally equal signatures are
+    the *same object* within a process (so equality is identity), and
+    pickling goes through a flat post-order expansion that re-interns on
+    load, keeping disk-cache keys comparable to live ones.
+    """
+
+    __slots__ = ("shape", "_hash")
+
+    def __init__(self, shape: tuple, hash_value: int):
+        self.shape = shape
+        self._hash = hash_value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # No __eq__: identity equality is exactly right, the intern table
+    # guarantees one object per distinct structure.
+
+    def expanded(self) -> tuple:
+        """A flat, recursion-free form: post-order shallow nodes.
+
+        Entry ``i`` is ``(op, parts)`` where a table-item part
+        ``("t", j, inv)`` references entry ``j < i``; the last entry is
+        this signature.  Safe to pickle at any nesting depth.
+        """
+        order: List[tuple] = []
+        index: Dict[int, int] = {}
+        stack: List[Tuple[InternedSignature, bool]] = [(self, False)]
+        while stack:
+            node, ready = stack.pop()
+            if id(node) in index:
+                continue
+            parts = node.shape[2]
+            if ready:
+                flat = tuple(
+                    ("t", index[id(part[1])], part[2])
+                    if part[0] == "t"
+                    else part
+                    for part in parts
+                )
+                index[id(node)] = len(order)
+                order.append((node.shape[1], flat))
+            else:
+                stack.append((node, True))
+                for part in parts:
+                    if part[0] == "t" and id(part[1]) not in index:
+                        stack.append((part[1], False))
+        return tuple(order)
+
+    def __reduce__(self):
+        return (_signature_from_expanded, (self.expanded(),))
+
+    def __repr__(self) -> str:
+        return "InternedSignature(%r, hash=%d)" % (self.shape[1], self._hash)
+
+
+_INTERN: Dict[tuple, InternedSignature] = {}
+
+
+def intern_signature(shape: tuple) -> InternedSignature:
+    """The unique :class:`InternedSignature` for a shallow shape tuple.
+
+    ``shape`` is ``("nt", op, parts)`` whose table-item parts reference
+    child *InternedSignature* objects, so hashing it — and comparing on
+    a rare bucket collision — costs O(fanin), never O(subtree).
+    """
+    found = _INTERN.get(shape)
+    if found is None:
+        found = InternedSignature(shape, hash(shape))
+        _INTERN[shape] = found
+    return found
+
+
+def _signature_from_expanded(expanded: tuple) -> InternedSignature:
+    """Re-intern a pickled flat expansion (see ``expanded``)."""
+    built: List[InternedSignature] = []
+    for op, parts in expanded:
+        shallow = tuple(
+            ("t", built[part[1]], part[2]) if part[0] == "t" else part
+            for part in parts
+        )
+        built.append(intern_signature(("nt", op, shallow)))
+    return built[-1]
+
+
+class _SigRef:
+    """Disk-format stand-in for an interned signature inside a cache key.
+
+    ``save_disk`` writes one shared post-order signature table per file
+    and keys reference into it — per-key ``expanded()`` forms would
+    re-serialize every chain prefix, turning a deep-chain cache into an
+    O(n^2) pickle.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __reduce__(self):
+        return (_SigRef, (self.index,))
+
+
+class _SignaturePacker:
+    """Builds the shared signature table while translating cache keys."""
+
+    def __init__(self) -> None:
+        self.table: List[tuple] = []
+        self._index: Dict[int, int] = {}
+
+    def _sig_index(self, sig: InternedSignature) -> int:
+        known = self._index.get(id(sig))
+        if known is not None:
+            return known
+        stack: List[Tuple[InternedSignature, bool]] = [(sig, False)]
+        while stack:
+            node, ready = stack.pop()
+            if id(node) in self._index:
+                continue
+            parts = node.shape[2]
+            if ready:
+                flat = tuple(
+                    ("t", self._index[id(part[1])], part[2])
+                    if part[0] == "t"
+                    else part
+                    for part in parts
+                )
+                self._index[id(node)] = len(self.table)
+                self.table.append((node.shape[1], flat))
+            else:
+                stack.append((node, True))
+                for part in parts:
+                    if part[0] == "t" and id(part[1]) not in self._index:
+                        stack.append((part[1], False))
+        return self._index[id(sig)]
+
+    def pack_key(self, key: object) -> object:
+        """``key`` with top-level interned signatures swapped for refs."""
+        if not isinstance(key, tuple) or not any(
+            isinstance(part, InternedSignature) for part in key
+        ):
+            return key
+        return tuple(
+            _SigRef(self._sig_index(part))
+            if isinstance(part, InternedSignature)
+            else part
+            for part in key
+        )
+
+
+def _unpack_key(key: object, sigs: List[InternedSignature]) -> object:
+    if not isinstance(key, tuple) or not any(
+        isinstance(part, _SigRef) for part in key
+    ):
+        return key
+    return tuple(
+        sigs[part.index] if isinstance(part, _SigRef) else part
+        for part in key
+    )
+
+
+def _sigs_from_table(table: Sequence[tuple]) -> List[InternedSignature]:
+    built: List[InternedSignature] = []
+    for op, parts in table:
+        shallow = tuple(
+            ("t", built[part[1]], part[2]) if part[0] == "t" else part
+            for part in parts
+        )
+        built.append(intern_signature(("nt", op, shallow)))
+    return built
+
+
+def node_signature(
+    op: str, items: Sequence[FaninItem]
+) -> Optional[InternedSignature]:
     """The structural signature of one node-table computation.
 
     External leaves contribute ``("e", name_id, inv)`` where ``name_id``
     numbers distinct leaf names in order of first occurrence — two items
     naming the *same* leaf signal must stay distinguishable from two
     distinct leaves, because the mapped function differs.  Table items
-    contribute ``("t", child_signature, inv)``.
+    contribute ``("t", child_signature, inv)`` referencing the child's
+    own interned signature.
 
     Returns ``None`` when some :class:`TableItem` carries no signature
     (it was built outside the memoizing path); such calls are simply not
@@ -97,7 +282,7 @@ def node_signature(op: str, items: Sequence[FaninItem]) -> Optional[tuple]:
             if item.sig is None:
                 return None
             parts.append(("t", item.sig, item.inv))
-    return ("nt", op, tuple(parts))
+    return intern_signature(("nt", op, tuple(parts)))
 
 
 def _ext_name_ids(items: Sequence[FaninItem]) -> Dict[str, int]:
@@ -204,7 +389,12 @@ class NodeTableCache(LruCache):
         """
         path = self._disk_path(cache_dir)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = (_DISK_MAGIC, DISK_SCHEMA, self.items_snapshot())
+        packer = _SignaturePacker()
+        entries = [
+            (packer.pack_key(key), value)
+            for key, value in self.items_snapshot()
+        ]
+        payload = (_DISK_MAGIC, DISK_SCHEMA, (tuple(packer.table), entries))
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".node_tables.", suffix=".tmp"
         )
@@ -238,9 +428,11 @@ class NodeTableCache(LruCache):
             or payload[1] != DISK_SCHEMA
         ):
             return 0
+        sig_table, entries = payload[2]
+        sigs = _sigs_from_table(sig_table)
         loaded = 0
-        for key, value in payload[2]:
-            self.put(key, value)
+        for key, value in entries:
+            self.put(_unpack_key(key, sigs), value)
             loaded += 1
         from repro.obs import metrics
 

@@ -1,20 +1,28 @@
 """Process-pool workers for tree-level and suite-level parallel mapping.
 
-Two fan-out granularities, both deterministic:
+Two fan-out granularities, both deterministic, both running on the
+persistent fork-once pool of :mod:`repro.perf.pool`:
 
 * :func:`map_trees_processes` — one swept network, its forest's trees
-  chunked round-robin across a ``ProcessPoolExecutor``.  Each worker
-  rebuilds the forest (cheap and deterministic) and returns the root
-  candidates for its chunk; the parent reassembles them in forest order,
-  so emission — and therefore the whole circuit — is bit-identical to a
-  serial run.
+  chunked round-robin across the shared pool.  The subject network is
+  *registered* once and crosses into workers by fork inheritance (or a
+  one-time blob on the spawn fallback) instead of riding in every chunk
+  payload; each worker builds the forest and per-tree topological
+  orders once per subject and keeps them for its lifetime.  The parent
+  reassembles root candidates in forest order, so emission — and
+  therefore the whole circuit — is bit-identical to a serial run.
 
 * :func:`run_cells_processes` — the benchmark runner's (circuit, K,
-  mapper) cells fanned across workers.  Each cell is an independent
-  mapping problem; workers return plain report dicts and the parent
+  mapper) cells fanned across workers.  Cells sharing one circuit at
+  different K share one registered subject (payloads carry a token, not
+  the network).  Workers return plain report dicts and the parent
   restores them in submission order, so a parallel suite sweep produces
   the same rows in the same order as a serial one (only the timing
   fields reflect the parallel run).
+
+Because the pool is long-lived, each worker's process-local memo cache
+(:func:`repro.perf.memo.get_cache`) stays warm across chunks, cells,
+and whole suites.
 
 Worker functions live at module top level so they pickle under the
 ``spawn`` start method.  Workers count into their own process-local
@@ -32,7 +40,10 @@ submitted work unit records:
   clamped to zero);
 * *task seconds* — in-worker compute time for the unit;
 * *pickle bytes* — the serialized size of the submitted payload, i.e.
-  the per-unit cost the process pool pays that threads do not;
+  the per-unit cost the process pool pays that threads do not (now a
+  token-sized constant, not the subject network);
+* *subject misses* — tasks resubmitted with a subject blob because a
+  worker predated the subject's registration;
 * *worker cache traffic* — hit/miss/eviction deltas from each worker's
   process-local memo cache, shipped home with the results.
 
@@ -52,9 +63,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.network.network import BooleanNetwork
 from repro.obs import metrics
+from repro.perf.pool import (
+    get_pool,
+    register_subject,
+    resolve_subject,
+    subject_blob,
+)
 
 #: Worker-local cache counters shipped home, and their parent-side names.
 _CACHE_COUNTERS = ("hits", "misses", "evictions")
+
+#: First element of a worker result when the subject was not resolvable;
+#: the parent resubmits the task with the pickled subject attached.
+_MISS = "__subject_miss__"
 
 
 def _chunk_round_robin(n: int, jobs: int) -> List[List[int]]:
@@ -129,6 +150,9 @@ def worker_buckets(
         ),
         "pickle_bytes": delta.get("perf.parallel.pickle_bytes", 0),
     }
+    misses = delta.get("perf.parallel.subject_miss", 0)
+    if misses:
+        buckets["subject_misses"] = misses
     cache = {
         key: delta.get("perf.parallel.cache_" + key, 0)
         for key in _CACHE_COUNTERS
@@ -138,23 +162,56 @@ def worker_buckets(
     return buckets
 
 
+def _submit_with_bytes(pool, fn, payload) -> Tuple[object, int]:
+    """Submit to the shared pool, measuring the payload's pickle cost."""
+    future = pool.submit(fn, payload)
+    return future, len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+
+
 # -- tree-level workers ------------------------------------------------------
 
+#: Worker-side cache: subject token -> (forest, per-tree topo orders).
+#: Lives for the worker process's life, so a subject's forest is built
+#: once per worker no matter how many chunks, K values, or suites visit.
+_WORKER_FORESTS: Dict[str, tuple] = {}
 
-def _map_tree_chunk(payload: tuple) -> Tuple[List[Tuple[int, object]], dict]:
+
+def _worker_forest(token: str, net) -> tuple:
+    entry = _WORKER_FORESTS.get(token)
+    if entry is None:
+        from repro.core.forest import build_forest, tree_orders
+
+        forest = build_forest(net)
+        entry = (forest, tree_orders(forest))
+        _WORKER_FORESTS[token] = entry
+    return entry
+
+
+def _map_tree_chunk(payload: tuple):
     """Map one chunk of forest trees inside a worker process."""
     started_at = time.perf_counter()
-    net, k, split_threshold, indices, use_shared_cache, submitted_at = payload
-    from repro.core.forest import build_forest
+    (
+        token,
+        blob,
+        k,
+        split_threshold,
+        indices,
+        use_shared_cache,
+        submitted_at,
+    ) = payload
     from repro.core.tree_mapper import TreeMapper
     from repro.perf.memo import get_cache
 
+    net = resolve_subject(token, blob)
+    if net is None:
+        return _MISS, token
     counters_before = metrics.counters()
+    forest, orders = _worker_forest(token, net)
     cache = get_cache() if use_shared_cache else None
-    forest = build_forest(net)
     mapper = TreeMapper(k, split_threshold=split_threshold, cache=cache)
     results = [
-        (index, mapper.map_tree(net, forest.trees[index])) for index in indices
+        (index, mapper.map_tree(net, forest.trees[index], order=orders[index]))
+        for index in indices
     ]
     return results, _worker_telemetry(submitted_at, started_at, counters_before)
 
@@ -169,46 +226,71 @@ def map_trees_processes(
 ) -> List[object]:
     """Root candidates for every tree of ``net``'s forest, in forest order.
 
-    ``net`` must already be swept (the forest is rebuilt per worker from
-    the network as-is).  Each worker keeps its own process-local memo
-    cache when ``use_shared_cache`` is set — processes cannot share the
-    parent's in-memory cache, but repeated shapes within a chunk still
-    hit (the traffic comes home as ``perf.parallel.cache_*`` counters).
+    ``net`` must already be swept.  The network is registered with the
+    shared pool's subject registry and payloads carry only its token;
+    workers that predate the registration miss once and are resent the
+    pickled subject.  Each worker keeps its own process-local memo cache
+    when ``use_shared_cache`` is set — processes cannot share the
+    parent's in-memory cache, but repeated shapes still hit, and the
+    traffic comes home as ``perf.parallel.cache_*`` counters.
     """
+    token = register_subject(net)
+    pool = get_pool(jobs)
     chunks = _chunk_round_robin(num_trees, jobs)
     results: List[object] = [None] * num_trees
-    with concurrent.futures.ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        futures = []
-        for chunk in chunks:
-            payload = (
-                net,
-                k,
-                split_threshold,
-                chunk,
-                use_shared_cache,
-                time.perf_counter(),
-            )
-            futures.append(
-                (pool.submit(_map_tree_chunk, payload),
-                 len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)))
-            )
-        for future, payload_bytes in futures:
-            chunk_results, telemetry = future.result()
+    pending = []
+    for chunk in chunks:
+        payload = (
+            token, None, k, split_threshold, chunk, use_shared_cache,
+            time.perf_counter(),
+        )
+        pending.append(
+            _submit_with_bytes(pool, _map_tree_chunk, payload) + (chunk,)
+        )
+    while pending:
+        retries = []
+        for future, payload_bytes, chunk in pending:
+            outcome = future.result()
+            if outcome[0] == _MISS:
+                metrics.count("perf.parallel.subject_miss")
+                payload = (
+                    token, subject_blob(token), k, split_threshold, chunk,
+                    use_shared_cache, time.perf_counter(),
+                )
+                retries.append(
+                    _submit_with_bytes(pool, _map_tree_chunk, payload)
+                    + (chunk,)
+                )
+                continue
+            chunk_results, telemetry = outcome
             record_worker_telemetry(telemetry, pickle_bytes=payload_bytes)
             for index, cand in chunk_results:
                 results[index] = cand
+        pending = retries
     return results
 
 
 # -- suite-level workers -----------------------------------------------------
 
 
-def _run_suite_cell(payload: tuple) -> Tuple[dict, dict]:
+def _run_suite_cell(payload: tuple):
     """Run one (circuit, K, mapper) benchmark cell inside a worker."""
     started_at = time.perf_counter()
-    net, k, mapper_name, verify, use_cache, mapper_opts, submitted_at = payload
+    (
+        token,
+        blob,
+        k,
+        mapper_name,
+        verify,
+        use_cache,
+        mapper_opts,
+        submitted_at,
+    ) = payload
     from repro.bench.runner import run_one_cell
 
+    net = resolve_subject(token, blob)
+    if net is None:
+        return _MISS, token
     counters_before = metrics.counters()
     report = run_one_cell(
         net,
@@ -234,40 +316,62 @@ def run_cells_processes(
 ) -> List[dict]:
     """Report dicts for every cell, in the order the cells were given.
 
-    Workers are handed whole cells (network already built in the
-    parent, so synthetic-circuit generation is not repeated per worker)
-    and return ``MappingReport.to_dict()`` payloads; the caller turns
-    them back into reports.  ``on_result(cell_index, report_dict)`` is
-    invoked as each cell *completes* (completion order, not submission
-    order) — the hook progress streaming hangs off.
+    Cells are shipped as ``(subject_token, k, mapper)`` tuples — several
+    cells sweeping one circuit across K values or mappers register the
+    circuit once and share the token, so the per-cell payload is a few
+    hundred bytes regardless of network size.  Workers return
+    ``MappingReport.to_dict()`` payloads; the caller turns them back
+    into reports.  ``on_result(cell_index, report_dict)`` is invoked as
+    each cell *completes* (completion order, not submission order) —
+    the hook progress streaming hangs off.
     """
     jobs = min(jobs, len(cells)) or 1
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {}
-        payload_bytes = {}
-        for index, (net, k, mapper_name) in enumerate(cells):
-            payload = (
-                net,
-                k,
-                mapper_name,
-                verify,
-                use_cache,
-                mapper_opts or {},
-                time.perf_counter(),
-            )
-            future = pool.submit(_run_suite_cell, payload)
-            futures[future] = index
-            payload_bytes[index] = len(
-                pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
-            )
-        rows: List[dict] = [{} for _ in cells]
-        for future in concurrent.futures.as_completed(futures):
-            index = futures[future]
-            row, telemetry = future.result()
+    # Register every subject before the pool spins up: freshly-forked
+    # workers inherit the whole registry, so no cell pays a miss-retry.
+    tokens = [register_subject(net) for net, _k, _mapper in cells]
+    pool = get_pool(jobs)
+    opts = mapper_opts or {}
+
+    def cell_payload(index: int, blob: Optional[bytes]) -> tuple:
+        _net, k, mapper_name = cells[index]
+        return (
+            tokens[index], blob, k, mapper_name, verify, use_cache,
+            opts, time.perf_counter(),
+        )
+
+    futures: Dict[object, int] = {}
+    payload_bytes: Dict[int, int] = {}
+    for index in range(len(cells)):
+        future, nbytes = _submit_with_bytes(
+            pool, _run_suite_cell, cell_payload(index, None)
+        )
+        futures[future] = index
+        payload_bytes[index] = nbytes
+
+    rows: List[dict] = [{} for _ in cells]
+    while futures:
+        done, _ = concurrent.futures.wait(
+            list(futures), return_when=concurrent.futures.FIRST_COMPLETED
+        )
+        for future in done:
+            index = futures.pop(future)
+            outcome = future.result()
+            if outcome[0] == _MISS:
+                metrics.count("perf.parallel.subject_miss")
+                net = cells[index][0]
+                retry, nbytes = _submit_with_bytes(
+                    pool,
+                    _run_suite_cell,
+                    cell_payload(index, subject_blob(register_subject(net))),
+                )
+                futures[retry] = index
+                payload_bytes[index] += nbytes
+                continue
+            row, telemetry = outcome
             record_worker_telemetry(
                 telemetry, pickle_bytes=payload_bytes[index]
             )
             rows[index] = row
             if on_result is not None:
                 on_result(index, row)
-        return rows
+    return rows

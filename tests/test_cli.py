@@ -331,9 +331,9 @@ class TestPerfCommands:
         assert len(data["records"]) == 1
         saved = json.loads(record.read_text())
         assert saved["label"] == "test"
-        assert set(saved["phases"]) == {
+        assert {
             "serial_uncached", "cold_cache", "warm_cache", "parallel",
-        }
+        } <= set(saved["phases"])
 
     def test_gate_passes_on_unchanged_record(self, perf_artifacts, capsys):
         history, record = perf_artifacts

@@ -366,9 +366,12 @@ class FakeCache:
 
 
 def test_chrt302_bad_cache_key():
-    good = (4, 10, ("nt", "and", ()))
+    from repro.perf.memo import intern_signature
+
+    good = (4, 10, intern_signature(("nt", "and", ())))
     bad_shape = (4, ("nt",))
-    bad_sig = (4, 10, ("table", "and"))
+    # Raw tuple signatures are no longer legal: the DP interns them.
+    bad_sig = (4, 10, ("nt", "and", ()))
     found = by_code(
         lint_flow(FlowArtifacts(name="t", cache=FakeCache([good, bad_shape,
                                                            bad_sig]))),

@@ -155,6 +155,7 @@ class TestSuiteIntegration:
             jobs=2,
             created_at="t",
             progress=emitter,
+            matrix=False,
         )
         assert payload["gate"]["pass"] is True
         # One started+finished pair per cell per phase.

@@ -196,3 +196,43 @@ class TestSemanticPreservation:
         net.set_output("y", Signal("a", True))
         swept = sweep(net)
         assert swept.outputs["y"] == Signal("a", True)
+
+
+class TestSweepMemo:
+    """The sweep result is identity-stable until the network mutates.
+
+    Identity stability is what the worker-pool subject registry keys on:
+    a suite pre-registers ``sweep(net)`` once and every later ``map()``
+    call must resolve to the same object (and hence the same token).
+    """
+
+    def test_repeated_sweep_returns_same_object(self):
+        net = make_random_network(0)
+        assert sweep(net) is sweep(net)
+
+    def test_swept_network_sweeps_to_itself(self):
+        net = make_random_network(1)
+        swept = sweep(net)
+        assert sweep(swept) is swept
+
+    def test_mutation_invalidates_the_memo(self):
+        net = make_random_network(2)
+        first = sweep(net)
+        a = net.add_input("__memo_a__")
+        b = net.add_input("__memo_b__")
+        net.set_output("__memo_y__", net.add_gate("__memo_g__", AND, [a, b]))
+        second = sweep(net)
+        assert second is not first
+        assert "__memo_g__" in second
+        # The new result is memoized in turn.
+        assert sweep(net) is second
+
+    def test_memo_does_not_leak_into_pickles(self):
+        import pickle
+
+        net = make_random_network(3)
+        plain = len(pickle.dumps(net, pickle.HIGHEST_PROTOCOL))
+        sweep(net)
+        assert len(pickle.dumps(net, pickle.HIGHEST_PROTOCOL)) == plain
+        clone = pickle.loads(pickle.dumps(net, pickle.HIGHEST_PROTOCOL))
+        assert not hasattr(clone, "_sweep_memo")
