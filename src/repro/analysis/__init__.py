@@ -2,8 +2,8 @@
 
 Two halves live here.  The *lint engine* (diagnostics, rules, engine,
 baseline) statically audits boolean networks, LUT circuits, and flow
-artifacts against the CHRT1xx/CHRT2xx/CHRT3xx rule catalogue — see
-``docs/ANALYSIS.md``.  The *post-mapping analyses* (postmap) are the
+artifacts against the CHRT1xx/CHRT2xx/CHRT3xx rule catalogue, plus the
+opt-in SAT-backed CHRT4xx semantic rules — see ``docs/ANALYSIS.md``.  The *post-mapping analyses* (postmap) are the
 older timing/wiring summaries, re-exported here so existing imports of
 ``repro.analysis`` keep working.
 """
@@ -32,6 +32,7 @@ from repro.analysis.engine import (
     lint_flow,
     lint_mapping,
     lint_network,
+    lint_semantic,
 )
 from repro.analysis.postmap import (
     TimingAnalysis,
@@ -44,12 +45,19 @@ from repro.analysis.rules import (
     DOMAINS,
     FLOW,
     NETWORK,
+    SEMANTIC,
     FlowArtifacts,
     Rule,
     all_rules,
     get_rule,
     rules_for,
 )
+
+# Imported for its registration side effect: the CHRT4xx semantic rules
+# must appear in the catalogue (``chortle rules``, docs tooling) even
+# though they only *run* on request.  The module defers every SAT import
+# to rule execution, so this costs nothing at package import time.
+from repro.analysis import semantic as _semantic  # noqa: F401  isort: skip
 from repro.analysis.suite import lint_cell, lint_suite
 
 __all__ = [
@@ -74,6 +82,7 @@ __all__ = [
     "lint_flow",
     "lint_mapping",
     "lint_network",
+    "lint_semantic",
     "lint_cell",
     "lint_suite",
     "TimingAnalysis",
@@ -84,6 +93,7 @@ __all__ = [
     "DOMAINS",
     "FLOW",
     "NETWORK",
+    "SEMANTIC",
     "FlowArtifacts",
     "Rule",
     "all_rules",

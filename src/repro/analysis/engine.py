@@ -29,6 +29,7 @@ from repro.analysis.rules import (
     CIRCUIT,
     FLOW,
     NETWORK,
+    SEMANTIC,
     FlowArtifacts,
     Rule,
     rules_for,
@@ -73,6 +74,23 @@ def lint_circuit(
     return _run_rules(rules_for(CIRCUIT), circuit, ctx or LintContext())
 
 
+def lint_semantic(
+    circuit: LUTCircuit, ctx: Optional[LintContext] = None
+) -> List[Diagnostic]:
+    """Run every semantic-domain rule (CHRT4xx) over a LUT circuit.
+
+    The SAT-backed rules: each finding is *proved* over the reachable
+    primary-input assignments rather than read off the structure, which
+    is why the domain is opt-in (``chortle lint --semantic``) instead of
+    part of :func:`lint_circuit`.
+    """
+    # Imported here for its registration side effect, so a caller that
+    # never asks for semantic lint never touches the SAT engine.
+    import repro.analysis.semantic  # noqa: F401
+
+    return _run_rules(rules_for(SEMANTIC), circuit, ctx or LintContext())
+
+
 def lint_flow(
     artifacts: FlowArtifacts, ctx: Optional[LintContext] = None
 ) -> List[Diagnostic]:
@@ -87,13 +105,15 @@ def lint_mapping(
     report: Optional[object] = None,
     cache: Optional[object] = None,
     subject: str = "",
+    semantic: bool = False,
 ) -> List[Diagnostic]:
     """Audit a complete mapping: source network, circuit, and report.
 
     The one-stop entry point used by ``chortle lint --cell``/`--suite``
     and the CI gate: network rules on the source (when given), circuit
     rules under the K bound, and flow rules tying the report and memo
-    cache back to the circuit.
+    cache back to the circuit.  ``semantic=True`` additionally runs the
+    SAT-backed CHRT4xx rules over the circuit.
     """
     name = subject or circuit.name
     ctx = LintContext(k=k, subject=name, report=report)
@@ -101,6 +121,8 @@ def lint_mapping(
     if net is not None:
         findings.extend(lint_network(net, ctx))
     findings.extend(lint_circuit(circuit, ctx))
+    if semantic:
+        findings.extend(lint_semantic(circuit, ctx))
     artifacts = FlowArtifacts(
         name=name, cache=cache, circuit=circuit, report=report
     )

@@ -2,7 +2,9 @@
 
 Every rule has a stable code (``CHRT1xx`` for boolean-network rules,
 ``CHRT2xx`` for LUT-circuit rules, ``CHRT3xx`` for flow/cache/report
-rules), a default severity, and a check function yielding
+rules, ``CHRT4xx`` for the SAT-backed semantic rules registered from
+:mod:`repro.analysis.semantic`), a default severity, and a check
+function yielding
 :class:`~repro.analysis.diagnostics.Diagnostic` findings.  Rules are
 registered in a module-level registry; the engine
 (:mod:`repro.analysis.engine`) selects rules by domain and threads a
@@ -29,8 +31,14 @@ from repro.network.network import BooleanNetwork
 NETWORK = "network"
 CIRCUIT = "circuit"
 FLOW = "flow"
+#: SAT-backed semantic circuit rules (CHRT4xx).  A separate domain from
+#: CIRCUIT because they prove properties with the solver rather than
+#: inspect structure — strictly more powerful, measurably more
+#: expensive — so they run only on request (``chortle lint
+#: --semantic``, :func:`repro.analysis.engine.lint_semantic`).
+SEMANTIC = "semantic"
 
-DOMAINS: Tuple[str, ...] = (NETWORK, CIRCUIT, FLOW)
+DOMAINS: Tuple[str, ...] = (NETWORK, CIRCUIT, FLOW, SEMANTIC)
 
 #: Placement kinds a LUTProvenance record may legally carry: the three
 #: input-placement classes of the tree decomposition (see core/tree.py)

@@ -1,0 +1,264 @@
+"""SAT-backed semantic lint rules (CHRT4xx).
+
+Where the CHRT2xx circuit rules inspect structure (a table that *is*
+constant, a pin the table ignores), these rules prove semantic
+properties of each LUT **in its circuit context** — over the reachable
+assignments of the primary inputs — with the :mod:`repro.sat` engine:
+
+* CHRT401 — a LUT whose output provably never toggles, even though its
+  table is not constant (the cone feeding it collapses);
+* CHRT402 — a LUT input the table depends on that can provably be tied
+  to a constant, because of correlations among the cone's wires, without
+  changing the output on any reachable assignment;
+* CHRT403 — two structurally different LUTs that provably compute the
+  same primary-input function (possibly complemented).
+
+Every rule runs a bit-parallel random-simulation prefilter first, so
+the solver is only consulted for candidates simulation cannot refute —
+the classic SAT-sweeping discipline.  The rules register under the
+separate ``semantic`` domain and run only on request (``chortle lint
+--semantic``, :func:`repro.analysis.engine.lint_semantic`): a SAT call
+per LUT is measurably more expensive than a structural scan.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.diagnostics import INFO, WARN, Diagnostic, LintContext
+from repro.analysis.rules import SEMANTIC, register
+from repro.core.lut import LUTCircuit
+from repro.truth.truthtable import TruthTable
+
+if TYPE_CHECKING:  # runtime SAT imports stay lazy (rule execution only)
+    from repro.sat.cnf import Encoder
+    from repro.sat.solver import CdclSolver
+
+_SIG_WIDTH = 256
+_SIG_SEED = 0x5E11
+
+
+def _signature_words(circuit: LUTCircuit) -> Dict[str, int]:
+    """Deterministic random-simulation words for every wire."""
+    rng = random.Random(_SIG_SEED)
+    words = {name: rng.getrandbits(_SIG_WIDTH) for name in circuit.inputs}
+    return circuit.simulate(words, _SIG_WIDTH)
+
+
+def _eval_lut_word(tt: TruthTable, words: List[int], width: int) -> int:
+    """Bit-parallel evaluation of one table over arbitrary input words."""
+    mask = (1 << width) - 1
+    out = 0
+    for m in tt.minterms():
+        term = mask
+        for j, word in enumerate(words):
+            term &= word if (m >> j) & 1 else ~word & mask
+        out |= term
+        if out == mask:
+            break
+    return out
+
+
+class _CircuitCnf:
+    """A lazily built whole-circuit CNF, shared across one rule's checks.
+
+    Building the encoding costs more than the structural scan that
+    precedes it, so nothing is encoded until the simulation prefilter
+    produces the first candidate the solver must settle.
+    """
+
+    def __init__(self, circuit: LUTCircuit):
+        self._circuit = circuit
+        self._solver: Optional["CdclSolver"] = None
+        self._encoder: Optional["Encoder"] = None
+        self._wires: Dict[str, int] = {}
+
+    def _build(self) -> Tuple["CdclSolver", "Encoder", Dict[str, int]]:
+        if self._solver is None or self._encoder is None:
+            from repro.sat.cnf import Encoder
+            from repro.sat.solver import CdclSolver
+
+            solver = CdclSolver()
+            encoder = Encoder(solver)
+            self._wires = encoder.encode_circuit(self._circuit)
+            self._solver, self._encoder = solver, encoder
+        return self._solver, self._encoder, self._wires
+
+    def constant_value(self, name: str) -> Optional[int]:
+        """0/1 when the wire provably never toggles, else None."""
+        solver, encoder, wires = self._build()
+        lit = wires[name]
+        if encoder.is_true(lit):
+            return 1
+        if encoder.is_false(lit):
+            return 0
+        if not solver.solve([lit]):
+            return 0
+        if not solver.solve([-lit]):
+            return 1
+        return None
+
+    def pin_rewirable_to(self, name: str, pin: int) -> Optional[int]:
+        """A constant ``pin`` can be tied to without changing the output.
+
+        Returns 0 or 1 when, on every reachable input assignment, the
+        LUT computes the same value with ``pin`` replaced by that
+        constant (i.e. by the corresponding cofactor of its table);
+        ``None`` when neither constant works.
+        """
+        solver, encoder, wires = self._build()
+        lut = self._circuit.lut(name)
+        pins = [wires[src] for src in lut.inputs]
+        straight = encoder.lit_lut(lut.tt, pins)
+        for value in (0, 1):
+            tied = encoder.lit_lut(lut.tt.cofactor(pin, value), pins)
+            miter = encoder.lit_xor(straight, tied)
+            if encoder.is_false(miter):
+                return value
+            if encoder.is_true(miter):
+                continue
+            if not solver.solve([miter]):
+                return value
+        return None
+
+    def same_function(self, a: str, b: str) -> Optional[str]:
+        """"equal"/"complement" when the wires provably agree, else None."""
+        solver, encoder, wires = self._build()
+        miter = encoder.lit_xor(wires[a], wires[b])
+        if encoder.is_false(miter):
+            return "equal"
+        if encoder.is_true(miter):
+            return "complement"
+        if not solver.solve([miter]):
+            return "equal"
+        if not solver.solve([-miter]):
+            return "complement"
+        return None
+
+
+_MASK = (1 << _SIG_WIDTH) - 1
+
+
+@register(
+    "CHRT401",
+    "semantic-constant-cone",
+    SEMANTIC,
+    WARN,
+    "LUT output provably never toggles although its table is not constant",
+)
+def _semantic_constant_cone(
+    circuit: LUTCircuit, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    values = _signature_words(circuit)
+    cnf = _CircuitCnf(circuit)
+    for lut in circuit.luts():
+        if lut.tt.nvars == 0 or lut.tt.is_constant():
+            continue  # a constant *table* is CHRT204's structural finding
+        word = values[lut.name]
+        if word != 0 and word != _MASK:
+            continue  # simulation toggled it: provably not constant
+        value = cnf.constant_value(lut.name)
+        if value is None:
+            continue
+        yield Diagnostic(
+            "CHRT401",
+            WARN,
+            "LUT %r output is constant %d on every reachable input "
+            "assignment (SAT-proved) although its table is not constant"
+            % (lut.name, value),
+            subject=subject,
+            location=lut.name,
+            hint="the cone feeding this LUT collapses; fold the constant "
+            "into its consumers",
+        )
+
+
+@register(
+    "CHRT402",
+    "context-unobservable-input",
+    SEMANTIC,
+    WARN,
+    "LUT input provably never influences the output in circuit context",
+)
+def _context_unobservable_input(
+    circuit: LUTCircuit, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    values = _signature_words(circuit)
+    cnf = _CircuitCnf(circuit)
+    for lut in circuit.luts():
+        if lut.tt.nvars < 2:
+            continue
+        words = [values[src] for src in lut.inputs]
+        out = _eval_lut_word(lut.tt, words, _SIG_WIDTH)
+        for pin in range(lut.tt.nvars):
+            if not lut.tt.depends_on(pin):
+                continue  # table-level insensitivity is CHRT206's finding
+            if all(
+                _eval_lut_word(lut.tt.cofactor(pin, v), words, _SIG_WIDTH)
+                != out
+                for v in (0, 1)
+            ):
+                continue  # simulation refuted both constant rewirings
+            value = cnf.pin_rewirable_to(lut.name, pin)
+            if value is not None:
+                yield Diagnostic(
+                    "CHRT402",
+                    WARN,
+                    "input %d (wire %r) of LUT %r can provably be tied to "
+                    "constant %d without changing the output on any "
+                    "reachable assignment (SAT-proved)"
+                    % (pin, lut.inputs[pin], lut.name, value),
+                    subject=subject,
+                    location=lut.name,
+                    hint="the wires feeding this LUT are correlated; "
+                    "rewire the pin to the constant and shrink the table",
+                )
+
+
+@register(
+    "CHRT403",
+    "duplicate-function-pair",
+    SEMANTIC,
+    INFO,
+    "two LUTs provably compute the same primary-input function",
+)
+def _duplicate_function_pair(
+    circuit: LUTCircuit, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    subject = ctx.subject_for(circuit)
+    values = _signature_words(circuit)
+    cnf = _CircuitCnf(circuit)
+    groups: Dict[int, List[str]] = {}
+    for name in circuit.topological_order():
+        lut = circuit.lut(name)
+        if lut.tt.nvars < 2 or lut.tt.is_constant():
+            continue
+        word = values[name]
+        canonical = min(word, ~word & _MASK)
+        groups.setdefault(canonical, []).append(name)
+    for members in groups.values():
+        leader = members[0]
+        leader_lut = circuit.lut(leader)
+        for name in members[1:]:
+            lut = circuit.lut(name)
+            if lut.inputs == leader_lut.inputs and lut.tt == leader_lut.tt:
+                continue  # a byte-identical copy is CHRT207's finding
+            verdict = cnf.same_function(leader, name)
+            if verdict is None:
+                continue  # signature collision, refuted by the solver
+            suffix = " up to complement" if verdict == "complement" else ""
+            yield Diagnostic(
+                "CHRT403",
+                INFO,
+                "LUT %r computes the same function of the primary inputs "
+                "as LUT %r%s (SAT-proved) despite differing structure"
+                % (name, leader, suffix),
+                subject=subject,
+                location=name,
+                hint="cross-tree duplication is inherent to forest "
+                "partitioning; a DAG mapper or post-map strash would "
+                "share the cone",
+            )

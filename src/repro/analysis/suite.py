@@ -20,27 +20,38 @@ DEFAULT_MAPPERS: Tuple[str, ...] = ("chortle", "mis", "cutmap")
 DEFAULT_KS: Tuple[int, ...] = (2, 3, 4, 5)
 
 
-def lint_cell(name: str, k: int, mapper: str) -> List[Diagnostic]:
-    """Map one benchmark cell and lint the complete mapping."""
+def lint_cell(
+    name: str, k: int, mapper: str, semantic: bool = False
+) -> List[Diagnostic]:
+    """Map one benchmark cell and lint the complete mapping.
+
+    ``name`` resolves like the benchmark runner's cell names: an MCNC
+    profile or an adversarial preset (``adv_*``).  ``semantic=True``
+    additionally runs the SAT-backed CHRT4xx rules over the circuit.
+    """
     from repro.analysis.engine import lint_mapping
-    from repro.bench.mcnc import mcnc_circuit
+    from repro.bench.adversarial import resolve_cell
     from repro.flow.mappers import resolve_mapper
     from repro.report import build_report
 
-    net = mcnc_circuit(name)
+    net = resolve_cell(name)
     circuit = resolve_mapper(mapper, k).map(net)
     report = build_report(net, circuit, k, mapper=mapper)
     subject = "%s[k=%d,%s]" % (name, k, mapper)
-    return lint_mapping(net, circuit, k=k, report=report, subject=subject)
+    return lint_mapping(
+        net, circuit, k=k, report=report, subject=subject, semantic=semantic
+    )
 
 
-def _lint_cell_worker(payload: Tuple[str, int, str]) -> List[Diagnostic]:
-    name, k, mapper = payload
-    return lint_cell(name, k, mapper)
+def _lint_cell_worker(
+    payload: Tuple[str, int, str, bool],
+) -> List[Diagnostic]:
+    name, k, mapper, semantic = payload
+    return lint_cell(name, k, mapper, semantic=semantic)
 
 
 def _timed_lint_cell_worker(
-    payload: Tuple[str, int, str],
+    payload: Tuple[str, int, str, bool],
 ) -> Tuple[List[Diagnostic], float]:
     import time
 
@@ -54,6 +65,7 @@ def lint_suite(
     ks: Sequence[int] = DEFAULT_KS,
     jobs: int = 1,
     progress: object = False,
+    semantic: bool = False,
 ) -> List[Diagnostic]:
     """Lint every (circuit, K, mapper) cell of the sweep; all findings.
 
@@ -74,7 +86,7 @@ def lint_suite(
     # Same capability filter as the benchmark runner: cells a mapper
     # cannot do at that K (mis beyond K=5) are skipped, not failed.
     cells = [
-        (n, k, m)
+        (n, k, m, semantic)
         for n in names
         for k in ks
         for m in mappers
@@ -84,7 +96,7 @@ def lint_suite(
     findings: List[Diagnostic] = []
     if jobs <= 1 or len(cells) <= 1:
         for cell in cells:
-            name, k, mapper = cell
+            name, k, mapper = cell[:3]
             if emitter is not None:
                 emitter.cell_started(name, k, mapper, phase="lint")
             started = time.perf_counter()
@@ -104,7 +116,7 @@ def lint_suite(
         if emitter is not None:
             future_cells = dict(zip(futures, cells))
             for future in concurrent.futures.as_completed(futures):
-                name, k, mapper = future_cells[future]
+                name, k, mapper = future_cells[future][:3]
                 emitter.cell_finished(
                     name, k, mapper,
                     seconds=future.result()[1],

@@ -27,6 +27,13 @@ from repro.bench.circuits import (
     ripple_adder,
     wide_and,
 )
+from repro.bench.adversarial import (
+    ADVERSARIAL_PRESETS,
+    AdversarialConfig,
+    adversarial_network,
+    adversarial_preset,
+    resolve_cell,
+)
 from repro.bench.generator import GeneratorConfig, random_network
 from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit, mcnc_suite
 
@@ -50,4 +57,9 @@ __all__ = [
     "MCNC_PROFILES",
     "mcnc_circuit",
     "mcnc_suite",
+    "ADVERSARIAL_PRESETS",
+    "AdversarialConfig",
+    "adversarial_network",
+    "adversarial_preset",
+    "resolve_cell",
 ]

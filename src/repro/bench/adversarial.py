@@ -1,0 +1,230 @@
+"""The adversarial circuit corpus: mapper stress cases gated by SAT.
+
+Five seeded families, each built to defeat a different simplifying
+assumption a LUT mapper might make, and — for the wide-input members —
+to sit beyond exhaustive simulation's input-count reach so only the SAT
+equivalence engine (:mod:`repro.sat`) can formally check the mapping:
+
+* ``reconvergent`` — free meshes of structural XOR motifs whose operands
+  fan out into both AND legs, the forest partition's worst case;
+* ``xor_chain`` — chained XOR ladders: deep reconvergence where every
+  stage depends on the previous one, stressing decomposition depth;
+* ``wide_fanin`` — layers of 6–12-input gates over a heavily shared,
+  inversion-seasoned operand pool, stressing bin packing;
+* ``deep_chain`` — a long alternating AND/OR rail with rotating input
+  taps, stressing the tree DP's serial depth;
+* ``arith`` — carry-chain arithmetic (ripple adders, with an all-ones
+  parity tap) whose >20-input members are the corpus's formally-checked
+  flagships, in the spirit of PolyLUT-style wide-input logic.
+
+Every preset is deterministic (seeded) and byte-pinned as a committed
+BLIF fixture under ``benchmarks/fixtures/adv_*.blif``; preset names are
+first-class cell names wherever MCNC profile names are accepted
+(``run_suite``, ``chortle qor``, ``chortle lint``, ``chortle verify``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.circuits import parity_tree, ripple_adder
+from repro.bench.generator import ReconvergentConfig, reconvergent_network
+from repro.errors import BenchError
+from repro.network.network import AND, OR, BooleanNetwork, Signal
+
+FAMILIES = (
+    "reconvergent",
+    "xor_chain",
+    "wide_fanin",
+    "deep_chain",
+    "arith",
+    "parity",
+)
+
+
+@dataclass(frozen=True)
+class AdversarialConfig:
+    """One adversarial cell: a family plus its seeded shape knobs."""
+
+    family: str
+    num_inputs: int
+    #: Family-specific size: stages (reconvergent/xor_chain), gates
+    #: (wide_fanin), rail length (deep_chain), or adder width (arith).
+    size: int
+    seed: int = 0
+    num_outputs: int = 4
+
+
+def _reconvergent(config: AdversarialConfig) -> BooleanNetwork:
+    return reconvergent_network(
+        ReconvergentConfig(
+            num_inputs=config.num_inputs,
+            num_stages=config.size,
+            seed=config.seed,
+            window=max(4, config.num_inputs // 2 + 2),
+            num_outputs=config.num_outputs,
+            chain=False,
+        )
+    )
+
+
+def _xor_chain(config: AdversarialConfig) -> BooleanNetwork:
+    return reconvergent_network(
+        ReconvergentConfig(
+            num_inputs=config.num_inputs,
+            num_stages=config.size,
+            seed=config.seed,
+            window=4,
+            num_outputs=config.num_outputs,
+            chain=True,
+        )
+    )
+
+
+def _wide_fanin(config: AdversarialConfig) -> BooleanNetwork:
+    """Layers of wide gates over a shared, inversion-seasoned pool."""
+    rng = random.Random(config.seed)
+    net = BooleanNetwork("wide_s%d" % config.seed)
+    pool: List[str] = [
+        net.add_input("pi%d" % i).name for i in range(config.num_inputs)
+    ]
+    for g in range(config.size):
+        fanin = rng.randint(6, min(12, len(pool)))
+        chosen = rng.sample(pool, fanin)
+        fanins = [Signal(src, rng.random() < 0.3) for src in chosen]
+        sig = net.add_gate("w%d" % g, rng.choice((AND, OR)), fanins)
+        pool.append(sig.name)
+    taps = pool[-config.num_outputs:]
+    for i, name in enumerate(taps):
+        net.set_output("po%d" % i, Signal(name))
+    net.validate()
+    return net
+
+
+def _deep_chain(config: AdversarialConfig) -> BooleanNetwork:
+    """A long alternating AND/OR rail tapping inputs round-robin."""
+    rng = random.Random(config.seed)
+    net = BooleanNetwork("deep_s%d" % config.seed)
+    inputs = [net.add_input("pi%d" % i).name for i in range(config.num_inputs)]
+    prev = Signal(inputs[0])
+    op = AND
+    milestones: List[str] = []
+    for step in range(config.size):
+        tap = Signal(
+            inputs[(step + 1) % len(inputs)], rng.random() < 0.25
+        )
+        link = prev if rng.random() >= 0.2 else ~prev
+        sig = net.add_gate("d%d" % step, op, [link, tap])
+        op = OR if op == AND else AND
+        prev = sig
+        if step % max(1, config.size // max(1, config.num_outputs)) == 0:
+            milestones.append(sig.name)
+    taps = (milestones + [prev.name])[-config.num_outputs:]
+    for i, name in enumerate(dict.fromkeys(taps)):
+        net.set_output("po%d" % i, Signal(name))
+    net.validate()
+    return net
+
+
+def _arith(config: AdversarialConfig) -> BooleanNetwork:
+    """A ripple adder (width = ``size``) plus a parity tap over its sums."""
+    net = ripple_adder(config.size)
+    sum_sigs = [net.outputs["sum%d" % i] for i in range(config.size)]
+    prev = sum_sigs[0]
+    for i, sig in enumerate(sum_sigs[1:]):
+        # parity(prev, sig) as the usual 3-gate structural XOR motif
+        a = net.add_gate("pr%d_a" % i, AND, [prev, ~sig])
+        b = net.add_gate("pr%d_b" % i, AND, [~prev, sig])
+        prev = net.add_gate("pr%d" % i, OR, [a, b])
+    net.set_output("parity", prev)
+    net.validate()
+    return net
+
+
+def _parity(config: AdversarialConfig) -> BooleanNetwork:
+    return parity_tree(config.num_inputs)
+
+
+_BUILDERS = {
+    "reconvergent": _reconvergent,
+    "xor_chain": _xor_chain,
+    "wide_fanin": _wide_fanin,
+    "deep_chain": _deep_chain,
+    "arith": _arith,
+    "parity": _parity,
+}
+
+
+def adversarial_network(config: AdversarialConfig) -> BooleanNetwork:
+    """Build the deterministic network of one adversarial config."""
+    try:
+        builder = _BUILDERS[config.family]
+    except KeyError:
+        raise BenchError(
+            "unknown adversarial family %r (have: %s)"
+            % (config.family, ", ".join(sorted(_BUILDERS)))
+        ) from None
+    return builder(config)
+
+
+#: The committed corpus.  ``adv_add24`` (24 inputs) and ``adv_parity21``
+#: (21 inputs) sit beyond the 20-input exhaustive-simulation hard limit:
+#: their mappings are checkable only by the SAT engine.
+ADVERSARIAL_PRESETS: Dict[str, AdversarialConfig] = {
+    "adv_recon_mesh": AdversarialConfig(
+        "reconvergent", num_inputs=12, size=30, seed=0xAD01, num_outputs=5
+    ),
+    "adv_xor_chain": AdversarialConfig(
+        "xor_chain", num_inputs=10, size=24, seed=0xAD02
+    ),
+    "adv_wide_fanin": AdversarialConfig(
+        "wide_fanin", num_inputs=14, size=24, seed=0xAD03
+    ),
+    "adv_deep_chain": AdversarialConfig(
+        "deep_chain", num_inputs=9, size=64, seed=0xAD04
+    ),
+    "adv_add10": AdversarialConfig(
+        "arith", num_inputs=10, size=5, seed=0xAD05, num_outputs=7
+    ),
+    "adv_add24": AdversarialConfig(
+        "arith", num_inputs=24, size=12, seed=0xAD06, num_outputs=14
+    ),
+    "adv_parity21": AdversarialConfig(
+        "parity", num_inputs=21, size=0, seed=0xAD07, num_outputs=1
+    ),
+}
+
+
+def adversarial_preset(name: str) -> BooleanNetwork:
+    """Generate one committed corpus cell by its fixture name."""
+    try:
+        config = ADVERSARIAL_PRESETS[name]
+    except KeyError:
+        raise BenchError(
+            "unknown adversarial preset %r (have: %s)"
+            % (name, ", ".join(sorted(ADVERSARIAL_PRESETS)))
+        ) from None
+    net = adversarial_network(config)
+    net.name = name  # the fixture file stem, not the seed-derived default
+    return net
+
+
+def resolve_cell(name: str) -> BooleanNetwork:
+    """A benchmark cell by name: adversarial preset or MCNC profile."""
+    if name in ADVERSARIAL_PRESETS:
+        return adversarial_preset(name)
+    from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit
+
+    if name in MCNC_PROFILES:
+        return mcnc_circuit(name)
+    raise BenchError(
+        "unknown benchmark cell %r; adversarial presets: %s; MCNC "
+        "profiles: %s"
+        % (
+            name,
+            ", ".join(sorted(ADVERSARIAL_PRESETS)),
+            ", ".join(sorted(MCNC_PROFILES)),
+        )
+    )

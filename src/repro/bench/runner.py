@@ -23,7 +23,7 @@ from typing import (
     Tuple,
 )
 
-from repro.bench.mcnc import TABLE_CIRCUITS, mcnc_circuit
+from repro.bench.mcnc import TABLE_CIRCUITS
 from repro.errors import BenchError, FlowError
 from repro.flow.mappers import mapper_names, resolve_mapper, supports_k
 from repro.network.network import BooleanNetwork
@@ -243,12 +243,14 @@ def run_suite(
     # Fail fast on bad mapper names, before any (expensive) mapping runs.
     for name in mappers:
         mapper_factory(name)
+    from repro.bench.adversarial import resolve_cell
+
     networks: List[BooleanNetwork] = []
     for entry in circuits:
         if isinstance(entry, BooleanNetwork):
             networks.append(entry)
         else:
-            networks.append(mcnc_circuit(str(entry)))
+            networks.append(resolve_cell(str(entry)))
 
     # Mixed sweeps may pair a mapper with a K it cannot do (mis stops at
     # K=5, the cut mappers at K=6); those cells are skipped rather than

@@ -21,7 +21,12 @@ Installed as ``chortle`` (also ``python -m repro``).  Subcommands::
     chortle stats in.blif                         # network statistics
     chortle generate 9symml -o 9symml.blif        # synthetic MCNC stand-in
     chortle verify in.blif mapped.blif            # equivalence check
+    chortle verify a.blif b.blif --method sat     # formal SAT proof
+    chortle verify --cell adv_add24 --mapper cutmap   # map + prove a cell
+    chortle verify --cell xor_mesh --per-lut      # localize a corrupted LUT
+    chortle verify --corpus --semantic -o gate.json   # adversarial SAT gate
     chortle lint in.blif                          # static network audit
+    chortle lint mapped.blif --mapped --semantic  # SAT-backed CHRT4xx rules
     chortle lint mapped.blif --mapped -k 4        # audit a mapped circuit
     chortle lint --suite --fail-on error          # lint the whole QoR sweep
     chortle lint --rules                          # print the rule catalogue
@@ -50,11 +55,10 @@ from repro.blif import (
     write_lut_circuit,
     write_network,
 )
-from repro.bench.mcnc import MCNC_PROFILES, mcnc_circuit
+from repro.bench.mcnc import MCNC_PROFILES
 from repro.errors import ReproError
 from repro.flow import get_registry, mapper_names, resolve_mapper
 from repro.network import network_stats
-from repro.network.simulate import exhaustive_input_words, simulate
 from repro.obs import (
     JsonLinesSink,
     capture,
@@ -114,7 +118,12 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
     wherever it appears in the resolved mapper.
     """
     flow_spec = getattr(args, "flow", None)
-    checked = bool(getattr(args, "checked", False))
+    # --checked is an optional-value flag: None (off), or the verify
+    # method "sim"/"sat"/"auto" (bare --checked means "sim").
+    checked_method = getattr(args, "checked", None)
+    if checked_method is True:  # legacy boolean namespaces (tests, API)
+        checked_method = "sim"
+    checked = bool(checked_method)
     lint = bool(getattr(args, "lint", False))
     explain = bool(getattr(args, "explain", False))
     jobs = int(getattr(args, "jobs", 1) or 1)
@@ -129,7 +138,7 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
         flow = get_registry().resolve(flow_spec)
         return flow.name, FlowMapperAdapter(
             flow, k=args.k, checked=checked, lint=lint, explain=explain,
-            config=config,
+            config=config, verify_method=checked_method or "sim",
         )
     if (checked or lint) and args.mapper not in get_registry():
         raise ReproError(
@@ -138,7 +147,7 @@ def _resolve_cli_mapper(args: argparse.Namespace, cache=None):
         )
     return args.mapper, resolve_mapper(
         args.mapper, args.k, checked=checked, lint=lint, cache=cache,
-        jobs=jobs, explain=explain,
+        jobs=jobs, explain=explain, verify_method=checked_method or "sim",
     )
 
 
@@ -337,16 +346,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _explain_network(spec: str):
-    """The network named by an explain input: a BLIF path or MCNC profile."""
+    """The network named by an explain input: a BLIF path or cell name."""
     import os
 
     if os.path.exists(spec):
         return _load_network(spec, factor=False)
-    if spec in MCNC_PROFILES:
-        return mcnc_circuit(spec)
+    from repro.bench.adversarial import ADVERSARIAL_PRESETS, resolve_cell
+
+    if spec in MCNC_PROFILES or spec in ADVERSARIAL_PRESETS:
+        return resolve_cell(spec)
     raise ReproError(
-        "explain input %r is neither a readable BLIF file nor an MCNC "
-        "profile (profiles: %s)" % (spec, ", ".join(sorted(MCNC_PROFILES)))
+        "explain input %r is neither a readable BLIF file nor a known "
+        "cell (MCNC profiles: %s; adversarial presets: %s)"
+        % (
+            spec,
+            ", ".join(sorted(MCNC_PROFILES)),
+            ", ".join(sorted(ADVERSARIAL_PRESETS)),
+        )
     )
 
 
@@ -512,9 +528,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     for path in args.files:
         if args.mapped:
             circuit = _mapped_circuit_from_blif(path)
-            diagnostics.extend(
-                lint_circuit(circuit, LintContext(k=args.k, subject=path))
-            )
+            ctx = LintContext(k=args.k, subject=path)
+            diagnostics.extend(lint_circuit(circuit, ctx))
+            if args.semantic:
+                from repro.analysis import lint_semantic
+
+                diagnostics.extend(lint_semantic(circuit, ctx))
         else:
             net = _load_network(path, factor=False)
             diagnostics.extend(
@@ -533,6 +552,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 ks=ks,
                 jobs=args.jobs,
                 progress=bool(getattr(args, "progress", False)),
+                semantic=bool(args.semantic),
             )
         )
     baseline = load_baseline(args.baseline) if args.baseline else None
@@ -560,7 +580,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    net = mcnc_circuit(args.profile)
+    from repro.bench.adversarial import resolve_cell
+
+    net = resolve_cell(args.profile)
     text = write_network(net)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -571,40 +593,257 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    golden = _load_network(args.golden, factor=False)
-    mapped = _load_network(args.mapped, factor=False)
-    # Compare the two networks output-port by output-port.
-    if set(golden.outputs) != set(mapped.outputs):
-        print("output port sets differ", file=sys.stderr)
-        return 1
-    if set(golden.inputs) != set(mapped.inputs):
-        print("input sets differ", file=sys.stderr)
-        return 1
-    inputs = golden.inputs
-    if len(inputs) <= 14:
-        words = exhaustive_input_words(inputs)
-        width = 1 << len(inputs)
-    else:
-        import random
+#: Mappers the adversarial corpus gate sweeps by default: every
+#: registered algorithmic mapper that targets arbitrary K.
+CORPUS_MAPPERS = ("chortle", "mis", "cutmap", "flowmap", "binpack")
 
-        rng = random.Random(0)
-        width = 4096
-        words = {name: rng.getrandbits(width) for name in inputs}
-    mask = (1 << width) - 1
-    g_vals = simulate(golden, words, width)
-    m_vals = simulate(mapped, words, width)
-    ok = True
-    for port in golden.outputs:
-        gs = golden.outputs[port]
-        ms = mapped.outputs[port]
-        g = g_vals[gs.name] ^ (mask if gs.inv else 0)
-        m = m_vals[ms.name] ^ (mask if ms.inv else 0)
-        if (g ^ m) & mask:
-            print("output %r differs" % port, file=sys.stderr)
-            ok = False
-    print("equivalent" if ok else "NOT equivalent")
-    return 0 if ok else 1
+_AUTO_EXHAUSTIVE_LIMIT = 14
+
+
+def _format_counterexample(vector) -> str:
+    if not vector:
+        return "(none)"
+    return " ".join("%s=%d" % (n, vector[n]) for n in sorted(vector))
+
+
+def _verify_pair(golden, candidate, method: str) -> dict:
+    """Pairwise equivalence verdict as a plain dict (text/JSON agnostic).
+
+    ``sat`` always proves; ``auto`` simulates exhaustively up to the
+    input limit and proves above it; ``sim`` is the historical
+    simulation path, whose above-limit verdict is a flagged sample.
+    """
+    from repro.core.lut import LUTCircuit
+    from repro.errors import VerificationError
+    from repro.verify import verify_equivalence as _verify_ckt
+    from repro.verify import verify_network_equivalence as _verify_net
+
+    num_inputs = len(golden.inputs)
+    if method == "sat" or (
+        method == "auto" and num_inputs > _AUTO_EXHAUSTIVE_LIMIT
+    ):
+        from repro.sat.miter import check_equivalence
+
+        result = check_equivalence(golden, candidate)
+        verdict = result.to_dict()
+        verdict.update(inputs=num_inputs, proved=True, sampled=False)
+        return verdict
+    verify = _verify_ckt if isinstance(candidate, LUTCircuit) else _verify_net
+    try:
+        covered = verify(golden, candidate, method="sim")
+    except VerificationError as exc:
+        return {
+            "equivalent": False,
+            "method": "sim",
+            "inputs": num_inputs,
+            "detail": str(exc),
+        }
+    return {
+        "equivalent": True,
+        "method": covered.mode,
+        "inputs": num_inputs,
+        "vectors": int(covered),
+        "proved": covered.proved,
+        "sampled": covered.sampled,
+    }
+
+
+def _print_verify_verdict(verdict: dict) -> None:
+    """Human-readable verdict: stdout keeps the historical one-liner."""
+    if verdict["equivalent"]:
+        print("equivalent")
+        if verdict.get("sampled"):
+            print(
+                "warning: verdict is a %d-vector random sample, not a "
+                "proof (use --method sat or auto)" % verdict.get("vectors", 0),
+                file=sys.stderr,
+            )
+        else:
+            how = (
+                "SAT proof over %d output port(s)" % verdict["checked_outputs"]
+                if verdict["method"] == "sat"
+                else "exhaustive over %d vectors" % verdict.get("vectors", 0)
+            )
+            print("proved: %s" % how, file=sys.stderr)
+        return
+    print("NOT equivalent")
+    if verdict.get("failing_output") is not None:
+        print(
+            "output %r differs (expected %d, got %d)"
+            % (
+                verdict["failing_output"],
+                verdict["expected"],
+                verdict["actual"],
+            ),
+            file=sys.stderr,
+        )
+        print(
+            "counterexample: %s"
+            % _format_counterexample(verdict.get("counterexample")),
+            file=sys.stderr,
+        )
+    elif verdict.get("detail"):
+        print(verdict["detail"], file=sys.stderr)
+
+
+def _verify_per_lut(golden, circuit) -> dict:
+    """Per-LUT cone verdict as a dict, printed alongside the whole check."""
+    from repro.sat.miter import check_per_lut
+
+    result = check_per_lut(golden, circuit)
+    verdict = result.to_dict()
+    if result.equivalent:
+        print(
+            "per-LUT: %d cone(s) proved (%d inverted, %d skipped)"
+            % (
+                result.checked_luts,
+                len(result.inverted_luts),
+                result.skipped_luts,
+            ),
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "per-LUT: LUT %r is corrupted (expected %d, got %d)"
+            % (result.failing_lut, result.expected, result.actual),
+            file=sys.stderr,
+        )
+        print(
+            "counterexample: %s"
+            % _format_counterexample(result.counterexample),
+            file=sys.stderr,
+        )
+    return verdict
+
+
+def _verify_corpus(args: argparse.Namespace) -> int:
+    """The sat-gate sweep: adversarial corpus x mappers, formally checked.
+
+    Every cell must SAT-prove equivalent; with ``--semantic`` every
+    mapped circuit additionally runs the CHRT4xx rules and any
+    error-severity finding fails the gate.  Writes the row-per-cell JSON
+    artifact to ``-o`` and exits 1 on the first-class failures only
+    (inequivalence, semantic errors), never on warnings.
+    """
+    import json
+    import time
+
+    from repro.bench.adversarial import ADVERSARIAL_PRESETS, resolve_cell
+    from repro.flow.mappers import supports_k
+    from repro.sat.miter import check_equivalence
+
+    cells = list(args.cell or ADVERSARIAL_PRESETS)
+    rows = []
+    failures = 0
+    for name in cells:
+        net = resolve_cell(name)
+        for mapper_name in args.mappers:
+            if not supports_k(mapper_name, args.k):
+                continue
+            started = time.perf_counter()
+            circuit = resolve_mapper(mapper_name, args.k).map(net)
+            result = check_equivalence(net, circuit)
+            row = {
+                "cell": name,
+                "mapper": mapper_name,
+                "k": args.k,
+                "inputs": len(net.inputs),
+                "luts": circuit.cost,
+                "seconds": round(time.perf_counter() - started, 4),
+                **result.to_dict(),
+            }
+            if args.semantic:
+                from repro.analysis import ERROR, at_least, lint_mapping
+
+                diags = lint_mapping(
+                    net, circuit, k=args.k, semantic=True,
+                    subject="%s[k=%d,%s]" % (name, args.k, mapper_name),
+                )
+                errors = [d for d in diags if at_least(d.severity, ERROR)]
+                row["semantic_findings"] = len(diags)
+                row["semantic_errors"] = len(errors)
+                for diag in errors:
+                    print("SEMANTIC %s" % diag, file=sys.stderr)
+            ok = result.equivalent and not row.get("semantic_errors")
+            if not ok:
+                failures += 1
+            print(
+                "%-8s %-16s %-9s %3d in %4d LUTs %7.3fs%s"
+                % (
+                    "OK" if ok else "FAIL",
+                    name,
+                    mapper_name,
+                    row["inputs"],
+                    row["luts"],
+                    row["seconds"],
+                    ""
+                    if result.equivalent
+                    else "  output %r differs" % result.failing_output,
+                )
+            )
+            rows.append(row)
+    summary = {
+        "k": args.k,
+        "cells": cells,
+        "mappers": list(args.mappers),
+        "checked": len(rows),
+        "failures": failures,
+        "semantic": bool(args.semantic),
+        "rows": rows,
+    }
+    if args.output:
+        _write_text(args.output, json.dumps(summary, indent=2) + "\n")
+        print("wrote %s" % args.output, file=sys.stderr)
+    print(
+        "sat gate: %d cell(s) checked, %d failure(s)" % (len(rows), failures)
+    )
+    return 1 if failures else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Formal/simulated equivalence checking: files, cells, or the corpus."""
+    import json
+
+    if args.corpus:
+        return _verify_corpus(args)
+    if args.cell:
+        if args.files:
+            raise ReproError("--cell and positional BLIF files are exclusive")
+        if len(args.cell) != 1:
+            raise ReproError("pairwise verify takes exactly one --cell")
+        from repro.bench.adversarial import resolve_cell
+
+        golden = resolve_cell(args.cell[0])
+        candidate = resolve_mapper(args.mapper, args.k).map(golden)
+    elif len(args.files) == 2:
+        golden = _load_network(args.files[0], factor=False)
+        if args.per_lut:
+            candidate = _mapped_circuit_from_blif(args.files[1])
+        else:
+            candidate = _load_network(args.files[1], factor=False)
+    else:
+        raise ReproError(
+            "verify needs two BLIF files, --cell NAME, or --corpus"
+        )
+    verdict = _verify_pair(golden, candidate, args.method)
+    if args.format == "json":
+        payload = dict(verdict)
+    else:
+        _print_verify_verdict(verdict)
+        payload = None
+    if args.per_lut:
+        per_lut = _verify_per_lut(golden, candidate)
+        if payload is not None:
+            payload["per_lut"] = per_lut
+        if not per_lut["equivalent"]:
+            verdict = dict(verdict, equivalent=False)
+    if payload is not None:
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            _write_text(args.output, text + "\n")
+        else:
+            print(text)
+    return 0 if verdict["equivalent"] else 1
 
 
 def _utc_timestamp() -> str:
@@ -980,9 +1219,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_map.add_argument(
         "--checked",
-        action="store_true",
+        nargs="?",
+        const="sim",
+        default=None,
+        choices=["sim", "sat", "auto"],
+        metavar="METHOD",
         help="verify functional equivalence after every flow pass "
-        "(requires a flow)",
+        "(requires a flow); optional METHOD picks how: sim (default, "
+        "exhaustive-or-random simulation), sat (formal proof), or auto "
+        "(exhaustive below 14 inputs, SAT proof above)",
     )
     p_map.add_argument(
         "--lint",
@@ -1070,8 +1315,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument(
         "--checked",
-        action="store_true",
-        help="verify functional equivalence after every flow pass",
+        nargs="?",
+        const="sim",
+        default=None,
+        choices=["sim", "sat", "auto"],
+        metavar="METHOD",
+        help="verify functional equivalence after every flow pass "
+        "(method: sim, sat, or auto; bare --checked means sim)",
     )
     p_profile.add_argument("--factor", action="store_true")
     p_profile.add_argument("--minimize", action="store_true")
@@ -1290,6 +1540,13 @@ def build_parser() -> argparse.ArgumentParser:
         "-k for --cell)",
     )
     p_lint.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the SAT-backed CHRT4xx semantic rules (constant "
+        "cones, context-redundant inputs, duplicate-function pairs) on "
+        "every linted circuit",
+    )
+    p_lint.add_argument(
         "--spec",
         metavar="FLOWSPEC",
         help="also lint a flow spec (e.g. 'sweep,strash,chortle') for "
@@ -1343,19 +1600,90 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.set_defaults(func=_cmd_stats)
 
     p_gen = sub.add_parser(
-        "generate", help="emit a synthetic MCNC-89 stand-in circuit as BLIF"
+        "generate",
+        help="emit a synthetic MCNC-89 stand-in or adversarial circuit "
+        "as BLIF",
     )
+    from repro.bench.adversarial import ADVERSARIAL_PRESETS as _ADV_PRESETS
+
     p_gen.add_argument(
-        "profile", choices=sorted(MCNC_PROFILES), help="benchmark profile"
+        "profile",
+        choices=sorted(MCNC_PROFILES) + sorted(_ADV_PRESETS),
+        help="benchmark profile or adversarial preset",
     )
     p_gen.add_argument("-o", "--output", help="output BLIF file (default stdout)")
     p_gen.set_defaults(func=_cmd_generate)
 
     p_verify = sub.add_parser(
-        "verify", help="check two BLIF files are functionally equivalent"
+        "verify",
+        help="prove two BLIF files (or a cell and its mapping) equivalent",
     )
-    p_verify.add_argument("golden", help="reference BLIF file")
-    p_verify.add_argument("mapped", help="candidate BLIF file")
+    p_verify.add_argument(
+        "files",
+        nargs="*",
+        metavar="BLIF",
+        help="golden and candidate BLIF files (exactly two)",
+    )
+    p_verify.add_argument(
+        "--cell",
+        nargs="+",
+        metavar="NAME",
+        help="instead of files: map the named MCNC/adversarial cell with "
+        "--mapper and verify the mapping (one cell pairwise; with "
+        "--corpus, restrict the sweep to these cells)",
+    )
+    p_verify.add_argument(
+        "--mapper",
+        choices=mapper_names(),
+        default="chortle",
+        help="mapper for --cell/--corpus (default chortle)",
+    )
+    p_verify.add_argument(
+        "-k", type=int, default=4, help="LUT input count (default 4)"
+    )
+    p_verify.add_argument(
+        "--method",
+        choices=["sim", "sat", "auto"],
+        default="auto",
+        help="sim (historical simulation; above 14 inputs a flagged "
+        "random sample), sat (always a formal proof), or auto (default: "
+        "exhaustive below the limit, SAT proof above — always a proof)",
+    )
+    p_verify.add_argument(
+        "--per-lut",
+        action="store_true",
+        help="also check per-LUT cones (MEC-style): localizes the first "
+        "corrupted LUT with a counterexample; with files, the candidate "
+        "is parsed as a mapped circuit",
+    )
+    p_verify.add_argument(
+        "--corpus",
+        action="store_true",
+        help="SAT-verify the adversarial corpus across --mappers at -k "
+        "(the CI sat gate); exits 1 on any failure",
+    )
+    p_verify.add_argument(
+        "--mappers",
+        nargs="+",
+        default=list(CORPUS_MAPPERS),
+        metavar="MAPPER",
+        help="mappers for --corpus (default: %s)" % " ".join(CORPUS_MAPPERS),
+    )
+    p_verify.add_argument(
+        "--semantic",
+        action="store_true",
+        help="with --corpus: also run the SAT-backed CHRT4xx semantic "
+        "lint rules on every mapped circuit; error findings fail the gate",
+    )
+    p_verify.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="verdict format (default text)",
+    )
+    p_verify.add_argument(
+        "-o", "--output", help="write the JSON verdict/artifact to this file"
+    )
     p_verify.set_defaults(func=_cmd_verify)
 
     p_qor = sub.add_parser(

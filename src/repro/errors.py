@@ -41,6 +41,10 @@ class VerificationError(ReproError):
     """A mapped circuit is not functionally equivalent to its source."""
 
 
+class SatError(ReproError):
+    """Malformed CNF input or an exhausted solver resource budget."""
+
+
 class LintError(ReproError):
     """Invalid lint configuration, or a gated lint run found diagnostics."""
 

@@ -53,6 +53,10 @@ class FlowContext:
     lint: bool = False
     explain: bool = False
     verify_vectors: int = 1024
+    # How checked mode verifies each stage: "sim" (historical
+    # exhaustive-or-random simulation), "sat" (formal proof), or "auto"
+    # (exhaustive below the input limit, SAT proof above it).
+    verify_method: str = "sim"
     config: Dict[str, object] = field(default_factory=dict)
     sinks: Tuple = ()
     stages: List[StageResult] = field(default_factory=list)
@@ -213,10 +217,14 @@ class Flow:
 
         try:
             if isinstance(out, LUTCircuit):
-                verify_equivalence(golden, out, vectors=ctx.verify_vectors)
+                verify_equivalence(
+                    golden, out, vectors=ctx.verify_vectors,
+                    method=ctx.verify_method,
+                )
             else:
                 verify_network_equivalence(
-                    golden, out, vectors=ctx.verify_vectors
+                    golden, out, vectors=ctx.verify_vectors,
+                    method=ctx.verify_method,
                 )
         except VerificationError as exc:
             raise FlowError(

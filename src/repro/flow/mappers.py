@@ -149,6 +149,7 @@ class FlowMapperAdapter:
         lint: bool = False,
         explain: bool = False,
         config: Optional[dict] = None,
+        verify_method: str = "sim",
     ):
         if not flow.is_mapping_flow:
             raise FlowError(
@@ -163,6 +164,7 @@ class FlowMapperAdapter:
         self.lint = lint
         self.explain = explain
         self.config = dict(config or {})
+        self.verify_method = verify_method
         # Stage-attributed lint findings from the most recent map() call
         # (empty unless constructed with lint=True).
         self.diagnostics: List[object] = []
@@ -178,6 +180,7 @@ class FlowMapperAdapter:
             lint=self.lint,
             explain=self.explain,
             config=self.config,
+            verify_method=self.verify_method,
         )
         result = self.flow.run(network, ctx)
         self.diagnostics = list(ctx.diagnostics)
@@ -218,6 +221,7 @@ def resolve_mapper(
     jobs: int = 1,
     explain: bool = False,
     executor: str = "thread",
+    verify_method: str = "sim",
 ) -> Mapper:
     """A ready-to-run mapper for a raw-mapper name, flow name, or flow spec.
 
@@ -234,6 +238,9 @@ def resolve_mapper(
     exposes a :class:`~repro.obs.explain.MappingExplanation` as its
     ``explanation`` attribute after each ``map`` call; other mappers
     leave it ``None``.
+
+    ``verify_method`` selects how checked mode verifies each stage:
+    ``"sim"``, ``"sat"``, or ``"auto"`` (see :mod:`repro.verify`).
 
     Raises :class:`FlowError` for names that are neither known mappers
     nor parseable flow specs, and for ``checked`` on a raw mapper (only
@@ -263,5 +270,6 @@ def resolve_mapper(
     if jobs != 1:
         config["jobs"] = jobs
     return FlowMapperAdapter(
-        flow, k=k, checked=checked, lint=lint, explain=explain, config=config
+        flow, k=k, checked=checked, lint=lint, explain=explain, config=config,
+        verify_method=verify_method,
     )

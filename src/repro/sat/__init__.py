@@ -1,0 +1,41 @@
+"""SAT-backed formal verification: CNF encoding, CDCL solving, miters.
+
+The package splits along the classic layering:
+
+* :mod:`repro.sat.solver` — a pure CDCL solver over DIMACS-style
+  integer literals (no knowledge of networks or circuits);
+* :mod:`repro.sat.cnf` — Tseitin encoding of
+  :class:`~repro.network.network.BooleanNetwork` and
+  :class:`~repro.core.lut.LUTCircuit` subjects into one shared CNF;
+* :mod:`repro.sat.miter` — whole-circuit and per-LUT equivalence
+  checking built on the two.
+
+See docs/VERIFICATION.md for the architecture and the decision table
+of when ``verify`` picks SAT over simulation.
+"""
+
+from repro.sat.cnf import (
+    Encoder,
+    circuit_output_lits,
+    network_output_lits,
+)
+from repro.sat.miter import (
+    EquivalenceResult,
+    PerLutResult,
+    check_equivalence,
+    check_per_lut,
+)
+from repro.sat.solver import CdclSolver, SolverStats, luby
+
+__all__ = [
+    "CdclSolver",
+    "Encoder",
+    "EquivalenceResult",
+    "PerLutResult",
+    "SolverStats",
+    "check_equivalence",
+    "check_per_lut",
+    "circuit_output_lits",
+    "luby",
+    "network_output_lits",
+]

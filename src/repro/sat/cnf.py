@@ -1,0 +1,285 @@
+"""Tseitin CNF encoding of boolean networks and LUT circuits.
+
+The :class:`Encoder` owns one growing CNF inside a solver and hands out
+literals for named signals.  Both sides of a miter are encoded through
+the *same* encoder, so primary inputs share variables by name and
+structurally identical subfunctions collapse to one literal through the
+strash cache — the CNF-level analogue of structural hashing, which is
+what makes mapper-vs-mapper miters (mostly isomorphic logic) cheap.
+
+Gate encodings:
+
+* n-ary AND — ``n + 1`` clauses; OR is encoded as the AND dual so the
+  two share strash entries.
+* XOR — 4 clauses, with sign-canonicalized operands.
+* LUT truth tables — special forms are recognized first (constant,
+  wire/inverter, single minterm/maxterm, 2-input XOR, n-input parity,
+  all after shrinking the table to its true support) and routed through
+  the structural constructors; the general case emits one clause per
+  table row (``2^k`` clauses of width ``k + 1``, fine for the K ≤ 6
+  LUTs this repository maps).
+
+Polarity lives on literals, mirroring how the network keeps inversion
+on edges — there is no NOT node in either representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.lut import LUTCircuit
+from repro.errors import SatError
+from repro.network.network import AND, CONST0, CONST1, INPUT, BooleanNetwork
+from repro.sat.solver import CdclSolver
+from repro.truth.truthtable import TruthTable
+
+_StrashKey = Tuple[object, ...]
+
+_PARITY_CACHE: Dict[int, int] = {}
+
+
+def _parity_bits(nvars: int) -> int:
+    """Truth-table bits of the odd-parity function of ``nvars`` inputs."""
+    cached = _PARITY_CACHE.get(nvars)
+    if cached is None:
+        cached = 0
+        for m in range(1 << nvars):
+            if bin(m).count("1") & 1:
+                cached |= 1 << m
+        _PARITY_CACHE[nvars] = cached
+    return cached
+
+
+def _shrink_to_support(
+    tt: TruthTable, lits: Sequence[int]
+) -> Tuple[TruthTable, List[int]]:
+    """Project a table down to the variables it actually depends on."""
+    support = tt.support()
+    if len(support) == tt.nvars:
+        return tt, list(lits)
+    bits = 0
+    for mm in range(1 << len(support)):
+        full = 0
+        for j, var in enumerate(support):
+            if (mm >> j) & 1:
+                full |= 1 << var
+        if tt.value(full):
+            bits |= 1 << mm
+    return TruthTable(len(support), bits), [lits[j] for j in support]
+
+
+class Encoder:
+    """Shared-variable Tseitin encoder over one solver instance."""
+
+    def __init__(self, solver: CdclSolver):
+        self.solver = solver
+        self.strash_hits = 0
+        self._true: Optional[int] = None
+        self._strash: Dict[_StrashKey, int] = {}
+        self._inputs: Dict[str, int] = {}
+
+    # -- primitives ---------------------------------------------------------
+
+    @property
+    def inputs(self) -> Dict[str, int]:
+        """Every primary-input literal handed out so far, by name."""
+        return dict(self._inputs)
+
+    def input_lit(self, name: str) -> int:
+        """The literal of a primary input; shared across encodings by name."""
+        lit = self._inputs.get(name)
+        if lit is None:
+            lit = self.solver.new_var()
+            self._inputs[name] = lit
+        return lit
+
+    def true_lit(self) -> int:
+        """The literal of the constant-true function (one unit clause)."""
+        if self._true is None:
+            self._true = self.solver.new_var()
+            self.solver.add_clause([self._true])
+        return self._true
+
+    def false_lit(self) -> int:
+        return -self.true_lit()
+
+    def const_lit(self, value: bool) -> int:
+        return self.true_lit() if value else self.false_lit()
+
+    def is_true(self, lit: int) -> bool:
+        """True when ``lit`` is structurally the constant-true literal."""
+        return self._true is not None and lit == self._true
+
+    def is_false(self, lit: int) -> bool:
+        return self._true is not None and lit == -self._true
+
+    # -- structural constructors ---------------------------------------------
+
+    def lit_and(self, lits: Sequence[int]) -> int:
+        """The literal of the conjunction, with folding and strashing."""
+        out: List[int] = []
+        seen: Set[int] = set()
+        for lit in lits:
+            if self.is_false(lit):
+                return self.false_lit()
+            if self.is_true(lit):
+                continue
+            if -lit in seen:
+                return self.false_lit()
+            if lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            return self.true_lit()
+        if len(out) == 1:
+            return out[0]
+        out.sort()
+        key: _StrashKey = ("and",) + tuple(out)
+        cached = self._strash.get(key)
+        if cached is not None:
+            self.strash_hits += 1
+            return cached
+        y = self.solver.new_var()
+        for lit in out:
+            self.solver.add_clause([-y, lit])
+        self.solver.add_clause([y] + [-lit for lit in out])
+        self._strash[key] = y
+        return y
+
+    def lit_or(self, lits: Sequence[int]) -> int:
+        """The disjunction, encoded as the AND dual (shares strash entries)."""
+        return -self.lit_and([-lit for lit in lits])
+
+    def lit_xor(self, a: int, b: int) -> int:
+        """The exclusive-or of two literals (4 clauses, sign-canonical)."""
+        if a == b:
+            return self.false_lit()
+        if a == -b:
+            return self.true_lit()
+        if self.is_true(a):
+            return -b
+        if self.is_false(a):
+            return b
+        if self.is_true(b):
+            return -a
+        if self.is_false(b):
+            return a
+        sign = 1
+        if a < 0:
+            a, sign = -a, -sign
+        if b < 0:
+            b, sign = -b, -sign
+        if a > b:
+            a, b = b, a
+        key: _StrashKey = ("xor", a, b)
+        cached = self._strash.get(key)
+        if cached is not None:
+            self.strash_hits += 1
+            return sign * cached
+        y = self.solver.new_var()
+        self.solver.add_clause([-y, a, b])
+        self.solver.add_clause([-y, -a, -b])
+        self.solver.add_clause([y, -a, b])
+        self.solver.add_clause([y, a, -b])
+        self._strash[key] = y
+        return sign * y
+
+    def lit_lut(self, tt: TruthTable, lits: Sequence[int]) -> int:
+        """The literal of an arbitrary truth table applied to ``lits``."""
+        if tt.nvars != len(lits):
+            raise SatError(
+                "LUT table has %d variables but %d input literals"
+                % (tt.nvars, len(lits))
+            )
+        tt, pins = _shrink_to_support(tt, lits)
+        n = tt.nvars
+        if n == 0:
+            return self.const_lit(bool(tt.bits))
+        if n == 1:
+            return pins[0] if tt.bits == 0b10 else -pins[0]
+        size = 1 << n
+        ones = tt.count_ones()
+        if ones == 1:
+            m = next(iter(tt.minterms()))
+            return self.lit_and(
+                [pins[j] if (m >> j) & 1 else -pins[j] for j in range(n)]
+            )
+        if ones == size - 1:
+            inv = ~tt
+            m = next(iter(inv.minterms()))
+            return -self.lit_and(
+                [pins[j] if (m >> j) & 1 else -pins[j] for j in range(n)]
+            )
+        parity = _parity_bits(n)
+        if tt.bits == parity or tt.bits == parity ^ ((1 << size) - 1):
+            acc = pins[0]
+            for lit in pins[1:]:
+                acc = self.lit_xor(acc, lit)
+            return acc if tt.bits == parity else -acc
+        key: _StrashKey = ("lut", n, tt.bits) + tuple(pins)
+        cached = self._strash.get(key)
+        if cached is not None:
+            self.strash_hits += 1
+            return cached
+        y = self.solver.new_var()
+        bits = tt.bits
+        for m in range(size):
+            clause = [-pins[j] if (m >> j) & 1 else pins[j] for j in range(n)]
+            clause.append(y if (bits >> m) & 1 else -y)
+            self.solver.add_clause(clause)
+        self._strash[key] = y
+        return y
+
+    # -- whole-subject encodings ----------------------------------------------
+
+    def encode_network(self, net: BooleanNetwork) -> Dict[str, int]:
+        """Encode every node; returns the node-name → literal map."""
+        for name in net.inputs:
+            self.input_lit(name)
+        lits: Dict[str, int] = {}
+        for name in net.topological_order():
+            node = net.node(name)
+            if node.op == INPUT:
+                lits[name] = self.input_lit(name)
+            elif node.op == CONST0:
+                lits[name] = self.false_lit()
+            elif node.op == CONST1:
+                lits[name] = self.true_lit()
+            else:
+                fanins = [
+                    -lits[sig.name] if sig.inv else lits[sig.name]
+                    for sig in node.fanins
+                ]
+                if node.op == AND:
+                    lits[name] = self.lit_and(fanins)
+                else:
+                    lits[name] = self.lit_or(fanins)
+        return lits
+
+    def encode_circuit(self, circuit: LUTCircuit) -> Dict[str, int]:
+        """Encode every LUT; returns the wire-name → literal map."""
+        lits: Dict[str, int] = {}
+        for name in circuit.inputs:
+            lits[name] = self.input_lit(name)
+        for name in circuit.topological_order():
+            lut = circuit.lut(name)
+            lits[name] = self.lit_lut(lut.tt, [lits[src] for src in lut.inputs])
+        return lits
+
+
+def network_output_lits(
+    net: BooleanNetwork, node_lits: Dict[str, int]
+) -> Dict[str, int]:
+    """Output-port literals of an encoded network (edge polarity applied)."""
+    return {
+        port: (-node_lits[sig.name] if sig.inv else node_lits[sig.name])
+        for port, sig in net.outputs.items()
+    }
+
+
+def circuit_output_lits(
+    circuit: LUTCircuit, wire_lits: Dict[str, int]
+) -> Dict[str, int]:
+    """Output-port literals of an encoded LUT circuit."""
+    return {port: wire_lits[wire] for port, wire in circuit.outputs.items()}

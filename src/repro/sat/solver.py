@@ -1,0 +1,434 @@
+"""A small CDCL SAT solver: watched literals, first-UIP learning, restarts.
+
+Literals use the DIMACS convention — variable ``v`` is the positive
+literal ``v`` and its negation is ``-v``; variables are allocated
+densely from 1 via :meth:`CdclSolver.new_var`.  The solver is
+incremental: clauses may be added between :meth:`CdclSolver.solve`
+calls, and each call takes an optional assumption list, so one miter
+encoding serves every output port of an equivalence check while learned
+clauses carry over.
+
+The implementation is the textbook MiniSat loop — two-watched-literal
+propagation, first-UIP conflict analysis with non-recursive clause
+minimization, VSIDS branching with phase saving, and Luby restarts —
+kept deliberately compact: the instances this repository solves are
+mapping miters of a few thousand clauses, not competition benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SatError
+
+_VAR_DECAY = 0.95
+_RESCALE_LIMIT = 1e100
+_RESTART_BASE = 128
+
+
+def luby(i: int) -> int:
+    """The i-th term (1-indexed) of the Luby restart sequence."""
+    if i < 1:
+        raise SatError("luby index must be >= 1, got %d" % i)
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while (1 << k) - 1 != i:
+        i -= (1 << k) - 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+    return 1 << (k - 1)
+
+
+class SolverStats:
+    """Cumulative work counters of one solver instance."""
+
+    __slots__ = (
+        "solves",
+        "decisions",
+        "propagations",
+        "conflicts",
+        "learned",
+        "restarts",
+    )
+
+    def __init__(self) -> None:
+        self.solves = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.learned = 0
+        self.restarts = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _widx(lit: int) -> int:
+    """Watch-list index of a literal: 2v for v, 2v+1 for -v."""
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
+class CdclSolver:
+    """Conflict-driven clause learning over a growable variable set."""
+
+    def __init__(self) -> None:
+        self.stats = SolverStats()
+        self.ok = True
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._num_problem_clauses = 0
+        # Indexed by variable: +1 true, -1 false, 0 unassigned.
+        self._values: List[int] = [0]
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[int]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._seen = bytearray(1)
+        # Indexed by _widx(lit): clause indices watching that literal.
+        self._watches: List[List[int]] = [[], []]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._heap: List[Tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._model: List[int] = []
+
+    # -- problem construction ---------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return self._num_problem_clauses
+
+    @property
+    def num_learned(self) -> int:
+        return len(self._clauses) - self._num_problem_clauses
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its positive literal."""
+        self._num_vars += 1
+        self._values.append(0)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heapq.heappush(self._heap, (0.0, self._num_vars))
+        return self._num_vars
+
+    def _check_lit(self, lit: int) -> int:
+        if not isinstance(lit, int) or lit == 0:
+            raise SatError("literals must be non-zero ints, got %r" % (lit,))
+        if abs(lit) > self._num_vars:
+            raise SatError(
+                "literal %d references variable beyond %d allocated"
+                % (lit, self._num_vars)
+            )
+        return lit
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became unsatisfiable.
+
+        Tautologies and level-0-satisfied clauses are dropped, duplicate
+        and level-0-false literals removed.  Must not be called while a
+        model from a previous :meth:`solve` is still being read — adding
+        clauses backtracks all search state.
+        """
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        seen = set()
+        out: List[int] = []
+        for raw in lits:
+            lit = self._check_lit(raw)
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._lit_value(lit)
+            if val > 0:
+                return True  # already true at level 0
+            if val < 0:
+                continue  # already false at level 0: drop the literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            if self._propagate() is not None:
+                self.ok = False
+                return False
+            return True
+        ci = len(self._clauses)
+        self._clauses.append(out)
+        self._num_problem_clauses += 1
+        self._watches[_widx(out[0])].append(ci)
+        self._watches[_widx(out[1])].append(ci)
+        return True
+
+    # -- assignment plumbing ----------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        """+1 when the literal is true, -1 false, 0 unassigned."""
+        val = self._values[abs(lit)]
+        return val if lit > 0 else -val
+
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> None:
+        var = abs(lit)
+        self._values[var] = 1 if lit > 0 else -1
+        self._levels[var] = self._decision_level
+        self._reasons[var] = reason
+        self._trail.append(lit)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        mark = self._trail_lim[level]
+        for lit in reversed(self._trail[mark:]):
+            var = abs(lit)
+            self._phase[var] = lit > 0
+            self._values[var] = 0
+            self._reasons[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[mark:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # -- propagation -------------------------------------------------------
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        clauses = self._clauses
+        values = self._values
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            neg = -lit
+            watchers = self._watches[_widx(neg)]
+            i = j = 0
+            count = len(watchers)
+            while i < count:
+                ci = watchers[i]
+                i += 1
+                clause = clauses[ci]
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                fval = values[abs(first)]
+                if (fval if first > 0 else -fval) > 0:
+                    watchers[j] = ci
+                    j += 1
+                    continue
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    oval = values[abs(other)]
+                    if (oval if other > 0 else -oval) >= 0:
+                        clause[1], clause[k] = other, clause[1]
+                        self._watches[_widx(other)].append(ci)
+                        break
+                else:
+                    watchers[j] = ci
+                    j += 1
+                    if (fval if first > 0 else -fval) < 0:
+                        while i < count:  # keep the unvisited watchers
+                            watchers[j] = watchers[i]
+                            j += 1
+                            i += 1
+                        del watchers[j:]
+                        self._qhead = len(self._trail)
+                        return ci
+                    self._enqueue(first, ci)
+            del watchers[j:]
+        return None
+
+    # -- conflict analysis -------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _RESCALE_LIMIT:
+            inv = 1.0 / _RESCALE_LIMIT
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= inv
+            self._var_inc *= inv
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, confl: int) -> Tuple[List[int], int]:
+        """First-UIP learned clause and its backjump level."""
+        learnt: List[int] = [0]  # slot 0 becomes the asserting literal
+        seen = self._seen
+        levels = self._levels
+        counter = 0
+        p_lit = 0  # 0 on the first round: take every conflict literal
+        index = len(self._trail) - 1
+        clause = self._clauses[confl]
+        while True:
+            for lit in clause:
+                if lit == p_lit:
+                    continue
+                var = abs(lit)
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if levels[var] >= self._decision_level:
+                        counter += 1
+                    else:
+                        learnt.append(lit)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            assigned = self._trail[index]
+            index -= 1
+            counter -= 1
+            seen[abs(assigned)] = 0
+            if counter == 0:
+                learnt[0] = -assigned
+                break
+            reason = self._reasons[abs(assigned)]
+            assert reason is not None
+            clause = self._clauses[reason]
+            p_lit = assigned
+
+        # Non-recursive minimization: a kept literal is redundant when
+        # its reason clause is entirely inside the learned clause.
+        kept = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self._reasons[abs(lit)]
+            if reason is None:
+                kept.append(lit)
+                continue
+            for other in self._clauses[reason]:
+                var = abs(other)
+                if other != -lit and not seen[var] and levels[var] > 0:
+                    kept.append(lit)
+                    break
+        for lit in learnt[1:]:
+            seen[abs(lit)] = 0
+
+        if len(kept) == 1:
+            return kept, 0
+        # Move the deepest remaining literal to the watch slot.
+        widest = 1
+        for k in range(2, len(kept)):
+            if levels[abs(kept[k])] > levels[abs(kept[widest])]:
+                widest = k
+        kept[1], kept[widest] = kept[widest], kept[1]
+        return kept, levels[abs(kept[1])]
+
+    def _learn(self, learnt: List[int]) -> None:
+        self.stats.learned += 1
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        ci = len(self._clauses)
+        self._clauses.append(learnt)
+        self._watches[_widx(learnt[0])].append(ci)
+        self._watches[_widx(learnt[1])].append(ci)
+        self._enqueue(learnt[0], ci)
+
+    # -- branching ---------------------------------------------------------
+
+    def _pick_branch(self) -> Optional[int]:
+        heap = self._heap
+        while heap:
+            _, var = heapq.heappop(heap)
+            if self._values[var] == 0:
+                return var if self._phase[var] else -var
+        return None
+
+    # -- the search loop ---------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Iterable[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> bool:
+        """True when satisfiable under ``assumptions``.
+
+        Raises :class:`SatError` when ``max_conflicts`` is exhausted
+        before a verdict — callers treating SAT results as proofs must
+        never silently accept a budget blowout as either answer.
+        """
+        assumed = [self._check_lit(a) for a in assumptions]
+        self.stats.solves += 1
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self.ok = False
+            return False
+
+        restart_round = 0
+        budget = _RESTART_BASE * luby(1)
+        conflicts_here = 0
+        total_conflicts = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                total_conflicts += 1
+                if max_conflicts is not None and total_conflicts > max_conflicts:
+                    self._backtrack(0)
+                    raise SatError(
+                        "conflict budget %d exhausted" % max_conflicts
+                    )
+                if self._decision_level == 0:
+                    self.ok = False
+                    return False
+                learnt, back_level = self._analyze(confl)
+                self._backtrack(back_level)
+                self._learn(learnt)
+                self._var_inc /= _VAR_DECAY
+                continue
+            if conflicts_here >= budget:
+                self.stats.restarts += 1
+                restart_round += 1
+                budget = _RESTART_BASE * luby(restart_round + 1)
+                conflicts_here = 0
+                self._backtrack(0)
+                continue
+            decision = 0
+            for lit in assumed:
+                val = self._lit_value(lit)
+                if val < 0:
+                    # Forced false by level-0 facts and earlier
+                    # assumptions alone: unsatisfiable under assumptions.
+                    self._backtrack(0)
+                    return False
+                if val == 0:
+                    decision = lit
+                    break
+            if decision == 0:
+                picked = self._pick_branch()
+                if picked is None:
+                    self._model = list(self._values)
+                    self._backtrack(0)
+                    return True
+                decision = picked
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    # -- model access ------------------------------------------------------
+
+    def model_value(self, lit: int) -> bool:
+        """The last model's value of a literal (False when unassigned)."""
+        if not self._model:
+            raise SatError("no model: the last solve() did not return SAT")
+        self._check_lit(lit)
+        val = self._model[abs(lit)]
+        return (val > 0) if lit > 0 else (val < 0)

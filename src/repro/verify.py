@@ -1,9 +1,24 @@
 """Functional verification of mapped circuits against source networks.
 
-Exhaustive simulation is used for networks with at most
-``exhaustive_limit`` primary inputs; larger networks are checked on a
-configurable number of random vectors (bit-parallel, so thousands of
-vectors cost one simulation pass).
+Three methods, selected by the ``method`` argument:
+
+* ``"sim"`` — the historical behavior: exhaustive simulation up to
+  ``exhaustive_limit`` primary inputs, bit-parallel random vectors
+  above it.  A random-vector pass is *sampling*, not proof; such runs
+  are flagged on the returned :class:`VerifyResult` (``sampled``) and
+  counted under ``verify.sampled`` so no caller mistakes them for an
+  exhaustive verdict.
+* ``"sat"`` — formal proof via the miter engine (:mod:`repro.sat`),
+  independent of input count.
+* ``"auto"`` — exhaustive simulation while it is affordable
+  (``inputs <= exhaustive_limit``), SAT proof above that, so the
+  verdict is *always* a proof — auto never silently degrades to
+  sampling.
+
+Both entry points return a :class:`VerifyResult`, an ``int`` subclass
+carrying the vector count (``2**inputs`` for proofs) plus the
+``method``/``mode``/``sampled``/``proved`` verdict metadata, so code
+and tests written against the historical plain-int return keep working.
 """
 
 from __future__ import annotations
@@ -11,11 +26,86 @@ from __future__ import annotations
 import random
 from typing import Dict
 
-from repro.errors import VerificationError
 from repro.core.lut import LUTCircuit
+from repro.errors import VerificationError
 from repro.network.network import BooleanNetwork
 from repro.network.simulate import exhaustive_input_words, simulate
 from repro.obs import metrics, span
+
+METHODS = ("sim", "sat", "auto")
+
+
+class VerifyResult(int):
+    """The vector count of a verification run, with verdict metadata.
+
+    An ``int`` subclass: equal to the number of input vectors the
+    verdict covers (``2**inputs`` for exhaustive and SAT proofs, the
+    sample size for random simulation), so arithmetic comparisons
+    against the historical plain-int return still hold.
+    """
+
+    mode: str  # "exhaustive" | "random" | "sat"
+    sampled: bool  # True when the verdict is a random sample, not a proof
+    proved: bool
+
+    def __new__(
+        cls,
+        vectors: int,
+        mode: str = "exhaustive",
+        sampled: bool = False,
+        proved: bool = True,
+    ) -> "VerifyResult":
+        self = super().__new__(cls, vectors)
+        self.mode = mode
+        self.sampled = sampled
+        self.proved = proved
+        return self
+
+    def __repr__(self) -> str:
+        return "VerifyResult(%d, mode=%r, sampled=%r, proved=%r)" % (
+            int(self), self.mode, self.sampled, self.proved,
+        )
+
+
+def _check_method(method: str) -> None:
+    if method not in METHODS:
+        raise VerificationError(
+            "unknown verify method %r; valid methods: %s"
+            % (method, ", ".join(METHODS))
+        )
+
+
+def _format_vector(vector: Dict[str, int]) -> str:
+    return " ".join("%s=%d" % (name, vector[name]) for name in sorted(vector))
+
+
+def _sat_verify(golden, candidate, sp) -> VerifyResult:
+    """SAT-prove equivalence; raises with the counterexample on mismatch."""
+    from repro.sat.miter import check_equivalence
+
+    sp.set("mode", "sat")
+    result = check_equivalence(golden, candidate)
+    metrics.count("verify.sat_runs")
+    if not result.equivalent:
+        raise VerificationError(
+            "output %r differs (expected %d, got %d); counterexample: %s"
+            % (
+                result.failing_output,
+                result.expected,
+                result.actual,
+                _format_vector(result.counterexample or {}),
+            )
+        )
+    vectors = 1 << len(golden.inputs)
+    sp.set("vectors", vectors)
+    return VerifyResult(vectors, mode="sat")
+
+
+def _sampled_result(width: int) -> VerifyResult:
+    # A random pass that found no mismatch: record the degradation so
+    # "equivalent" never silently means "equivalent on a sample".
+    metrics.count("verify.sampled")
+    return VerifyResult(width, mode="random", sampled=True, proved=False)
 
 
 def verify_equivalence(
@@ -24,11 +114,17 @@ def verify_equivalence(
     vectors: int = 4096,
     exhaustive_limit: int = 14,
     seed: int = 2026,
-) -> int:
-    """Check every output port matches; returns the number of vectors used.
+    method: str = "sim",
+) -> VerifyResult:
+    """Check every output port matches; returns the vectors covered.
 
     Raises :class:`VerificationError` on the first mismatching port.
+    With ``method="sat"`` (always) or ``"auto"`` (above
+    ``exhaustive_limit`` inputs) the check is a formal proof from the
+    miter engine; ``"sim"`` preserves the historical
+    exhaustive-or-random simulation and flags random runs as sampled.
     """
+    _check_method(method)
     with span("verify.equivalence", network=network.name) as sp:
         inputs = network.inputs
         if set(circuit.inputs) != set(inputs):
@@ -41,16 +137,27 @@ def verify_equivalence(
                 "missing output ports: %s"
                 % sorted(set(network.outputs) - set(circuit.outputs))
             )
+        metrics.count("verify.runs")
+
+        if method == "sat" or (
+            method == "auto" and len(inputs) > exhaustive_limit
+        ):
+            result = _sat_verify(network, circuit, sp)
+            metrics.count("verify.ports_checked", len(network.outputs))
+            return result
 
         if len(inputs) <= exhaustive_limit:
             words: Dict[str, int] = exhaustive_input_words(inputs)
             width = 1 << len(inputs)
             sp.set("mode", "exhaustive")
+            sampled = False
         else:
             rng = random.Random(seed)
             width = vectors
             words = {name: rng.getrandbits(width) for name in inputs}
             sp.set("mode", "random")
+            sp.set("sampled", True)
+            sampled = True
         sp.set("vectors", width)
 
         mask = (1 << width) - 1
@@ -66,10 +173,11 @@ def verify_equivalence(
                 raise VerificationError(
                     "output %r differs on %d of %d vectors" % (port, diff, width)
                 )
-        metrics.count("verify.runs")
         metrics.count("verify.vectors", width)
         metrics.count("verify.ports_checked", len(network.outputs))
-        return width
+        if sampled:
+            return _sampled_result(width)
+        return VerifyResult(width, mode="exhaustive")
 
 
 def verify_network_equivalence(
@@ -78,14 +186,17 @@ def verify_network_equivalence(
     vectors: int = 4096,
     exhaustive_limit: int = 14,
     seed: int = 2026,
-) -> int:
-    """Check two networks compute the same outputs; returns vectors used.
+    method: str = "sim",
+) -> VerifyResult:
+    """Check two networks compute the same outputs; returns vectors covered.
 
     The network-to-network counterpart of :func:`verify_equivalence`,
     used by the flow engine's checked mode to validate network passes
     (sweep, strash, refactor) individually.  Raises
-    :class:`VerificationError` on the first mismatching port.
+    :class:`VerificationError` on the first mismatching port.  The
+    ``method`` argument behaves as in :func:`verify_equivalence`.
     """
+    _check_method(method)
     with span("verify.network_equivalence", network=golden.name) as sp:
         inputs = golden.inputs
         if set(candidate.inputs) != set(inputs):
@@ -98,16 +209,27 @@ def verify_network_equivalence(
                 "output port sets differ: %s vs %s"
                 % (sorted(golden.outputs), sorted(candidate.outputs))
             )
+        metrics.count("verify.network_runs")
+
+        if method == "sat" or (
+            method == "auto" and len(inputs) > exhaustive_limit
+        ):
+            result = _sat_verify(golden, candidate, sp)
+            metrics.count("verify.ports_checked", len(golden.outputs))
+            return result
 
         if len(inputs) <= exhaustive_limit:
             words: Dict[str, int] = exhaustive_input_words(inputs)
             width = 1 << len(inputs)
             sp.set("mode", "exhaustive")
+            sampled = False
         else:
             rng = random.Random(seed)
             width = vectors
             words = {name: rng.getrandbits(width) for name in inputs}
             sp.set("mode", "random")
+            sp.set("sampled", True)
+            sampled = True
         sp.set("vectors", width)
 
         mask = (1 << width) - 1
@@ -122,10 +244,11 @@ def verify_network_equivalence(
                 raise VerificationError(
                     "output %r differs on %d of %d vectors" % (port, diff, width)
                 )
-        metrics.count("verify.network_runs")
         metrics.count("verify.vectors", width)
         metrics.count("verify.ports_checked", len(golden.outputs))
-        return width
+        if sampled:
+            return _sampled_result(width)
+        return VerifyResult(width, mode="exhaustive")
 
 
 def equivalent(network: BooleanNetwork, circuit: LUTCircuit, **kwargs) -> bool:

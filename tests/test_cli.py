@@ -407,3 +407,88 @@ class TestPerfCommands:
         assert rc == 0
         err = capsys.readouterr().err
         assert "[progress] 1/1" in err
+
+
+class TestVerifySubcommand:
+    """The formal-verification forms of ``chortle verify``."""
+
+    def test_two_files_auto_proves_exhaustively(self, blif_file, tmp_path,
+                                                capsys):
+        out = tmp_path / "out.blif"
+        main(["map", str(blif_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(blif_file), str(out),
+                     "--method", "auto"]) == 0
+        captured = capsys.readouterr()
+        assert "equivalent" in captured.out
+        assert "proved" in captured.err
+
+    def test_two_files_sat_method(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        main(["map", str(blif_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(blif_file), str(out),
+                     "--method", "sat"]) == 0
+        captured = capsys.readouterr()
+        assert "equivalent" in captured.out
+        assert "SAT proof" in captured.err
+
+    def test_sat_mismatch_prints_counterexample(self, tmp_path, capsys):
+        a = tmp_path / "a.blif"
+        b = tmp_path / "b.blif"
+        a.write_text(
+            ".model m\n.inputs x y\n.outputs z\n.names x y z\n11 1\n.end\n"
+        )
+        b.write_text(
+            ".model m\n.inputs x y\n.outputs z\n.names x y z\n1- 1\n-1 1\n.end\n"
+        )
+        assert main(["verify", str(a), str(b), "--method", "sat"]) == 1
+        captured = capsys.readouterr()
+        assert "NOT equivalent" in captured.out
+        assert "counterexample" in captured.err
+
+    def test_cell_mapper_form(self, capsys):
+        assert main(["verify", "--cell", "adv_xor_chain",
+                     "--mapper", "cutmap", "--method", "sat"]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_cell_form_json(self, capsys):
+        import json
+
+        assert main(["verify", "--cell", "adv_deep_chain",
+                     "--method", "sat", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["equivalent"] is True
+        assert payload["method"] == "sat"
+
+    def test_per_lut_localization(self, blif_file, tmp_path, capsys):
+        out = tmp_path / "out.blif"
+        main(["map", str(blif_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(blif_file), str(out), "--per-lut"]) == 0
+        assert "cone" in capsys.readouterr().err
+
+    def test_corpus_gate(self, tmp_path, capsys):
+        import json
+
+        summary = tmp_path / "gate.json"
+        rc = main(["verify", "--corpus", "--cell", "adv_xor_chain",
+                   "adv_deep_chain", "--mappers", "chortle", "cutmap",
+                   "-o", str(summary)])
+        assert rc == 0
+        assert "sat gate" in capsys.readouterr().out
+        payload = json.loads(summary.read_text())
+        assert payload["failures"] == 0
+        assert len(payload["rows"]) == 4
+
+    def test_files_and_cell_are_exclusive(self, blif_file, capsys):
+        rc = main(["verify", str(blif_file), "--cell", "adv_xor_chain"])
+        assert rc == 2
+
+    def test_checked_sat_flow(self, blif_file, tmp_path, capsys):
+        rc = main(
+            ["map", str(blif_file), "-k", "4",
+             "--flow", "sweep,strash,chortle", "--checked", "sat",
+             "-o", str(tmp_path / "out.blif")]
+        )
+        assert rc == 0

@@ -108,10 +108,12 @@ def test_rule_catalogue_is_complete():
         "CHRT201", "CHRT202", "CHRT203", "CHRT204", "CHRT205", "CHRT206",
         "CHRT207", "CHRT208", "CHRT209", "CHRT210", "CHRT211",
         "CHRT301", "CHRT302", "CHRT303",
+        "CHRT401", "CHRT402", "CHRT403",
     }
     assert len(rules_for("network")) == 6
     assert len(rules_for("circuit")) == 11
     assert len(rules_for("flow")) == 3
+    assert len(rules_for("semantic")) == 3
     with pytest.raises(LintError):
         rules_for("quantum")
 
@@ -670,3 +672,140 @@ def test_fuzz_benchmark_cells_lint_clean(name):
             findings = lint_cell(name, k, mapper)
             errors = [d for d in findings if d.severity == ERROR]
             assert not errors, render_text(errors)
+
+
+# -- semantic (SAT-backed) rules: CHRT4xx ------------------------------------
+
+
+def _semantic_demo_circuit():
+    """One circuit that trips all three CHRT4xx rules.
+
+    ``x = a AND b`` and ``y = a AND NOT b`` are disjoint, so
+    ``z = AND(x, y)`` is provably constant 0 (CHRT401) although its
+    table is a plain AND.  ``u = AND(b, a)`` computes the same function
+    as ``x`` with different structure (CHRT403), and because ``x == u``
+    on every reachable assignment, either pin of ``v = OR(x, u)`` can be
+    tied to constant 0 (CHRT402).
+    """
+    c = LUTCircuit("semantic_demo")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_lut("x", ("a", "b"), TruthTable(2, 0b1000))  # a AND b
+    c.add_lut("y", ("a", "b"), TruthTable(2, 0b0010))  # a AND NOT b
+    c.add_lut("z", ("x", "y"), TruthTable(2, 0b1000))  # constant 0 in context
+    c.add_lut("u", ("b", "a"), TruthTable(2, 0b1000))  # b AND a == x
+    c.add_lut("v", ("x", "u"), TruthTable(2, 0b1110))  # OR with tied pins
+    c.set_output("oz", "z")
+    c.set_output("ov", "v")
+    return c
+
+
+def test_chrt401_semantic_constant_cone():
+    from repro.analysis import lint_semantic
+
+    found = by_code(lint_semantic(_semantic_demo_circuit()), "CHRT401")
+    assert any(d.location == "z" for d in found)
+    assert all(d.severity == WARN for d in found)
+    assert any("constant 0" in d.message for d in found)
+
+
+def test_chrt401_skips_structurally_constant_tables():
+    # A constant *table* belongs to CHRT204, not CHRT401.
+    from repro.analysis import lint_semantic
+
+    c = LUTCircuit("c")
+    c.add_input("a")
+    c.add_lut("k0", ("a",), TruthTable(1, 0b00))
+    c.set_output("o", "k0")
+    assert not by_code(lint_semantic(c), "CHRT401")
+
+
+def test_chrt402_context_unobservable_input():
+    from repro.analysis import lint_semantic
+
+    found = by_code(lint_semantic(_semantic_demo_circuit()), "CHRT402")
+    assert any(d.location == "v" for d in found)
+    assert any("can provably be tied" in d.message for d in found)
+
+
+def test_chrt403_duplicate_function_pair():
+    from repro.analysis import lint_semantic
+
+    found = by_code(lint_semantic(_semantic_demo_circuit()), "CHRT403")
+    assert any(d.location == "u" for d in found)
+    assert all(d.severity == INFO for d in found)
+
+
+def test_chrt403_reports_complement_pairs():
+    from repro.analysis import lint_semantic
+
+    c = LUTCircuit("c")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_lut("x", ("a", "b"), TruthTable(2, 0b1000))
+    c.add_lut("w", ("a", "b"), TruthTable(2, 0b0111))  # NAND: complement
+    c.set_output("ox", "x")
+    c.set_output("ow", "w")
+    found = by_code(lint_semantic(c), "CHRT403")
+    assert any("up to complement" in d.message for d in found)
+
+
+def test_chrt403_skips_byte_identical_copies():
+    # An exact duplicate (same pins, same table) is CHRT207's finding.
+    from repro.analysis import lint_semantic
+
+    c = LUTCircuit("c")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_lut("x", ("a", "b"), TruthTable(2, 0b1000))
+    c.add_lut("x2", ("a", "b"), TruthTable(2, 0b1000))
+    c.set_output("o1", "x")
+    c.set_output("o2", "x2")
+    assert not by_code(lint_semantic(c), "CHRT403")
+
+
+def test_semantic_rules_clean_on_faithful_mapping(fig1):
+    # fig1's chortle mapping has no collapsed cones at all.
+    from repro.analysis import lint_semantic
+    from repro.core.chortle import ChortleMapper
+
+    findings = lint_semantic(ChortleMapper(k=4).map(fig1))
+    assert not by_code(findings, "CHRT401")
+
+
+def test_semantic_domain_registered():
+    from repro.analysis import SEMANTIC
+
+    semantic_rules = [r for r in all_rules() if r.domain == SEMANTIC]
+    assert {r.code for r in semantic_rules} == {
+        "CHRT401", "CHRT402", "CHRT403",
+    }
+    # ...and lint_circuit does NOT run them: they are opt-in.
+    assert not codes(lint_circuit(_semantic_demo_circuit())) & {
+        "CHRT401", "CHRT402", "CHRT403",
+    }
+
+
+def test_lint_mapping_semantic_flag():
+    c = _semantic_demo_circuit()
+    plain = codes(lint_mapping(None, c))
+    semantic = codes(lint_mapping(None, c, semantic=True))
+    assert not plain & {"CHRT401", "CHRT402", "CHRT403"}
+    assert {"CHRT401", "CHRT402", "CHRT403"} <= semantic
+
+
+def test_cli_lint_semantic_flag(tmp_path, capsys):
+    from repro.blif import write_lut_circuit
+
+    path = str(tmp_path / "demo.blif")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_lut_circuit(_semantic_demo_circuit()))
+    code = main(["lint", path, "--mapped", "--semantic"])
+    out = capsys.readouterr().out
+    assert "CHRT401" in out
+    # Semantic findings are warn/info: they never gate at the default
+    # error threshold.
+    assert code == 0
+    # Without the flag the SAT rules stay off.
+    assert main(["lint", path, "--mapped"]) == 0
+    assert "CHRT401" not in capsys.readouterr().out
